@@ -1,0 +1,112 @@
+package oakmap
+
+import "testing"
+
+// This file pins the two API surfaces of Table 1 at compile time: if a
+// method's shape drifts, these assignments stop compiling. It mirrors
+// the paper's side-by-side of ZeroCopyConcurrentNavigableMap and the
+// legacy ConcurrentNavigableMap.
+
+type tk = uint64
+type tv = string
+
+// Legacy surface (right column of Table 1, Go-ified: errors instead of
+// unchecked exceptions, (value, ok) instead of nullable returns).
+var (
+	_ func(*Map[tk, tv], tk) (tv, bool)                 = (*Map[tk, tv]).Get
+	_ func(*Map[tk, tv], tk, tv) (tv, bool, error)      = (*Map[tk, tv]).Put
+	_ func(*Map[tk, tv], tk, tv) (tv, bool, error)      = (*Map[tk, tv]).PutIfAbsent
+	_ func(*Map[tk, tv], tk) (tv, bool, error)          = (*Map[tk, tv]).Remove
+	_ func(*Map[tk, tv], tk, func(tv) tv) (bool, error) = (*Map[tk, tv]).ComputeIfPresent
+	_ func(*Map[tk, tv], tk, tv, func(tv) tv) error     = (*Map[tk, tv]).Merge
+	_ func(*Map[tk, tv], *tk, *tk, func(tk, tv) bool)   = (*Map[tk, tv]).Range
+	_ func(*Map[tk, tv], *tk, *tk, func(tk, tv) bool)   = (*Map[tk, tv]).RangeDescending
+	_ func(*Map[tk, tv], *tk, *tk) SubMap[tk, tv]       = (*Map[tk, tv]).SubMap
+	_ func(*Map[tk, tv], tk) SubMap[tk, tv]             = (*Map[tk, tv]).HeadMap
+	_ func(*Map[tk, tv], tk) SubMap[tk, tv]             = (*Map[tk, tv]).TailMap
+	_ func(*Map[tk, tv]) (tk, bool)                     = (*Map[tk, tv]).FirstKey
+	_ func(*Map[tk, tv]) (tk, bool)                     = (*Map[tk, tv]).LastKey
+	_ func(*Map[tk, tv], tk) (tk, bool)                 = (*Map[tk, tv]).FloorKey
+	_ func(*Map[tk, tv], tk) (tk, bool)                 = (*Map[tk, tv]).CeilingKey
+	_ func(*Map[tk, tv], tk) (tk, bool)                 = (*Map[tk, tv]).LowerKey
+	_ func(*Map[tk, tv], tk) (tk, bool)                 = (*Map[tk, tv]).HigherKey
+)
+
+// Zero-copy surface (left column of Table 1): queries return buffer
+// views; updates do not return old values; two update-in-place forms.
+var (
+	_ func(ZeroCopyMap[tk, tv], tk) *OakRBuffer                           = ZeroCopyMap[tk, tv].Get
+	_ func(ZeroCopyMap[tk, tv], tk, tv) error                             = ZeroCopyMap[tk, tv].Put
+	_ func(ZeroCopyMap[tk, tv], tk) error                                 = ZeroCopyMap[tk, tv].Remove
+	_ func(ZeroCopyMap[tk, tv], tk, tv) (bool, error)                     = ZeroCopyMap[tk, tv].PutIfAbsent
+	_ func(ZeroCopyMap[tk, tv], tk, func(OakWBuffer) error) (bool, error) = ZeroCopyMap[tk, tv].ComputeIfPresent
+	_ func(ZeroCopyMap[tk, tv], tk, tv, func(OakWBuffer) error) error     = ZeroCopyMap[tk, tv].PutIfAbsentComputeIfPresent
+	// keySet()/valueSet()/entrySet() analogues plus the stream variants.
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer) bool)              = ZeroCopyMap[tk, tv].Keys
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer) bool)              = ZeroCopyMap[tk, tv].Values
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer) bool)              = ZeroCopyMap[tk, tv].KeysStream
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer) bool)              = ZeroCopyMap[tk, tv].ValuesStream
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer, *OakRBuffer) bool) = ZeroCopyMap[tk, tv].Ascend
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer, *OakRBuffer) bool) = ZeroCopyMap[tk, tv].Descend
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer, *OakRBuffer) bool) = ZeroCopyMap[tk, tv].AscendStream
+	_ func(ZeroCopyMap[tk, tv], *tk, *tk, func(*OakRBuffer, *OakRBuffer) bool) = ZeroCopyMap[tk, tv].DescendStream
+)
+
+// TestUpdatesDoNotReturnOldValues documents the ZC design decision from
+// Table 1's caption behaviourally: a ZC put/remove gives no way to
+// observe the previous value, while the legacy calls do.
+func TestUpdatesDoNotReturnOldValues(t *testing.T) {
+	m := New[uint64, string](Uint64Serializer{}, StringSerializer{},
+		&Options{ChunkCapacity: 32, BlockSize: 1 << 20})
+	defer m.Close()
+	zc := m.ZC()
+	if err := zc.Put(1, "a"); err != nil { // void put
+		t.Fatal(err)
+	}
+	prev, replaced, err := m.Put(1, "b") // legacy put returns old
+	if err != nil || !replaced || prev != "a" {
+		t.Fatalf("legacy Put = %q, %v, %v", prev, replaced, err)
+	}
+	if err := zc.Remove(1); err != nil { // void remove
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("removed key still present")
+	}
+}
+
+// TestStreamViewsAreReused documents the non-standard stream semantics
+// the paper calls out: the same view object is handed to every step, so
+// retaining it observes later entries' content.
+func TestStreamViewsAreReused(t *testing.T) {
+	m := New[uint64, string](Uint64Serializer{}, StringSerializer{},
+		&Options{ChunkCapacity: 32, BlockSize: 1 << 20})
+	defer m.Close()
+	zc := m.ZC()
+	for i := uint64(0); i < 10; i++ {
+		zc.Put(i, "x")
+	}
+	var views []*OakRBuffer
+	zc.AscendStream(nil, nil, func(k, v *OakRBuffer) bool {
+		views = append(views, k)
+		return true
+	})
+	for i := 1; i < len(views); i++ {
+		if views[i] != views[0] {
+			t.Fatal("stream scan must reuse one key view")
+		}
+	}
+	// And the Set-style scan hands out distinct views.
+	views = views[:0]
+	zc.Ascend(nil, nil, func(k, v *OakRBuffer) bool {
+		views = append(views, k)
+		return true
+	})
+	seen := map[*OakRBuffer]bool{}
+	for _, v := range views {
+		if seen[v] {
+			t.Fatal("Set-style scan must create fresh views")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,224 @@
+// Command oak-stress soak-tests the map: concurrent workers apply a
+// configurable operation mix against tracked "resident" keys while a
+// validator repeatedly checks ordering, uniqueness, reachability, and
+// the atomicity of in-place computes. It exits non-zero on the first
+// violation. Use it to gain confidence on new hardware or after
+// modifying the concurrency core.
+//
+//	oak-stress -duration 30s -workers 8 -keys 100000
+//	oak-stress -reclaim-headers -chunk 128   # stress the epoch extension
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oakmap"
+)
+
+type stats struct {
+	puts, gets, removes, computes, scans, validations atomic.Int64
+	violations                                        atomic.Int64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oak-stress: ")
+	var (
+		duration = flag.Duration("duration", 10*time.Second, "total run time")
+		workers  = flag.Int("workers", 8, "concurrent worker goroutines")
+		keys     = flag.Int("keys", 50000, "key range")
+		valSize  = flag.Int("valsize", 128, "value size in bytes")
+		chunkCap = flag.Int("chunk", 512, "chunk capacity (small values stress rebalance)")
+		reclaimH = flag.Bool("reclaim-headers", false, "enable the epoch header-reclamation extension")
+		reclaimK = flag.Bool("reclaim-keys", false, "enable off-heap key reclamation (requires no retained key views)")
+	)
+	flag.Parse()
+
+	m := oakmap.New[uint64, []byte](oakmap.Uint64Serializer{}, oakmap.BytesSerializer{},
+		&oakmap.Options{
+			ChunkCapacity:  *chunkCap,
+			BlockSize:      16 << 20,
+			ReclaimHeaders: *reclaimH,
+			ReclaimKeys:    *reclaimK,
+		})
+	defer m.Close()
+	zc := m.ZC()
+
+	// Residents: keys 0, 10, 20, ... stay in the map for the whole run;
+	// every validation pass must see each exactly once, in order.
+	// Counter cells: keys 1_000_000_000+i hold 8-byte counters bumped
+	// only via atomic computes; their sum is checked at the end.
+	const counterBase = 1_000_000_000
+	const counters = 16
+	residents := *keys / 10
+	for i := 0; i < residents; i++ {
+		if err := zc.Put(uint64(i*10), make([]byte, *valSize)); err != nil {
+			log.Fatalf("seed resident: %v", err)
+		}
+	}
+	for i := 0; i < counters; i++ {
+		if err := zc.Put(uint64(counterBase+i), make([]byte, 8)); err != nil {
+			log.Fatalf("seed counter: %v", err)
+		}
+	}
+
+	var st stats
+	var computeTotal atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0x57e55))
+			val := make([]byte, *valSize)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Uint64() % uint64(*keys)
+				if k%10 == 0 {
+					k++ // never touch residents destructively
+				}
+				switch rng.Uint64() % 10 {
+				case 0, 1, 2:
+					if err := zc.Put(k, val); err != nil {
+						log.Fatalf("put: %v", err)
+					}
+					st.puts.Add(1)
+				case 3:
+					if err := zc.Remove(k); err != nil {
+						log.Fatalf("remove: %v", err)
+					}
+					st.removes.Add(1)
+				case 4:
+					c := uint64(counterBase + int(rng.Uint64()%counters))
+					ok, err := zc.ComputeIfPresent(c, func(wb oakmap.OakWBuffer) error {
+						wb.PutUint64At(0, wb.Uint64At(0)+1)
+						return nil
+					})
+					if err != nil {
+						log.Fatalf("compute: %v", err)
+					}
+					if !ok {
+						st.violations.Add(1)
+						log.Fatalf("counter %d vanished", c)
+					}
+					computeTotal.Add(1)
+					st.computes.Add(1)
+				case 5:
+					n := 0
+					zc.AscendStream(&k, nil, func(kb, vb *oakmap.OakRBuffer) bool {
+						n++
+						return n < 200
+					})
+					st.scans.Add(1)
+				case 6:
+					n := 0
+					zc.DescendStream(nil, &k, func(kb, vb *oakmap.OakRBuffer) bool {
+						n++
+						return n < 200
+					})
+					st.scans.Add(1)
+				default:
+					if buf := zc.Get(k); buf != nil {
+						buf.Read(func([]byte) error { return nil })
+					}
+					st.gets.Add(1)
+				}
+			}
+		}(uint64(w + 1))
+	}
+
+	// Validator: full-scan invariants while the storm rages.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			validate(m, zc, residents, &st)
+			st.validations.Add(1)
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Final check: the counters must hold exactly the computes applied.
+	var sum int64
+	for i := 0; i < counters; i++ {
+		buf := zc.Get(uint64(counterBase + i))
+		if buf == nil {
+			log.Fatalf("counter %d missing at shutdown", i)
+		}
+		v, err := buf.Uint64At(0)
+		if err != nil {
+			log.Fatalf("counter read: %v", err)
+		}
+		sum += int64(v)
+	}
+	if sum != computeTotal.Load() {
+		log.Fatalf("ATOMICITY VIOLATION: counters sum to %d, expected %d",
+			sum, computeTotal.Load())
+	}
+
+	s := m.Stats()
+	totalOps := st.puts.Load() + st.gets.Load() + st.removes.Load() +
+		st.computes.Load() + st.scans.Load()
+	fmt.Printf("PASS: %d ops in %s (%.0f Kops/s), %d validations, 0 violations\n",
+		totalOps, elapsed.Round(time.Millisecond),
+		float64(totalOps)/elapsed.Seconds()/1000, st.validations.Load())
+	fmt.Printf("  puts=%d gets=%d removes=%d computes=%d scans=%d\n",
+		st.puts.Load(), st.gets.Load(), st.removes.Load(),
+		st.computes.Load(), st.scans.Load())
+	fmt.Printf("  len=%d chunks=%d rebalances=%d headers=%d footprint=%.1fMB\n",
+		s.Len, s.Chunks, s.Rebalances, s.HeaderCount, float64(s.Footprint)/(1<<20))
+	if st.violations.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// validate runs one full-scan invariant pass.
+func validate(m *oakmap.Map[uint64, []byte], zc oakmap.ZeroCopyMap[uint64, []byte],
+	residents int, st *stats) {
+	var prev uint64
+	first := true
+	seenResidents := 0
+	var kb [8]byte
+	zc.AscendStream(nil, nil, func(k, v *oakmap.OakRBuffer) bool {
+		k.Read(func(b []byte) error { copy(kb[:], b); return nil })
+		key := binary.BigEndian.Uint64(kb[:])
+		if !first && key <= prev {
+			st.violations.Add(1)
+			log.Fatalf("ORDER VIOLATION: %d after %d", key, prev)
+		}
+		prev, first = key, false
+		if key%10 == 0 && key < uint64(residents*10) {
+			seenResidents++
+		}
+		return true
+	})
+	if seenResidents != residents {
+		st.violations.Add(1)
+		log.Fatalf("RESIDENT VIOLATION: saw %d of %d resident keys",
+			seenResidents, residents)
+	}
+}

@@ -1,0 +1,69 @@
+package oakmap
+
+import "oakmap/internal/core"
+
+// Iterator is a pull-style zero-copy scan: the Go rendering of the
+// iterators behind the paper's keySet()/entrySet() views. Obtain one
+// from ZeroCopyMap.Iterator; advance with Next. Iterators are not safe
+// for concurrent use by multiple goroutines (create one per goroutine),
+// but the map may be mutated concurrently — the usual non-atomic scan
+// guarantees apply.
+type Iterator[K, V any] struct {
+	cur    *core.Cursor
+	m      *Map[K, V]
+	stream bool
+	kb, vb OakRBuffer // reused when stream is true
+}
+
+// Iterator creates a pull iterator over from ≤ key < to (nil bounds are
+// open), ascending or descending. With stream=true the iterator reuses
+// one pair of buffer views across all entries (the paper's stream scan
+// semantics: do not retain the views).
+func (z ZeroCopyMap[K, V]) Iterator(from, to *K, descending, stream bool) *Iterator[K, V] {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	it := &Iterator[K, V]{
+		cur:    z.m.core.NewCursor(lo, hi, descending),
+		m:      z.m,
+		stream: stream,
+	}
+	it.kb.m = z.m.core
+	it.vb.m = z.m.core
+	return it
+}
+
+// Next returns views of the next entry, or ok=false at the end.
+func (it *Iterator[K, V]) Next() (key, value *OakRBuffer, ok bool) {
+	kr, h, ok := it.cur.Next()
+	if !ok {
+		return nil, nil, false
+	}
+	if it.stream {
+		it.kb.keyRef, it.kb.h = kr, 0
+		it.vb.h = h
+		return &it.kb, &it.vb, true
+	}
+	return &OakRBuffer{m: it.m.core, keyRef: kr},
+		&OakRBuffer{m: it.m.core, h: h}, true
+}
+
+// NextEntry returns the next entry deserialized (a convenience for
+// legacy-style consumption of a pull iterator). Entries whose value was
+// deleted between the cursor step and the read are skipped.
+func (it *Iterator[K, V]) NextEntry() (k K, v V, ok bool) {
+	for {
+		kr, h, cok := it.cur.Next()
+		if !cok {
+			return k, v, false
+		}
+		k = it.m.keySer.Deserialize(it.m.core.KeyBytes(kr))
+		got := false
+		it.m.core.ReadValue(h, func(b []byte) error {
+			v = it.m.valSer.Deserialize(b)
+			got = true
+			return nil
+		})
+		if got {
+			return k, v, true
+		}
+	}
+}

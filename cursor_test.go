@@ -1,0 +1,166 @@
+package oakmap
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestIteratorAscending(t *testing.T) {
+	m := newUintMap(t)
+	zc := m.ZC()
+	const n = 300
+	for _, i := range rand.Perm(n) {
+		zc.Put(uint64(i), "v")
+	}
+	it := zc.Iterator(nil, nil, false, false)
+	var got []uint64
+	for {
+		k, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		u, err := k.Uint64At(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l, _ := v.Len(); l != 1 {
+			t.Fatal("value view wrong")
+		}
+		got = append(got, u)
+	}
+	if len(got) != n {
+		t.Fatalf("iterator yielded %d", len(got))
+	}
+	for i, k := range got {
+		if k != uint64(i) {
+			t.Fatalf("got[%d] = %d", i, k)
+		}
+	}
+	// Exhausted iterators keep returning false.
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("Next after exhaustion")
+	}
+}
+
+func TestIteratorDescendingBounded(t *testing.T) {
+	m := newUintMap(t)
+	zc := m.ZC()
+	for i := 0; i < 200; i++ {
+		zc.Put(uint64(i), "v")
+	}
+	lo, hi := uint64(50), uint64(150)
+	it := zc.Iterator(&lo, &hi, true, true)
+	want := uint64(149)
+	count := 0
+	for {
+		k, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		u, _ := k.Uint64At(0)
+		if u != want {
+			t.Fatalf("descending got %d; want %d", u, want)
+		}
+		want--
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("visited %d; want 100", count)
+	}
+}
+
+func TestIteratorStreamReusesViews(t *testing.T) {
+	m := newUintMap(t)
+	zc := m.ZC()
+	for i := 0; i < 10; i++ {
+		zc.Put(uint64(i), "v")
+	}
+	it := zc.Iterator(nil, nil, false, true)
+	k1, v1, _ := it.Next()
+	k2, v2, _ := it.Next()
+	if k1 != k2 || v1 != v2 {
+		t.Fatal("stream iterator must reuse view objects")
+	}
+	it2 := zc.Iterator(nil, nil, false, false)
+	k3, _, _ := it2.Next()
+	k4, _, _ := it2.Next()
+	if k3 == k4 {
+		t.Fatal("set iterator must create fresh views")
+	}
+}
+
+func TestIteratorNextEntry(t *testing.T) {
+	m := newUintMap(t)
+	zc := m.ZC()
+	for i := 0; i < 50; i++ {
+		zc.Put(uint64(i), "val")
+	}
+	it := zc.Iterator(nil, nil, false, false)
+	count := 0
+	for {
+		k, v, ok := it.NextEntry()
+		if !ok {
+			break
+		}
+		if v != "val" || k != uint64(count) {
+			t.Fatalf("entry %d = (%d, %q)", count, k, v)
+		}
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+// TestIteratorLazyUnderMutation: a half-advanced iterator keeps working
+// while the map churns (including across rebalances).
+func TestIteratorLazyUnderMutation(t *testing.T) {
+	m := newUintMap(t)
+	zc := m.ZC()
+	const n = 1000
+	for i := 0; i < n; i += 2 { // even residents
+		zc.Put(uint64(i), "r")
+	}
+	it := zc.Iterator(nil, nil, false, false)
+	var got []uint64
+	for i := 0; i < 100; i++ { // advance partway
+		k, _, ok := it.Next()
+		if !ok {
+			t.Fatal("early exhaustion")
+		}
+		u, _ := k.Uint64At(0)
+		got = append(got, u)
+	}
+	// Churn odd keys (never residents) to force splits everywhere.
+	for i := 1; i < n; i += 2 {
+		zc.Put(uint64(i), "x")
+	}
+	for i := 1; i < n; i += 2 {
+		zc.Remove(uint64(i))
+	}
+	for {
+		k, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		u, _ := k.Uint64At(0)
+		got = append(got, u)
+	}
+	// All residents seen exactly once, in order.
+	seen := map[uint64]bool{}
+	prev := int64(-1)
+	for _, k := range got {
+		if int64(k) <= prev {
+			t.Fatalf("order violation at %d", k)
+		}
+		prev = int64(k)
+		if k%2 == 0 {
+			seen[k] = true
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if !seen[uint64(i)] {
+			t.Fatalf("resident %d missed", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package oakmap_test
+
+import (
+	"fmt"
+
+	"oakmap"
+)
+
+// The examples below appear in godoc and run under `go test`.
+
+func ExampleNew() {
+	m := oakmap.New[string, string](
+		oakmap.StringSerializer{}, oakmap.StringSerializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+
+	m.Put("greeting", "hello")
+	v, ok := m.Get("greeting")
+	fmt.Println(v, ok)
+	// Output: hello true
+}
+
+func ExampleZeroCopyMap_Get() {
+	m := oakmap.New[string, string](
+		oakmap.StringSerializer{}, oakmap.StringSerializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+	zc := m.ZC()
+
+	zc.Put("k", "off-heap bytes")
+	buf := zc.Get("k")
+	buf.Read(func(b []byte) error {
+		fmt.Printf("%s\n", b)
+		return nil
+	})
+	// Output: off-heap bytes
+}
+
+func ExampleZeroCopyMap_ComputeIfPresent() {
+	m := oakmap.New[string, []byte](
+		oakmap.StringSerializer{}, oakmap.BytesSerializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+	zc := m.ZC()
+
+	zc.Put("counter", []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	// The lambda runs atomically, exactly once, on the off-heap value.
+	zc.ComputeIfPresent("counter", func(w oakmap.OakWBuffer) error {
+		w.PutUint64At(0, w.Uint64At(0)+1)
+		return nil
+	})
+	buf := zc.Get("counter")
+	v, _ := buf.Uint64At(0)
+	fmt.Println(v)
+	// Output: 1
+}
+
+func ExampleZeroCopyMap_PutIfAbsentComputeIfPresent() {
+	m := oakmap.New[string, []byte](
+		oakmap.StringSerializer{}, oakmap.BytesSerializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+	zc := m.ZC()
+
+	// Upsert-style aggregation: insert 1 on first sight, increment after.
+	for i := 0; i < 3; i++ {
+		zc.PutIfAbsentComputeIfPresent("hits", []byte{1}, func(w oakmap.OakWBuffer) error {
+			w.Bytes()[0]++
+			return nil
+		})
+	}
+	buf := zc.Get("hits")
+	b, _ := buf.Bytes()
+	fmt.Println(b[0])
+	// Output: 3
+}
+
+func ExampleZeroCopyMap_DescendStream() {
+	m := oakmap.New[uint64, string](
+		oakmap.Uint64Serializer{}, oakmap.StringSerializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+	zc := m.ZC()
+	for i := uint64(1); i <= 5; i++ {
+		zc.Put(i, fmt.Sprintf("v%d", i))
+	}
+	// Stream scans reuse one view pair: no per-entry allocation.
+	zc.DescendStream(nil, nil, func(k, v *oakmap.OakRBuffer) bool {
+		key, _ := k.Uint64At(0)
+		fmt.Print(key, " ")
+		return true
+	})
+	fmt.Println()
+	// Output: 5 4 3 2 1
+}
+
+func ExampleMap_SubMap() {
+	m := oakmap.New[uint64, string](
+		oakmap.Uint64Serializer{}, oakmap.StringSerializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+	for i := uint64(0); i < 10; i++ {
+		m.ZC().Put(i, "x")
+	}
+	lo, hi := uint64(3), uint64(7)
+	fmt.Println(m.SubMap(&lo, &hi).Len())
+	// Output: 4
+}
+
+func ExampleMap_Merge() {
+	m := oakmap.New[string, uint64](
+		oakmap.StringSerializer{}, oakmap.Uint64Serializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+
+	add := func(v uint64) func(uint64) uint64 {
+		return func(old uint64) uint64 { return old + v }
+	}
+	m.Merge("total", 10, add(10)) // absent → insert 10
+	m.Merge("total", 5, add(5))   // present → 10+5
+	v, _ := m.Get("total")
+	fmt.Println(v)
+	// Output: 15
+}
+
+func ExampleZeroCopyMap_Iterator() {
+	m := oakmap.New[uint64, string](
+		oakmap.Uint64Serializer{}, oakmap.StringSerializer{},
+		&oakmap.Options{BlockSize: 1 << 20})
+	defer m.Close()
+	zc := m.ZC()
+	for i := uint64(0); i < 3; i++ {
+		zc.Put(i, fmt.Sprintf("v%d", i))
+	}
+	it := zc.Iterator(nil, nil, false, false)
+	for {
+		k, v, ok := it.NextEntry()
+		if !ok {
+			break
+		}
+		_ = k
+		fmt.Print(v, " ")
+	}
+	fmt.Println()
+	// Output: v0 v1 v2
+}

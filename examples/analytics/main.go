@@ -1,0 +1,180 @@
+// Analytics builds a miniature real-time rollup index — the workload
+// class that motivates Oak (§6) — directly on the public API. Concurrent
+// writers ingest page-view events keyed by (minute, page); every ingest
+// atomically updates a fixed-size aggregate row (count, sum, min, max of
+// latency) in place, off-heap, with PutIfAbsentComputeIfPresent. A
+// concurrent reader issues time-range queries over the live index.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"oakmap"
+)
+
+// eventKey identifies a rollup row: a minute bucket plus a page id.
+type eventKey struct {
+	Minute int64
+	PageID uint32
+}
+
+// eventKeySerializer orders rows by time, then page (big-endian fields
+// keep bytes.Compare consistent with the natural order).
+type eventKeySerializer struct{}
+
+func (eventKeySerializer) SizeOf(eventKey) int { return 12 }
+func (eventKeySerializer) Serialize(k eventKey, buf []byte) {
+	binary.BigEndian.PutUint64(buf, uint64(k.Minute)^(1<<63))
+	binary.BigEndian.PutUint32(buf[8:], k.PageID)
+}
+func (eventKeySerializer) Deserialize(buf []byte) eventKey {
+	return eventKey{
+		Minute: int64(binary.BigEndian.Uint64(buf) ^ (1 << 63)),
+		PageID: binary.BigEndian.Uint32(buf[8:]),
+	}
+}
+
+// aggRow is a fixed-size aggregate: count, sum, min, max (32 bytes).
+// Fixed size makes every update a pure in-place compute.
+type aggRow struct{ Count, Sum, Min, Max float64 }
+
+type aggRowSerializer struct{}
+
+func (aggRowSerializer) SizeOf(aggRow) int { return 32 }
+func (aggRowSerializer) Serialize(r aggRow, buf []byte) {
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.Count))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.Sum))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.Min))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(r.Max))
+}
+func (aggRowSerializer) Deserialize(buf []byte) aggRow {
+	return aggRow{
+		Count: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		Sum:   math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		Min:   math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		Max:   math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+	}
+}
+
+// fold updates the serialized aggregate in place.
+func fold(buf []byte, latency float64) {
+	cnt := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+	sum := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(buf[16:]))
+	hi := math.Float64frombits(binary.LittleEndian.Uint64(buf[24:]))
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(cnt+1))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(sum+latency))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(math.Min(lo, latency)))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(math.Max(hi, latency)))
+}
+
+func main() {
+	idx := oakmap.New[eventKey, aggRow](
+		eventKeySerializer{}, aggRowSerializer{},
+		&oakmap.Options{BlockSize: 8 << 20},
+	)
+	defer idx.Close()
+	zc := idx.ZC()
+
+	const (
+		writers    = 4
+		eventsPerW = 50_000
+		pages      = 200
+		minutes    = 30
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 99))
+			for i := 0; i < eventsPerW; i++ {
+				k := eventKey{
+					Minute: int64(rng.Uint64() % minutes),
+					PageID: uint32(rng.Uint64() % pages),
+				}
+				latency := 5 + rng.ExpFloat64()*20
+				init := aggRow{Count: 1, Sum: latency, Min: latency, Max: latency}
+				// One linearizable call: insert the first event's row, or
+				// fold the event into the existing row in place.
+				err := zc.PutIfAbsentComputeIfPresent(k, init, func(row oakmap.OakWBuffer) error {
+					fold(row.Bytes(), latency)
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+			}
+		}(uint64(w + 1))
+	}
+
+	// A concurrent reader: live dashboards query while ingestion runs.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			lo := eventKey{Minute: 10, PageID: 0}
+			hi := eventKey{Minute: 20, PageID: 0}
+			var total float64
+			zc.AscendStream(&lo, &hi, func(k, v *oakmap.OakRBuffer) bool {
+				v.Read(func(b []byte) error {
+					total += math.Float64frombits(binary.LittleEndian.Uint64(b))
+					return nil
+				})
+				return true
+			})
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	// Final report: per-minute totals via a descending stream scan
+	// (most recent minute first), then a full verification count.
+	fmt.Println("per-minute event counts (most recent first):")
+	var lastMinute int64 = -1
+	var minuteCount float64
+	flush := func() {
+		if lastMinute >= 0 {
+			fmt.Printf("  minute %2d: %8.0f events\n", lastMinute, minuteCount)
+		}
+	}
+	shown := 0
+	truncated := false
+	zc.DescendStream(nil, nil, func(k, v *oakmap.OakRBuffer) bool {
+		var kb [12]byte
+		k.Read(func(b []byte) error { copy(kb[:], b); return nil })
+		minute := int64(binary.BigEndian.Uint64(kb[:]) ^ (1 << 63)) // inline decode
+		if minute != lastMinute {
+			flush()
+			if shown++; shown > 5 {
+				truncated = true
+				return false
+			}
+			lastMinute, minuteCount = minute, 0
+		}
+		v.Read(func(b []byte) error {
+			minuteCount += math.Float64frombits(binary.LittleEndian.Uint64(b))
+			return nil
+		})
+		return true
+	})
+	if !truncated {
+		flush()
+	}
+
+	var grand float64
+	idx.Range(nil, nil, func(k eventKey, r aggRow) bool {
+		grand += r.Count
+		return true
+	})
+	fmt.Printf("total events folded: %.0f (expected %d)\n", grand, writers*eventsPerW)
+	fmt.Printf("distinct rows: %d, off-heap footprint: %.1f MB\n",
+		idx.Len(), float64(idx.Footprint())/(1<<20))
+}

@@ -1,0 +1,112 @@
+// Druid walks the paper's §6 case study end to end: build an Oak-backed
+// incremental index (I²-Oak), ingest a synthetic event stream while
+// serving queries, compare its memory profile with the legacy skiplist
+// index (I²-legacy), then freeze it into an immutable segment and
+// dispose the live index — the full Druid ingestion lifecycle.
+//
+//	go run ./examples/druid
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"oakmap/internal/druid"
+)
+
+func heapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+func main() {
+	schema := druid.Schema{
+		Dimensions: []string{"page", "country"},
+		Metrics:    []string{"latency_ms", "bytes"},
+		Aggregators: []druid.AggregatorSpec{
+			{Kind: druid.AggCount},
+			{Kind: druid.AggSum, Metric: 0},
+			{Kind: druid.AggMax, Metric: 0},
+			{Kind: druid.AggSum, Metric: 1},
+			{Kind: druid.AggUniqueHLL, Dim: 1, HLLPrecision: 9},
+			{Kind: druid.AggQuantileP2, Metric: 0, Quantile: 0.95},
+		},
+		Rollup: true,
+	}
+
+	idx, err := druid.NewIndex(schema, &druid.IndexOptions{BlockSize: 8 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	leg, err := druid.NewLegacyIndex(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest the same stream into both implementations.
+	const tuples = 150_000
+	base := heapMB()
+	gen := druid.NewTupleGen(2024, 6, []int{500, 40_000}, 2)
+	for i := 0; i < tuples; i++ {
+		t := gen.Next()
+		if err := idx.Ingest(t); err != nil {
+			log.Fatal(err)
+		}
+		if err := leg.Ingest(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("ingested %d tuples → %d rollup rows\n", tuples, idx.Cardinality())
+	fmt.Printf("stored data:        %.1f MB\n", float64(idx.StoredDataBytes())/(1<<20))
+	fmt.Printf("I²-Oak off-heap:    %.1f MB (GC-opaque)\n", float64(idx.OffHeapBytes())/(1<<20))
+	fmt.Printf("process heap now:   %.1f MB (started at %.1f)\n", heapMB(), base)
+
+	// Serve the three Druid query families from the live index.
+	last := idx.RecentKeys(1)[0]
+	fmt.Printf("\nper-5k-tick event counts (timeseries):")
+	for _, c := range idx.Timeseries(0, last+1, (last+1)/5+1, 0) {
+		fmt.Printf(" %.0f", c)
+	}
+	fmt.Println()
+
+	top := idx.TopN(0, 1, 0, last+1, 3)
+	fmt.Println("top-3 pages by total latency (topN):")
+	for _, g := range top {
+		fmt.Printf("  %-18s sum=%.0fms  p95≈%.1fms  uniq-countries≈%.0f\n",
+			g.DimValue, g.Aggs[1], g.Aggs[5], g.Aggs[4])
+	}
+
+	filtered := idx.TimeseriesWhere(0, last+1, (last+1)/3+1, 0, 0, top[0].DimValue)
+	fmt.Printf("events for %s only (filtered):", top[0].DimValue)
+	for _, c := range filtered {
+		fmt.Printf(" %.0f", c)
+	}
+	fmt.Println()
+
+	// Cross-check: both implementations agree on every aggregate.
+	a := idx.QueryTimeRange(0, last+1)
+	b := leg.QueryTimeRange(0, last+1)
+	for i := range a {
+		if a[i] != b[i] {
+			log.Fatalf("I²-Oak and I²-legacy disagree on aggregate %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	fmt.Println("\nI²-Oak and I²-legacy agree on all aggregates ✓")
+
+	// The lifecycle finale (§6): the full index is reorganized into an
+	// immutable segment and the I² is disposed, returning its off-heap
+	// blocks to the pool.
+	seg, err := idx.Persist()
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx.Close()
+	fmt.Printf("\npersisted segment: %d rows, %.1f MB flat arrays\n",
+		seg.Len(), float64(seg.SizeBytes())/(1<<20))
+	segTop := seg.TopN(0, 1, 0, last+1, 1)
+	fmt.Printf("segment still answers queries after dispose: top page = %s\n",
+		segTop[0].DimValue)
+}

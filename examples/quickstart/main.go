@@ -1,0 +1,98 @@
+// Quickstart demonstrates oakmap's two API surfaces on a small dataset:
+// the legacy (copying) ConcurrentNavigableMap-style API, the zero-copy
+// API with buffer views and in-place compute, and the map's memory
+// introspection.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oakmap"
+)
+
+func main() {
+	// An Oak map from string keys to string values. Serializers convert
+	// objects to/from Oak's off-heap buffers; nil options = paper
+	// defaults (4096-entry chunks, shared 100MB block pool).
+	m := oakmap.New[string, string](
+		oakmap.StringSerializer{}, oakmap.StringSerializer{},
+		&oakmap.Options{BlockSize: 8 << 20},
+	)
+	defer m.Close()
+
+	// --- Legacy API: objects in, objects out (copies at the boundary).
+	if _, _, err := m.Put("cherry", "red"); err != nil {
+		log.Fatal(err)
+	}
+	m.Put("banana", "yellow")
+	m.Put("apple", "green")
+	if v, ok := m.Get("banana"); ok {
+		fmt.Println("banana is", v)
+	}
+	prev, _, _ := m.Put("apple", "red")
+	fmt.Println("apple was", prev)
+
+	// --- Zero-copy API: buffer views instead of objects.
+	zc := m.ZC()
+	if buf := zc.Get("cherry"); buf != nil {
+		// Read accesses the off-heap bytes in place, atomically.
+		buf.Read(func(b []byte) error {
+			fmt.Printf("cherry bytes: %q\n", b)
+			return nil
+		})
+	}
+
+	// Atomic in-place update: the lambda runs under the value's write
+	// lock, exactly once (Java's compute is not atomic; Oak's is).
+	zc.ComputeIfPresent("cherry", func(w oakmap.OakWBuffer) error {
+		b := w.Bytes()
+		b[0] = 'R' // red → Red
+		return nil
+	})
+	v, _ := m.Get("cherry")
+	fmt.Println("cherry is now", v)
+
+	// Upsert-style aggregation in one linearizable call.
+	for i := 0; i < 3; i++ {
+		zc.PutIfAbsentComputeIfPresent("counter", "x", func(w oakmap.OakWBuffer) error {
+			return w.Set(append([]byte{}, append(w.Bytes(), 'x')...))
+		})
+	}
+	v, _ = m.Get("counter")
+	fmt.Println("counter =", v) // xxx: 1 insert + 2 computes
+
+	// --- Ordered iteration: ascending, descending, and sub-ranges.
+	fmt.Print("ascending:")
+	m.Range(nil, nil, func(k, v string) bool {
+		fmt.Printf(" %s=%s", k, v)
+		return true
+	})
+	fmt.Println()
+
+	fmt.Print("descending (stream API, zero allocation):")
+	zc.DescendStream(nil, nil, func(k, v *oakmap.OakRBuffer) bool {
+		kb, _ := k.Bytes()
+		fmt.Printf(" %s", kb)
+		return true
+	})
+	fmt.Println()
+
+	from, to := "b", "d"
+	fmt.Printf("range [%s, %s): %d entries\n", from, to, m.SubMap(&from, &to).Len())
+
+	// --- Navigation queries (ConcurrentNavigableMap surface).
+	if k, ok := m.FloorKey("bz"); ok {
+		fmt.Println("floor(bz) =", k)
+	}
+	if k, ok := m.HigherKey("banana"); ok {
+		fmt.Println("higher(banana) =", k)
+	}
+
+	// --- Memory introspection: the paper's fast footprint estimate.
+	st := m.Stats()
+	fmt.Printf("%d keys, %d B live off-heap, %d B reserved, %d chunks\n",
+		st.Len, st.LiveBytes, st.Footprint, st.Chunks)
+}

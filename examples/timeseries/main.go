@@ -1,0 +1,140 @@
+// Timeseries stores variable-size event records keyed by (timestamp,
+// sequence) and serves the two access patterns real-time monitoring
+// needs: "tail the most recent N events" via Oak's fast descending
+// scans (§4.2) and windowed range scans via sub-maps. It also shows
+// variable-size values being resized in place with the ZC compute API.
+//
+//	go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"oakmap"
+)
+
+// record is a variable-size log event.
+type record struct {
+	Level   uint8
+	Message string
+}
+
+type recordSerializer struct{}
+
+func (recordSerializer) SizeOf(r record) int { return 1 + len(r.Message) }
+func (recordSerializer) Serialize(r record, buf []byte) {
+	buf[0] = r.Level
+	copy(buf[1:], r.Message)
+}
+func (recordSerializer) Deserialize(buf []byte) record {
+	return record{Level: buf[0], Message: string(buf[1:])}
+}
+
+func main() {
+	m := oakmap.New[uint64, record](
+		oakmap.Uint64Serializer{}, recordSerializer{},
+		&oakmap.Options{BlockSize: 4 << 20},
+	)
+	defer m.Close()
+	zc := m.ZC()
+
+	// Ingest 100k events with timestamps in the key's high bits and a
+	// sequence number below, so keys are unique and time-ordered.
+	rng := rand.New(rand.NewPCG(7, 8))
+	levels := []string{"DEBUG", "INFO", "WARN", "ERROR"}
+	const events = 100_000
+	for i := 0; i < events; i++ {
+		ts := uint64(i / 10)              // 10 events per tick
+		key := ts<<20 | uint64(i%(1<<20)) // ts | seq
+		lvl := uint8(rng.Uint64() % 4)
+		msg := fmt.Sprintf("%s event #%d from host-%02d",
+			levels[lvl], i, rng.Uint64()%16)
+		if err := zc.Put(key, record{Level: lvl, Message: msg}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("ingested %d events, footprint %.1f MB, %d chunks\n",
+		m.Len(), float64(m.Footprint())/(1<<20), m.Stats().Chunks)
+
+	// --- Tail the log: the 5 most recent events, newest first. On a
+	// skiplist this costs one O(log n) lookup per event; Oak pops them
+	// from the chunk's descending stack.
+	fmt.Println("\nmost recent events:")
+	n := 0
+	zc.DescendStream(nil, nil, func(k, v *oakmap.OakRBuffer) bool {
+		v.Read(func(b []byte) error {
+			fmt.Printf("  %s\n", b[1:])
+			return nil
+		})
+		n++
+		return n < 5
+	})
+
+	// --- Windowed scan: all events of ticks [500, 502).
+	lo, hi := uint64(500)<<20, uint64(502)<<20
+	window := m.SubMap(&lo, &hi)
+	fmt.Printf("\nwindow [tick 500, 502) holds %d events\n", window.Len())
+
+	// Count errors in the window without deserializing messages.
+	errCount := 0
+	window.ZC().AscendStream(func(k, v *oakmap.OakRBuffer) bool {
+		lvl, _ := v.ByteAt(0)
+		if lvl == 3 {
+			errCount++
+		}
+		return true
+	})
+	fmt.Printf("errors in window: %d\n", errCount)
+
+	// --- In-place value editing with resize: redact ERROR messages.
+	// The compute lambda is atomic; Resize moves the value within the
+	// arena when it grows or shrinks.
+	redacted := 0
+	var errKeys []uint64
+	m.Range(&lo, &hi, func(k uint64, r record) bool {
+		if r.Level == 3 {
+			errKeys = append(errKeys, k)
+		}
+		return true
+	})
+	for _, k := range errKeys {
+		ok, err := zc.ComputeIfPresent(k, func(w oakmap.OakWBuffer) error {
+			if err := w.Resize(1 + len("[redacted]")); err != nil {
+				return err
+			}
+			copy(w.Bytes()[1:], "[redacted]")
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		if ok {
+			redacted++
+		}
+	}
+	fmt.Printf("redacted %d error messages in place\n", redacted)
+
+	if len(errKeys) > 0 {
+		r, _ := m.Get(errKeys[0])
+		fmt.Printf("first redacted record now reads: %q\n", r.Message)
+	}
+
+	// --- Retention: drop everything before tick 9000 and report the
+	// reclaimed space (freed value bytes return to Oak's free list).
+	before := m.LiveBytes()
+	cutoff := uint64(9000) << 20
+	var victims []uint64
+	m.Range(nil, &cutoff, func(k uint64, _ record) bool {
+		victims = append(victims, k)
+		return true
+	})
+	for _, k := range victims {
+		zc.Remove(k)
+	}
+	fmt.Printf("\nretention dropped %d events; live bytes %.1f MB → %.1f MB\n",
+		len(victims), float64(before)/(1<<20), float64(m.LiveBytes())/(1<<20))
+	if k, ok := m.FirstKey(); ok {
+		fmt.Printf("oldest remaining tick: %d\n", k>>20)
+	}
+}

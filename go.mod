@@ -1,0 +1,3 @@
+module oakmap
+
+go 1.22

@@ -1,0 +1,296 @@
+package arena
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Allocation errors.
+var (
+	ErrTooLarge  = errors.New("arena: allocation exceeds block size")
+	ErrClosed    = errors.New("arena: allocator closed")
+	ErrExhausted = errors.New("arena: allocator out of blocks")
+)
+
+// span is a free range inside a block, kept on the allocator's free list.
+type span struct {
+	block  int
+	offset int
+	length int
+}
+
+// Allocator carves variable-size ranges out of pool blocks on behalf of a
+// single map instance. It is the paper's per-instance memory manager:
+// fresh space comes from a bump pointer in the current block, freed space
+// goes onto a flat free list that is searched first-fit (§3.2).
+//
+// All methods are safe for concurrent use. Reads through Bytes take no
+// locks: the block table is a fixed-size array of atomic pointers, so a
+// Ref obtained from Alloc can be dereferenced by any goroutine.
+type Allocator struct {
+	pool *Pool
+
+	// blocks is an append-only table of blocks owned by this allocator.
+	// Slots are published with atomic stores so Bytes can read without
+	// locking.
+	blocks    [MaxBlocks]atomic.Pointer[block]
+	numBlocks atomic.Int32
+
+	mu       sync.Mutex
+	cur      int // index of the block being bump-allocated
+	top      int // bump offset in the current block
+	closed   bool
+	freeList []span // first-fit free list, unordered
+	firstFit bool   // when false, freed spans are dropped (ablation mode)
+
+	allocated atomic.Int64 // live bytes handed out
+	freed     atomic.Int64 // bytes returned via Free
+	requests  atomic.Int64 // number of Alloc calls
+}
+
+// NewAllocator creates an allocator drawing from pool. The free list is
+// enabled by default; SetFirstFit(false) turns the allocator into a pure
+// bump allocator (used by the allocator ablation benchmark).
+func NewAllocator(pool *Pool) *Allocator {
+	return &Allocator{pool: pool, cur: -1, firstFit: true}
+}
+
+// SetFirstFit toggles reuse of freed spans. With reuse disabled, Free
+// only updates accounting.
+func (a *Allocator) SetFirstFit(on bool) {
+	a.mu.Lock()
+	a.firstFit = on
+	if !on {
+		a.freeList = nil
+	}
+	a.mu.Unlock()
+}
+
+// align8 rounds n up to a multiple of 8. Allocations are 8-byte aligned
+// to keep value headers and numeric fields naturally aligned and to bound
+// fragmentation from odd-sized keys.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// Alloc reserves n bytes and returns a reference to them. The returned
+// range has exactly length n; internally the reservation is rounded up to
+// 8 bytes. Alloc never returns memory that overlaps a live allocation.
+func (a *Allocator) Alloc(n int) (Ref, error) {
+	if n < 0 {
+		return NilRef, errors.New("arena: negative allocation size")
+	}
+	if n == 0 {
+		// Zero-length objects (empty keys/values) occupy no space but
+		// need a valid, non-nil reference.
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			return NilRef, ErrClosed
+		}
+		if a.cur < 0 {
+			if err := a.growLocked(); err != nil {
+				a.mu.Unlock()
+				return NilRef, err
+			}
+		}
+		ref := MakeRef(a.cur, a.top, 0)
+		a.mu.Unlock()
+		return ref, nil
+	}
+	if n > a.pool.blockSize || n > MaxAllocSize {
+		return NilRef, ErrTooLarge
+	}
+	rounded := align8(n)
+	a.requests.Add(1)
+
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return NilRef, ErrClosed
+	}
+	// First fit: scan the flat free list for the first span that fits.
+	if a.firstFit {
+		for i := range a.freeList {
+			s := &a.freeList[i]
+			if s.length >= rounded {
+				ref := MakeRef(s.block, s.offset, n)
+				s.offset += rounded
+				s.length -= rounded
+				if s.length == 0 {
+					last := len(a.freeList) - 1
+					a.freeList[i] = a.freeList[last]
+					a.freeList = a.freeList[:last]
+				}
+				a.mu.Unlock()
+				a.allocated.Add(int64(rounded))
+				return ref, nil
+			}
+		}
+	}
+	// Bump path.
+	if a.cur < 0 || a.top+rounded > a.pool.blockSize {
+		if err := a.growLocked(); err != nil {
+			a.mu.Unlock()
+			return NilRef, err
+		}
+	}
+	ref := MakeRef(a.cur, a.top, n)
+	a.top += rounded
+	a.mu.Unlock()
+	a.allocated.Add(int64(rounded))
+	return ref, nil
+}
+
+// growLocked acquires a fresh block from the pool. Caller holds a.mu.
+func (a *Allocator) growLocked() error {
+	idx := int(a.numBlocks.Load())
+	if idx >= MaxBlocks {
+		return ErrExhausted
+	}
+	// The remainder of the current block, if any, joins the free list so
+	// it is not stranded.
+	if a.cur >= 0 && a.firstFit {
+		if rest := a.pool.blockSize - a.top; rest >= 8 {
+			a.freeList = append(a.freeList, span{block: a.cur, offset: a.top, length: rest})
+		}
+	}
+	b, err := a.pool.acquire()
+	if err != nil {
+		return err
+	}
+	a.blocks[idx].Store(b)
+	a.numBlocks.Store(int32(idx + 1))
+	a.cur = idx
+	a.top = 0
+	return nil
+}
+
+// Free returns the range behind ref to the free list. The caller must
+// guarantee no live reader can still dereference ref (in Oak this is
+// established by the value-header locking protocol).
+func (a *Allocator) Free(ref Ref) {
+	if ref.IsNil() {
+		return
+	}
+	rounded := align8(ref.Len())
+	a.freed.Add(int64(rounded))
+	a.allocated.Add(int64(-rounded))
+	a.mu.Lock()
+	if !a.closed && a.firstFit {
+		a.freeList = append(a.freeList, span{block: ref.Block(), offset: ref.Offset(), length: rounded})
+	}
+	a.mu.Unlock()
+}
+
+// Bytes returns the byte range behind ref. The slice aliases the block's
+// storage: writes through it are visible to every reader of the same ref.
+// Bytes performs no synchronization; Oak's value headers provide it.
+func (a *Allocator) Bytes(ref Ref) []byte {
+	b := a.blocks[ref.Block()].Load()
+	return b.buf[ref.Offset():ref.End():ref.End()]
+}
+
+// Write copies data into a freshly allocated range and returns its ref.
+func (a *Allocator) Write(data []byte) (Ref, error) {
+	ref, err := a.Alloc(len(data))
+	if err != nil {
+		return NilRef, err
+	}
+	copy(a.Bytes(ref), data)
+	return ref, nil
+}
+
+// Stats is a snapshot of the allocator's accounting.
+type Stats struct {
+	LiveBytes    int64 // currently allocated (rounded) bytes
+	FreedBytes   int64 // cumulative bytes freed
+	Footprint    int64 // bytes of blocks held from the pool
+	Blocks       int
+	AllocCalls   int64
+	FreeSpans    int
+	FreeCapacity int64 // bytes available on the free list
+}
+
+// Stats returns a snapshot of the allocator state. The paper highlights
+// cheap RAM-footprint estimation (§1.1); Footprint is that estimate.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	spans := len(a.freeList)
+	var freeCap int64
+	for _, s := range a.freeList {
+		freeCap += int64(s.length)
+	}
+	if a.cur >= 0 {
+		freeCap += int64(a.pool.blockSize - a.top)
+	}
+	a.mu.Unlock()
+	return Stats{
+		LiveBytes:    a.allocated.Load(),
+		FreedBytes:   a.freed.Load(),
+		Footprint:    int64(a.numBlocks.Load()) * int64(a.pool.blockSize),
+		Blocks:       int(a.numBlocks.Load()),
+		AllocCalls:   a.requests.Load(),
+		FreeSpans:    spans,
+		FreeCapacity: freeCap,
+	}
+}
+
+// Footprint returns the total off-heap bytes held from the pool.
+func (a *Allocator) Footprint() int64 {
+	return int64(a.numBlocks.Load()) * int64(a.pool.blockSize)
+}
+
+// LiveBytes returns the number of live allocated bytes.
+func (a *Allocator) LiveBytes() int64 { return a.allocated.Load() }
+
+// Compact coalesces adjacent spans on the free list. Oak calls this
+// opportunistically after rebalances; it is also exercised directly by
+// tests. Returns the number of spans after coalescing.
+func (a *Allocator) Compact() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.freeList) < 2 {
+		return len(a.freeList)
+	}
+	sort.Slice(a.freeList, func(i, j int) bool {
+		if a.freeList[i].block != a.freeList[j].block {
+			return a.freeList[i].block < a.freeList[j].block
+		}
+		return a.freeList[i].offset < a.freeList[j].offset
+	})
+	out := a.freeList[:1]
+	for _, s := range a.freeList[1:] {
+		last := &out[len(out)-1]
+		if s.block == last.block && s.offset == last.offset+last.length {
+			last.length += s.length
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.freeList = out
+	return len(a.freeList)
+}
+
+// Close releases every block back to the pool. Any Ref obtained from this
+// allocator is invalid afterwards; subsequent Allocs fail with ErrClosed.
+func (a *Allocator) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.freeList = nil
+	n := int(a.numBlocks.Load())
+	blocks := make([]*block, 0, n)
+	for i := 0; i < n; i++ {
+		if b := a.blocks[i].Load(); b != nil {
+			blocks = append(blocks, b)
+		}
+	}
+	a.mu.Unlock()
+	for _, b := range blocks {
+		a.pool.release(b)
+	}
+}

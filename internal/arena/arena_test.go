@@ -1,0 +1,361 @@
+package arena
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRefPackRoundTrip(t *testing.T) {
+	f := func(block uint16, offset, length uint32) bool {
+		b := int(block) % MaxBlocks
+		o := int(offset) % MaxBlockSize
+		l := int(length) % (MaxAllocSize + 1)
+		r := MakeRef(b, o, l)
+		return r.Block() == b && r.Offset() == o && r.Len() == l && !r.IsNil()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefNil(t *testing.T) {
+	if !NilRef.IsNil() {
+		t.Fatal("NilRef must be nil")
+	}
+	if MakeRef(0, 0, 0).IsNil() {
+		t.Fatal("block 0 / offset 0 / length 0 must be distinct from nil")
+	}
+	if NilRef.String() != "ref(nil)" {
+		t.Fatalf("String = %q", NilRef.String())
+	}
+}
+
+func TestRefOutOfRangePanics(t *testing.T) {
+	for _, tc := range []struct{ b, o, l int }{
+		{MaxBlocks, 0, 0},
+		{-1, 0, 0},
+		{0, MaxBlockSize, 0},
+		{0, -1, 0},
+		{0, 0, MaxAllocSize + 1},
+		{0, 0, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeRef(%d,%d,%d) did not panic", tc.b, tc.o, tc.l)
+				}
+			}()
+			MakeRef(tc.b, tc.o, tc.l)
+		}()
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	p := NewPool(4096, 0)
+	a := NewAllocator(p)
+	defer a.Close()
+	r1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != 100 {
+		t.Fatalf("len = %d", r1.Len())
+	}
+	b := a.Bytes(r1)
+	if len(b) != 100 {
+		t.Fatalf("Bytes len = %d", len(b))
+	}
+	for i := range b {
+		b[i] = 0xAB
+	}
+	// A second allocation must not overlap the first.
+	r2, _ := a.Alloc(50)
+	b2 := a.Bytes(r2)
+	for i := range b2 {
+		b2[i] = 0xCD
+	}
+	for i, v := range a.Bytes(r1) {
+		if v != 0xAB {
+			t.Fatalf("overlap at %d: %x", i, v)
+		}
+	}
+}
+
+func TestAllocatorWrite(t *testing.T) {
+	a := NewAllocator(NewPool(4096, 0))
+	defer a.Close()
+	data := []byte("hello world")
+	r, err := a.Write(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Bytes(r)) != "hello world" {
+		t.Fatal("Write content mismatch")
+	}
+}
+
+func TestAllocatorErrors(t *testing.T) {
+	a := NewAllocator(NewPool(1024, 0))
+	if _, err := a.Alloc(-5); err == nil {
+		t.Fatal("Alloc(-5) should fail")
+	}
+	if _, err := a.Alloc(2048); err != ErrTooLarge {
+		t.Fatal("oversized alloc should fail with ErrTooLarge")
+	}
+	a.Close()
+	if _, err := a.Alloc(8); err != ErrClosed {
+		t.Fatalf("alloc after close: %v", err)
+	}
+	a.Close() // double close is a no-op
+}
+
+func TestAllocatorGrowsBlocks(t *testing.T) {
+	p := NewPool(1024, 0)
+	a := NewAllocator(p)
+	defer a.Close()
+	refs := make([]Ref, 0, 100)
+	for i := 0; i < 100; i++ {
+		r, err := a.Alloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	st := a.Stats()
+	if st.Blocks < 10 {
+		t.Fatalf("expected ≥10 blocks, got %d", st.Blocks)
+	}
+	if st.Footprint != int64(st.Blocks)*1024 {
+		t.Fatalf("footprint %d != blocks×1024", st.Footprint)
+	}
+	// All refs remain valid and distinct.
+	seen := map[Ref]bool{}
+	for _, r := range refs {
+		if seen[r] {
+			t.Fatal("duplicate ref")
+		}
+		seen[r] = true
+		_ = a.Bytes(r)
+	}
+}
+
+func TestFirstFitReuse(t *testing.T) {
+	a := NewAllocator(NewPool(4096, 0))
+	defer a.Close()
+	r1, _ := a.Alloc(64)
+	a.Alloc(64) // keep the bump pointer moving
+	live := a.LiveBytes()
+	a.Free(r1)
+	if a.LiveBytes() != live-64 {
+		t.Fatalf("LiveBytes after free = %d", a.LiveBytes())
+	}
+	// The freed span is reused first-fit.
+	r3, _ := a.Alloc(64)
+	if r3.Block() != r1.Block() || r3.Offset() != r1.Offset() {
+		t.Fatalf("first-fit did not reuse: %v vs %v", r3, r1)
+	}
+	// A smaller allocation splits the span.
+	a.Free(r3)
+	r4, _ := a.Alloc(32)
+	if r4.Offset() != r1.Offset() {
+		t.Fatalf("split head misplaced: %v", r4)
+	}
+	r5, _ := a.Alloc(24)
+	if r5.Offset() != r1.Offset()+32 {
+		t.Fatalf("split tail misplaced: %v", r5)
+	}
+}
+
+func TestBumpOnlyMode(t *testing.T) {
+	a := NewAllocator(NewPool(4096, 0))
+	defer a.Close()
+	a.SetFirstFit(false)
+	r1, _ := a.Alloc(64)
+	a.Free(r1)
+	r2, _ := a.Alloc(64)
+	if r2.Offset() == r1.Offset() && r2.Block() == r1.Block() {
+		t.Fatal("bump-only mode must not reuse freed spans")
+	}
+	if a.Stats().FreeSpans != 0 {
+		t.Fatal("bump-only mode must not keep a free list")
+	}
+}
+
+func TestCompactCoalesces(t *testing.T) {
+	a := NewAllocator(NewPool(4096, 0))
+	defer a.Close()
+	var refs []Ref
+	for i := 0; i < 8; i++ {
+		r, _ := a.Alloc(32)
+		refs = append(refs, r)
+	}
+	for _, r := range refs {
+		a.Free(r)
+	}
+	if spans := a.Compact(); spans != 1 {
+		t.Fatalf("Compact left %d spans; want 1 contiguous span", spans)
+	}
+}
+
+func TestPoolRecycling(t *testing.T) {
+	p := NewPool(1024, 0)
+	a1 := NewAllocator(p)
+	for i := 0; i < 10; i++ {
+		a1.Alloc(512)
+	}
+	created := p.Stats().BlocksCreated
+	a1.Close()
+	if p.Stats().BlocksLoaned != 0 {
+		t.Fatal("blocks not returned on Close")
+	}
+	a2 := NewAllocator(p)
+	defer a2.Close()
+	for i := 0; i < 10; i++ {
+		a2.Alloc(512)
+	}
+	if p.Stats().BlocksCreated != created {
+		t.Fatalf("pool created new blocks (%d → %d) instead of recycling",
+			created, p.Stats().BlocksCreated)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p := NewPool(1024, 2048) // at most 2 blocks
+	a := NewAllocator(p)
+	defer a.Close()
+	a.Alloc(1024)
+	a.Alloc(1024)
+	if _, err := a.Alloc(1024); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestConcurrentAllocNoOverlap(t *testing.T) {
+	a := NewAllocator(NewPool(1<<16, 0))
+	defer a.Close()
+	const goroutines = 8
+	const perG = 500
+	var mu sync.Mutex
+	all := make([]Ref, 0, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 99))
+			local := make([]Ref, 0, perG)
+			for i := 0; i < perG; i++ {
+				n := 1 + int(rng.Uint64()%200)
+				r, err := a.Alloc(n)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				// Stamp the region with the goroutine id; verify later.
+				b := a.Bytes(r)
+				for j := range b {
+					b[j] = byte(g)
+				}
+				local = append(local, r)
+				if rng.Uint64()%4 == 0 && len(local) > 0 {
+					victim := int(rng.Uint64() % uint64(len(local)))
+					a.Free(local[victim])
+					local[victim] = local[len(local)-1]
+					local = local[:len(local)-1]
+				}
+			}
+			mu.Lock()
+			for _, r := range local {
+				all = append(all, r)
+				// Verify the stamp survived: no other goroutine got
+				// overlapping memory.
+				for _, v := range a.Bytes(r) {
+					if v != byte(g) {
+						t.Errorf("stamp clobbered: got %d want %d", v, g)
+						break
+					}
+				}
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	// Live refs must be pairwise disjoint.
+	type spanKey struct{ b, o int }
+	used := map[spanKey]bool{}
+	for _, r := range all {
+		for off := r.Offset(); off < r.End(); off += 8 {
+			k := spanKey{r.Block(), off &^ 7}
+			if used[k] {
+				t.Fatalf("overlapping live allocations at %v", k)
+			}
+			used[k] = true
+		}
+	}
+}
+
+func TestAccountingProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := NewAllocator(NewPool(1<<14, 0))
+		defer a.Close()
+		var live []Ref
+		var expect int64
+		for _, op := range ops {
+			n := int(op%512) + 1
+			if op%3 == 0 && len(live) > 0 {
+				r := live[len(live)-1]
+				live = live[:len(live)-1]
+				a.Free(r)
+				expect -= int64(align8(r.Len()))
+			} else {
+				r, err := a.Alloc(n)
+				if err != nil {
+					return false
+				}
+				live = append(live, r)
+				expect += int64(align8(n))
+			}
+		}
+		return a.LiveBytes() == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultPoolSingleton(t *testing.T) {
+	if DefaultPool() != DefaultPool() {
+		t.Fatal("DefaultPool must be a singleton")
+	}
+	if DefaultPool().BlockSize() != DefaultBlockSize {
+		t.Fatal("DefaultPool block size mismatch")
+	}
+}
+
+func TestZeroLengthAllocation(t *testing.T) {
+	a := NewAllocator(NewPool(4096, 0))
+	defer a.Close()
+	r, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IsNil() || r.Len() != 0 {
+		t.Fatalf("zero alloc ref = %v", r)
+	}
+	if b := a.Bytes(r); len(b) != 0 {
+		t.Fatalf("Bytes len = %d", len(b))
+	}
+	a.Free(r) // must not corrupt accounting
+	if a.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d", a.LiveBytes())
+	}
+	// Zero allocs interleave safely with real ones.
+	r1, _ := a.Alloc(16)
+	r0, _ := a.Alloc(0)
+	r2, _ := a.Alloc(16)
+	if r1 == r2 || r0.Len() != 0 {
+		t.Fatal("interleaved zero alloc broke layout")
+	}
+}

@@ -1,0 +1,61 @@
+package arena
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkAllocFixed(b *testing.B) {
+	a := NewAllocator(NewPool(64<<20, 0))
+	defer a.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Alloc(128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocFreeChurn(b *testing.B) {
+	a := NewAllocator(NewPool(16<<20, 0))
+	defer a.Close()
+	live := make([]Ref, 0, 1024)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) == cap(live) {
+			idx := int(rng.Uint64() % uint64(len(live)))
+			a.Free(live[idx])
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		n := 16 + int(rng.Uint64()%512)
+		r, err := a.Alloc(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, r)
+	}
+}
+
+func BenchmarkBytesAccess(b *testing.B) {
+	a := NewAllocator(NewPool(1<<20, 0))
+	defer a.Close()
+	r, _ := a.Alloc(256)
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		buf := a.Bytes(r)
+		sink ^= buf[0]
+	}
+	_ = sink
+}
+
+func BenchmarkRefPack(b *testing.B) {
+	var sink Ref
+	for i := 0; i < b.N; i++ {
+		sink = MakeRef(i%MaxBlocks, i&0x3ffffff, 128)
+	}
+	_ = sink
+}

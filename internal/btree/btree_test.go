@@ -1,0 +1,266 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"oakmap/internal/arena"
+)
+
+func newTree(t testing.TB) *Map {
+	t.Helper()
+	m := New(arena.NewPool(1<<20, 0))
+	t.Cleanup(m.Close)
+	return m
+}
+
+func k(i int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func kOf(b []byte) int { return int(binary.BigEndian.Uint64(b)) }
+
+func TestEmpty(t *testing.T) {
+	m := newTree(t)
+	if m.Len() != 0 || m.Contains(k(1)) || m.Remove(k(1)) {
+		t.Fatal("empty tree misbehaves")
+	}
+	count := 0
+	m.Ascend(nil, func(_, _ []byte) bool { count++; return true })
+	m.Descend(nil, func(_, _ []byte) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("scan on empty tree")
+	}
+}
+
+func TestPutGetAcrossSplits(t *testing.T) {
+	m := newTree(t)
+	const n = 5000 // many levels at order 64
+	for _, i := range rand.Perm(n) {
+		if err := m.Put(k(i), []byte(fmt.Sprintf("v%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.GetCopy(k(i), nil)
+		if !ok || string(v) != fmt.Sprintf("v%06d", i) {
+			t.Fatalf("Get(%d) = %q %v", i, v, ok)
+		}
+	}
+	// Overwrite with same and different sizes.
+	m.Put(k(7), []byte("w000007"))
+	m.Put(k(8), []byte("longer-value-here"))
+	if v, _ := m.GetCopy(k(7), nil); string(v) != "w000007" {
+		t.Fatal("same-size overwrite")
+	}
+	if v, _ := m.GetCopy(k(8), nil); string(v) != "longer-value-here" {
+		t.Fatal("resize overwrite")
+	}
+}
+
+func TestAscendOrdered(t *testing.T) {
+	m := newTree(t)
+	const n = 3000
+	for _, i := range rand.Perm(n) {
+		m.Put(k(i), []byte("x"))
+	}
+	prev := -1
+	count := 0
+	m.Ascend(nil, func(key, _ []byte) bool {
+		ki := kOf(key)
+		if ki <= prev {
+			t.Fatalf("order violation at %d", ki)
+		}
+		prev = ki
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("visited %d", count)
+	}
+	// Bounded start.
+	first := -1
+	m.Ascend(k(1234), func(key, _ []byte) bool {
+		first = kOf(key)
+		return false
+	})
+	if first != 1234 {
+		t.Fatalf("Ascend from 1234 started at %d", first)
+	}
+}
+
+func TestDescend(t *testing.T) {
+	m := newTree(t)
+	const n = 1000
+	for _, i := range rand.Perm(n) {
+		m.Put(k(i), []byte("x"))
+	}
+	want := n - 1
+	m.Descend(nil, func(key, _ []byte) bool {
+		if kOf(key) != want {
+			t.Fatalf("descend got %d; want %d", kOf(key), want)
+		}
+		want--
+		return true
+	})
+	if want != -1 {
+		t.Fatalf("descend stopped at %d", want)
+	}
+	// Bounded.
+	got := []int{}
+	m.Descend(k(5), func(key, _ []byte) bool {
+		got = append(got, kOf(key))
+		return true
+	})
+	if fmt.Sprint(got) != "[4 3 2 1 0]" {
+		t.Fatalf("bounded descend = %v", got)
+	}
+}
+
+func TestRemoveAndReuse(t *testing.T) {
+	m := newTree(t)
+	for i := 0; i < 500; i++ {
+		m.Put(k(i), bytes.Repeat([]byte{1}, 64))
+	}
+	live := m.alloc.LiveBytes()
+	for i := 0; i < 500; i += 2 {
+		if !m.Remove(k(i)) {
+			t.Fatalf("remove %d", i)
+		}
+	}
+	if m.Len() != 250 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.alloc.LiveBytes() >= live {
+		t.Fatal("removals did not free space")
+	}
+	for i := 0; i < 500; i++ {
+		if m.Contains(k(i)) != (i%2 == 1) {
+			t.Fatalf("contains(%d) wrong", i)
+		}
+	}
+}
+
+func TestCompute(t *testing.T) {
+	m := newTree(t)
+	m.Put(k(1), make([]byte, 8))
+	if m.Compute(k(2), func([]byte) {}) {
+		t.Fatal("compute on absent key")
+	}
+	for i := 0; i < 10; i++ {
+		m.Compute(k(1), func(b []byte) {
+			binary.LittleEndian.PutUint64(b, binary.LittleEndian.Uint64(b)+1)
+		})
+	}
+	v, _ := m.GetCopy(k(1), nil)
+	if binary.LittleEndian.Uint64(v) != 10 {
+		t.Fatal("compute lost updates")
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := New(arena.NewPool(1<<20, 0))
+		defer m.Close()
+		ref := map[int]string{}
+		for n, op := range ops {
+			key := int(op % 256)
+			switch op % 3 {
+			case 0:
+				v := fmt.Sprintf("v%d", n)
+				m.Put(k(key), []byte(v))
+				ref[key] = v
+			case 1:
+				got := m.Remove(k(key))
+				if _, had := ref[key]; got != had {
+					return false
+				}
+				delete(ref, key)
+			default:
+				v, ok := m.GetCopy(k(key), nil)
+				want, had := ref[key]
+				if ok != had || (had && string(v) != want) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		var wantKeys []int
+		for kk := range ref {
+			wantKeys = append(wantKeys, kk)
+		}
+		sort.Ints(wantKeys)
+		var gotKeys []int
+		m.Ascend(nil, func(key, _ []byte) bool {
+			gotKeys = append(gotKeys, kOf(key))
+			return true
+		})
+		if len(gotKeys) != len(wantKeys) {
+			return false
+		}
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	m := newTree(t)
+	for i := 0; i < 2000; i++ {
+		m.Put(k(i), []byte("stable"))
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		rng := rand.New(rand.NewPCG(1, 1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i := 2000 + int(rng.Uint64()%1000)
+			m.Put(k(i), []byte("newkey"))
+			m.Remove(k(i))
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 2))
+			for i := 0; i < 5000; i++ {
+				key := int(rng.Uint64() % 2000)
+				v, ok := m.GetCopy(k(key), nil)
+				if !ok || string(v) != "stable" {
+					t.Errorf("stable key %d = %q %v", key, v, ok)
+					return
+				}
+			}
+		}(uint64(r))
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+}

@@ -1,0 +1,389 @@
+// Package chunk implements Oak's chunk objects (§3.1, §4.1): large blocks
+// of contiguous key ranges holding an entries array whose prefix is
+// sorted and whose suffix is filled on demand, with new entries linked
+// into an ascending singly-linked list through "bypasses".
+//
+// A chunk entry refers to an off-heap key (an arena.Ref) and to a value
+// handle (a vheader index). Entries are allocated with fetch-and-add,
+// linked with CAS, and never physically unlinked; rebalancing replaces
+// whole chunks. Update operations synchronize with the rebalancer through
+// publish/unpublish; read-only operations (lookUp, scans) proceed during
+// rebalances without aborting, exactly as in the paper.
+package chunk
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"oakmap/internal/arena"
+)
+
+// Comparator orders serialized keys (bytes.Compare semantics).
+type Comparator func(a, b []byte) int
+
+// DefaultCapacity is the paper's configuration of 4K entries per chunk.
+const DefaultCapacity = 4096
+
+// none marks the absence of an entry index (the end of the linked list).
+const none = int32(-1)
+
+// Status reports the outcome of chunk update methods.
+type Status int
+
+const (
+	// OK means the operation succeeded.
+	OK Status = iota
+	// Exists means an entry with the same key was already linked.
+	Exists
+	// Full means the entries array is exhausted; caller must rebalance.
+	Full
+	// Frozen means the chunk is being rebalanced; caller must retry.
+	Frozen
+)
+
+// entry is one slot of the entries array. keyRef is written once before
+// the entry becomes reachable. valRef holds the value handle (0 = ⊥) and
+// is the CAS target of Algorithms 2 and 3. next links the ascending
+// entries list.
+type entry struct {
+	keyRef atomic.Uint64
+	valRef atomic.Uint64
+	next   atomic.Int32
+}
+
+// Chunk holds a contiguous key range of the map.
+type Chunk struct {
+	// minKey is the chunk's minimal key, invariant for its lifespan
+	// (§3.1). nil acts as -infinity (the head sentinel chunk).
+	minKey []byte
+
+	entries  []entry
+	sorted   int          // length of the sorted prefix
+	nextFree atomic.Int32 // next unallocated entry slot
+	head     atomic.Int32 // first entry of the ascending list
+
+	next       atomic.Pointer[Chunk] // successor in the chunk list
+	replacedBy atomic.Pointer[Chunk] // forwarding after rebalance
+
+	frozen    atomic.Bool
+	published atomic.Int32
+	live      atomic.Int32 // heuristic count of entries with live values
+
+	// RebalanceMu serializes rebalances of this chunk; the map's
+	// rebalancer acquires it in list order to avoid deadlock.
+	RebalanceMu sync.Mutex
+
+	alloc *arena.Allocator
+	cmp   Comparator
+}
+
+// New creates an empty chunk covering keys ≥ minKey.
+func New(minKey []byte, capacity int, alloc *arena.Allocator, cmp Comparator) *Chunk {
+	c := &Chunk{
+		minKey:  minKey,
+		entries: make([]entry, capacity),
+		alloc:   alloc,
+		cmp:     cmp,
+	}
+	c.head.Store(none)
+	return c
+}
+
+// Pair is a (key reference, value handle) tuple produced by Gather and
+// consumed by NewSorted during rebalance.
+type Pair struct {
+	KeyRef    uint64
+	ValHandle uint64
+}
+
+// NewSorted creates a chunk whose sorted prefix is pre-filled with pairs
+// (which must be in ascending key order — RB3). This is how the
+// rebalancer builds replacement chunks: the full prefix is sorted, so it
+// can be binary-searched, and the linked-list successor of each prefix
+// entry is the ensuing array entry (§4.1).
+func NewSorted(minKey []byte, capacity int, alloc *arena.Allocator, cmp Comparator, pairs []Pair) *Chunk {
+	if len(pairs) > capacity {
+		panic("chunk: sorted prefix exceeds capacity")
+	}
+	c := New(minKey, capacity, alloc, cmp)
+	for i, p := range pairs {
+		e := &c.entries[i]
+		e.keyRef.Store(p.KeyRef)
+		e.valRef.Store(p.ValHandle)
+		if i+1 < len(pairs) {
+			e.next.Store(int32(i + 1))
+		} else {
+			e.next.Store(none)
+		}
+	}
+	c.sorted = len(pairs)
+	c.nextFree.Store(int32(len(pairs)))
+	c.live.Store(int32(len(pairs)))
+	if len(pairs) > 0 {
+		c.head.Store(0)
+	}
+	return c
+}
+
+// MinKey returns the chunk's minimal key (nil = -infinity).
+func (c *Chunk) MinKey() []byte { return c.minKey }
+
+// Capacity returns the size of the entries array.
+func (c *Chunk) Capacity() int { return len(c.entries) }
+
+// SortedCount returns the length of the sorted prefix.
+func (c *Chunk) SortedCount() int { return c.sorted }
+
+// Allocated returns the number of allocated entry slots.
+func (c *Chunk) Allocated() int { return int(c.nextFree.Load()) }
+
+// Next returns the successor chunk in the list (nil at the end).
+func (c *Chunk) Next() *Chunk { return c.next.Load() }
+
+// SetNext stores the successor pointer (used while building chains).
+func (c *Chunk) SetNext(n *Chunk) { c.next.Store(n) }
+
+// ReplacedBy returns the chunk's replacement if it was rebalanced away.
+func (c *Chunk) ReplacedBy() *Chunk { return c.replacedBy.Load() }
+
+// SetReplacedBy publishes the chunk's replacement; traversals forward
+// through it.
+func (c *Chunk) SetReplacedBy(n *Chunk) { c.replacedBy.Store(n) }
+
+// Forward follows replacedBy pointers to the live chunk covering the same
+// range start.
+func Forward(c *Chunk) *Chunk {
+	for {
+		r := c.replacedBy.Load()
+		if r == nil {
+			return c
+		}
+		c = r
+	}
+}
+
+// keyAt returns the serialized key of entry ei.
+func (c *Chunk) keyAt(ei int32) []byte {
+	return c.alloc.Bytes(arena.Ref(c.entries[ei].keyRef.Load()))
+}
+
+// Key returns the serialized key bytes of entry ei.
+func (c *Chunk) Key(ei int32) []byte { return c.keyAt(ei) }
+
+// KeyRef returns the packed key reference of entry ei.
+func (c *Chunk) KeyRef(ei int32) uint64 { return c.entries[ei].keyRef.Load() }
+
+// ValHandle returns the value handle of entry ei (0 = ⊥).
+func (c *Chunk) ValHandle(ei int32) uint64 { return c.entries[ei].valRef.Load() }
+
+// CASValHandle performs the value-reference CAS of Algorithms 2 and 3.
+func (c *Chunk) CASValHandle(ei int32, old, new uint64) bool {
+	return c.entries[ei].valRef.CompareAndSwap(old, new)
+}
+
+// IncLive / DecLive maintain the heuristic live-entry counter used by
+// the rebalance trigger policy (merge when under-used, §4.1). The
+// counter is approximate: values deleted but not yet unlinked still
+// count until the next rebalance.
+func (c *Chunk) IncLive() { c.live.Add(1) }
+
+// DecLive decrements the live-entry counter.
+func (c *Chunk) DecLive() { c.live.Add(-1) }
+
+// Live returns the heuristic live-entry count.
+func (c *Chunk) Live() int { return int(c.live.Load()) }
+
+// Head returns the first entry of the ascending list, or -1.
+func (c *Chunk) Head() int32 { return c.head.Load() }
+
+// NextEntry returns the list successor of ei, or -1.
+func (c *Chunk) NextEntry(ei int32) int32 { return c.entries[ei].next.Load() }
+
+// prefixFloor returns the largest sorted-prefix index whose key is < key
+// (strict) or ≤ key (when orEqual), or -1. The prefix is sorted, so this
+// is a binary search (§4.1).
+func (c *Chunk) prefixFloor(key []byte, orEqual bool) int32 {
+	lo, hi := 0, c.sorted-1
+	res := int32(-1)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		cv := c.cmp(c.keyAt(int32(mid)), key)
+		if cv < 0 || (orEqual && cv == 0) {
+			res = int32(mid)
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return res
+}
+
+// LookUp searches for an entry holding key: binary search on the sorted
+// prefix, then a walk of the entries linked list (§4.1). It returns the
+// entry index or -1. LookUp proceeds concurrently with rebalances.
+func (c *Chunk) LookUp(key []byte) int32 {
+	cur := c.prefixFloor(key, true)
+	if cur < 0 {
+		cur = c.head.Load()
+	}
+	for cur != none {
+		cv := c.cmp(c.keyAt(cur), key)
+		if cv == 0 {
+			return cur
+		}
+		if cv > 0 {
+			return none
+		}
+		cur = c.entries[cur].next.Load()
+	}
+	return none
+}
+
+// FirstGE returns the first linked entry with key ≥ bound, or -1. A nil
+// bound returns the list head. Used by ascending scans.
+func (c *Chunk) FirstGE(bound []byte) int32 {
+	if bound == nil {
+		return c.head.Load()
+	}
+	cur := c.prefixFloor(bound, false)
+	if cur < 0 {
+		cur = c.head.Load()
+	} else {
+		// cur's key is < bound; its successors may still be < bound.
+	}
+	for cur != none && c.cmp(c.keyAt(cur), bound) < 0 {
+		cur = c.entries[cur].next.Load()
+	}
+	return cur
+}
+
+// AllocateEntry claims a fresh entry slot referring to keyRef using
+// fetch-and-add (§4.1). It returns Full when the array is exhausted and
+// Frozen during a rebalance; on OK the entry has ⊥ value and is not yet
+// linked.
+func (c *Chunk) AllocateEntry(keyRef uint64) (int32, Status) {
+	if c.frozen.Load() {
+		return none, Frozen
+	}
+	idx := c.nextFree.Add(1) - 1
+	if int(idx) >= len(c.entries) {
+		// Leave nextFree past the end; concurrent allocators also fail.
+		return none, Full
+	}
+	e := &c.entries[idx]
+	e.next.Store(none)
+	e.valRef.Store(0)
+	e.keyRef.Store(keyRef)
+	return idx, OK
+}
+
+// PutIfAbsentInList links an allocated entry into the ascending entries
+// list with CAS, preserving the at-most-one-entry-per-key invariant
+// (§4.1). If an entry with the same key is already linked, that entry's
+// index is returned with status Exists and ei remains unlinked (the
+// rebalancer eventually reclaims it). Returns Frozen during a rebalance.
+func (c *Chunk) PutIfAbsentInList(ei int32) (int32, Status) {
+	key := c.keyAt(ei)
+	for {
+		if c.frozen.Load() {
+			return none, Frozen
+		}
+		// Locate pred/succ with key(pred) < key ≤ key(succ).
+		pred := c.prefixFloor(key, false)
+		var cur int32
+		if pred < 0 {
+			cur = c.head.Load()
+		} else {
+			cur = c.entries[pred].next.Load()
+		}
+		for cur != none {
+			cv := c.cmp(c.keyAt(cur), key)
+			if cv >= 0 {
+				if cv == 0 {
+					return cur, Exists
+				}
+				break
+			}
+			pred = cur
+			cur = c.entries[cur].next.Load()
+		}
+		c.entries[ei].next.Store(cur)
+		if c.frozen.Load() {
+			return none, Frozen
+		}
+		var ok bool
+		if pred < 0 {
+			ok = c.head.CompareAndSwap(cur, ei)
+		} else {
+			ok = c.entries[pred].next.CompareAndSwap(cur, ei)
+		}
+		if ok {
+			return ei, OK
+		}
+		// Lost the race; re-scan from the prefix floor.
+	}
+}
+
+// Publish announces an imminent entry-level update (a valRef CAS) to the
+// rebalancer (§4.1). It fails iff the chunk is frozen.
+func (c *Chunk) Publish() bool {
+	c.published.Add(1)
+	if c.frozen.Load() {
+		c.published.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Unpublish clears the announcement made by Publish.
+func (c *Chunk) Unpublish() {
+	c.published.Add(-1)
+}
+
+// Freeze marks the chunk as being rebalanced and waits for all published
+// updates to drain. After Freeze returns, no valRef can change: every
+// update path either published earlier (now drained) or will observe
+// frozen and retry on the replacement chunk.
+func (c *Chunk) Freeze() {
+	c.frozen.Store(true)
+	for spins := 0; c.published.Load() != 0; spins++ {
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// IsFrozen reports whether the chunk is frozen.
+func (c *Chunk) IsFrozen() bool { return c.frozen.Load() }
+
+// Gather walks the (frozen) entries list and returns the live pairs —
+// entries whose value handle is non-⊥ — in ascending key order. Per the
+// paper (§4.4), the rebalancer does not check the deleted bit: a deleted-
+// but-still-referenced value migrates and is filtered by readers.
+// It also returns the key references of dead linked entries (valRef ⊥)
+// so the map can recycle their key storage.
+func (c *Chunk) Gather() (live []Pair, deadKeys []uint64) {
+	live = make([]Pair, 0, c.Allocated())
+	for cur := c.head.Load(); cur != none; cur = c.entries[cur].next.Load() {
+		e := &c.entries[cur]
+		if v := e.valRef.Load(); v != 0 {
+			live = append(live, Pair{KeyRef: e.keyRef.Load(), ValHandle: v})
+		} else {
+			deadKeys = append(deadKeys, e.keyRef.Load())
+		}
+	}
+	return live, deadKeys
+}
+
+// InRange reports whether key belongs to this chunk's range given the
+// successor's minKey (key ≥ c.minKey, and key < next.minKey).
+func (c *Chunk) InRange(key []byte) bool {
+	if c.minKey != nil && c.cmp(key, c.minKey) < 0 {
+		return false
+	}
+	if n := c.next.Load(); n != nil && n.minKey != nil && c.cmp(key, n.minKey) >= 0 {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package core
+
+import "oakmap/internal/chunk"
+
+// Cursor is a pull-based scan over the map — the engine behind the
+// facade's iterator Sets (§2.2). Unlike the callback scans (Ascend /
+// Descend), a Cursor can be advanced lazily, interleaved with other
+// work, or merged with other cursors. It provides the same non-atomic
+// guarantees: keys present for the cursor's whole lifetime are yielded
+// exactly once, in order.
+type Cursor struct {
+	m    *Map
+	desc bool
+	done bool
+
+	lo, hi []byte
+
+	// ascending state
+	c      *chunk.Chunk
+	ei     int32
+	resume []byte
+
+	// descending state
+	it    *chunk.DescIter
+	bound []byte
+}
+
+// NewCursor creates a cursor over lo ≤ key < hi (nil bounds are open).
+// When desc is true the cursor yields entries in descending order using
+// the chunk-stack mechanism of §4.2.
+func (m *Map) NewCursor(lo, hi []byte, desc bool) *Cursor {
+	cur := &Cursor{m: m, desc: desc, lo: lo, hi: hi}
+	if desc {
+		if hi == nil {
+			cur.c = m.lastChunk()
+		} else {
+			cur.c = m.locateChunk(hi)
+		}
+		cur.bound = hi
+		cur.it = cur.c.NewDescIter(cur.bound)
+	} else {
+		if lo == nil {
+			cur.c = chunk.Forward(m.head.Load())
+		} else {
+			cur.c = m.locateChunk(lo)
+		}
+		cur.ei = cur.c.FirstGE(lo)
+	}
+	return cur
+}
+
+// Next returns the next live entry, or ok=false when the range is
+// exhausted. The returned handle is live (non-⊥, not deleted) at yield
+// time.
+func (cur *Cursor) Next() (keyRef uint64, h ValueHandle, ok bool) {
+	if cur.done {
+		return 0, 0, false
+	}
+	if cur.desc {
+		return cur.nextDesc()
+	}
+	return cur.nextAsc()
+}
+
+func (cur *Cursor) nextAsc() (uint64, ValueHandle, bool) {
+	m := cur.m
+	for {
+		for cur.ei >= 0 {
+			key := cur.c.Key(cur.ei)
+			if cur.hi != nil && m.cmp(key, cur.hi) >= 0 {
+				cur.done = true
+				return 0, 0, false
+			}
+			cur.resume = key
+			h := ValueHandle(cur.c.ValHandle(cur.ei))
+			kr := cur.c.KeyRef(cur.ei)
+			cur.ei = cur.c.NextEntry(cur.ei)
+			if h != 0 && !m.IsDeleted(h) {
+				return kr, h, true
+			}
+		}
+		n := cur.c.Next()
+		if n == nil {
+			cur.done = true
+			return 0, 0, false
+		}
+		next := chunk.Forward(n)
+		if next != n && cur.resume != nil {
+			// Rebalanced successor: re-enter past the last visited key
+			// to avoid re-yielding merged ranges (same as Ascend).
+			cur.resume = append([]byte(nil), cur.resume...)
+			cur.c = next
+			cur.ei = cur.c.FirstGE(cur.resume)
+			for cur.ei >= 0 && m.cmp(cur.c.Key(cur.ei), cur.resume) == 0 {
+				cur.ei = cur.c.NextEntry(cur.ei)
+			}
+			continue
+		}
+		cur.c = next
+		cur.ei = cur.c.Head()
+	}
+}
+
+func (cur *Cursor) nextDesc() (uint64, ValueHandle, bool) {
+	m := cur.m
+	for {
+		for {
+			ei := cur.it.Next()
+			if ei < 0 {
+				break
+			}
+			key := cur.c.Key(ei)
+			if cur.lo != nil && m.cmp(key, cur.lo) < 0 {
+				cur.done = true
+				return 0, 0, false
+			}
+			h := ValueHandle(cur.c.ValHandle(ei))
+			if h != 0 && !m.IsDeleted(h) {
+				return cur.c.KeyRef(ei), h, true
+			}
+		}
+		mk := cur.c.MinKey()
+		if mk == nil {
+			cur.done = true
+			return 0, 0, false
+		}
+		if cur.lo != nil && m.cmp(mk, cur.lo) <= 0 {
+			cur.done = true
+			return 0, 0, false
+		}
+		cur.bound = append([]byte(nil), mk...)
+		cur.c = m.prevChunk(cur.bound)
+		if cur.c == nil {
+			cur.done = true
+			return 0, 0, false
+		}
+		cur.it = cur.c.NewDescIter(cur.bound)
+	}
+}

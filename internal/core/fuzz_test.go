@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"oakmap/internal/arena"
+)
+
+// FuzzOpSequence drives the map and a sequential oracle with an
+// arbitrary operation script decoded from fuzz input. Each byte pair is
+// one operation: (opcode, key); values are derived from the position.
+// Run with `go test -fuzz=FuzzOpSequence ./internal/core` for continuous
+// fuzzing; the seed corpus below runs under plain `go test`.
+func FuzzOpSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1, 3, 1})
+	f.Add([]byte{0, 5, 0, 6, 4, 5, 3, 5, 0, 5})
+	f.Add(bytes.Repeat([]byte{0, 9, 3, 9}, 20)) // insert/remove churn
+	f.Add([]byte{5, 0, 0, 0, 5, 0, 3, 0, 5, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		m := New(&Options{ChunkCapacity: 16, Pool: arena.NewPool(1<<20, 0)})
+		defer m.Close()
+		ref := map[string]string{}
+		for i := 0; i+1 < len(script); i += 2 {
+			op, kb := script[i], script[i+1]
+			k := ik(int(kb) % 48)
+			ks := string(k)
+			switch op % 6 {
+			case 0:
+				v := iv(i)
+				if err := m.Put(k, v); err != nil {
+					t.Fatalf("put: %v", err)
+				}
+				ref[ks] = string(v)
+			case 1:
+				v := iv(i + 7)
+				ok, err := m.PutIfAbsent(k, v)
+				if err != nil {
+					t.Fatalf("putIfAbsent: %v", err)
+				}
+				if _, had := ref[ks]; ok == had {
+					t.Fatalf("putIfAbsent(%x) = %v but had=%v", kb, ok, had)
+				}
+				if ok {
+					ref[ks] = string(v)
+				}
+			case 2:
+				ok, err := m.ComputeIfPresent(k, func(w *WBuffer) error {
+					return w.Resize(3)
+				})
+				if err != nil {
+					t.Fatalf("compute: %v", err)
+				}
+				old, had := ref[ks]
+				if ok != had {
+					t.Fatalf("compute(%x) = %v but had=%v", kb, ok, had)
+				}
+				if had {
+					nv := old
+					if len(nv) > 3 {
+						nv = nv[:3]
+					}
+					for len(nv) < 3 {
+						nv += "\x00"
+					}
+					ref[ks] = nv
+				}
+			case 3:
+				ok, err := m.Remove(k)
+				if err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+				if _, had := ref[ks]; ok != had {
+					t.Fatalf("remove(%x) = %v but had=%v", kb, ok, had)
+				}
+				delete(ref, ks)
+			case 4:
+				got, ok := getString2(m, k)
+				want, had := ref[ks]
+				if ok != had || (had && got != want) {
+					t.Fatalf("get(%x) = (%q,%v); want (%q,%v)", kb, got, ok, want, had)
+				}
+			case 5:
+				var keys []string
+				m.Ascend(nil, nil, func(kr uint64, h ValueHandle) bool {
+					keys = append(keys, string(m.KeyBytes(kr)))
+					return true
+				})
+				if len(keys) != len(ref) {
+					t.Fatalf("scan %d keys; oracle has %d", len(keys), len(ref))
+				}
+				if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+					t.Fatal("scan out of order")
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("Len = %d; oracle %d", m.Len(), len(ref))
+		}
+	})
+}
+
+// FuzzDescendMatchesAscend checks the descending-scan mechanism against
+// the ascending scan for arbitrary insertion orders and bounds.
+func FuzzDescendMatchesAscend(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(0), uint8(255))
+	f.Add([]byte{10, 5, 30, 5, 20}, uint8(5), uint8(25))
+	f.Fuzz(func(t *testing.T, keys []byte, loRaw, hiRaw uint8) {
+		if len(keys) > 200 {
+			keys = keys[:200]
+		}
+		m := New(&Options{ChunkCapacity: 8, Pool: arena.NewPool(1<<20, 0)})
+		defer m.Close()
+		for _, kb := range keys {
+			if err := m.Put(ik(int(kb)), iv(int(kb))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lo, hi := int(loRaw), int(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var asc, desc []int
+		m.Ascend(ik(lo), ik(hi), func(kr uint64, h ValueHandle) bool {
+			asc = append(asc, kint(m, kr))
+			return true
+		})
+		m.Descend(ik(lo), ik(hi), func(kr uint64, h ValueHandle) bool {
+			desc = append(desc, kint(m, kr))
+			return true
+		})
+		if len(asc) != len(desc) {
+			t.Fatalf("asc %v desc %v", asc, desc)
+		}
+		for i := range asc {
+			if asc[i] != desc[len(desc)-1-i] {
+				t.Fatalf("mismatch: asc %v desc %v", asc, desc)
+			}
+		}
+	})
+}

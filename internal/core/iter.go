@@ -1,0 +1,219 @@
+package core
+
+import (
+	"oakmap/internal/chunk"
+)
+
+// EntryFunc receives a scanned entry: the key's packed reference and the
+// value's handle. Returning false stops the scan. The value handle is
+// live (non-⊥, not deleted) at yield time; as with all Oak scans the view
+// is non-atomic (§1.1).
+type EntryFunc func(keyRef uint64, h ValueHandle) bool
+
+// Ascend scans entries with lo ≤ key < hi in ascending order (nil bounds
+// are open). It traverses each chunk's entries linked list and hops to
+// the next chunk (§4.2). RB1/RB2 hold: keys present for the scan's whole
+// duration are reported exactly once; concurrently mutated keys may or
+// may not appear.
+func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
+	var c *chunk.Chunk
+	if lo == nil {
+		c = chunk.Forward(m.head.Load())
+	} else {
+		c = m.locateChunk(lo)
+	}
+	ei := c.FirstGE(lo)
+	// resume tracks the last visited key so that chunk hops through
+	// concurrently rebalanced regions never revisit entries.
+	var resume []byte
+	for {
+		for ei >= 0 {
+			key := c.Key(ei)
+			if hi != nil && m.cmp(key, hi) >= 0 {
+				return
+			}
+			resume = key
+			h := ValueHandle(c.ValHandle(ei))
+			if h != 0 && !m.IsDeleted(h) {
+				if !yield(c.KeyRef(ei), h) {
+					return
+				}
+			}
+			ei = c.NextEntry(ei)
+		}
+		n := c.Next()
+		if n == nil {
+			return
+		}
+		next := chunk.Forward(n)
+		if next != n && resume != nil {
+			// The successor was rebalanced: its replacement may cover
+			// ranges we already visited (e.g. after a merge with c's
+			// replacement). Re-enter at the first key past resume.
+			resume = append([]byte(nil), resume...) // unalias from c
+			c = next
+			ei = c.FirstGE(resume)
+			for ei >= 0 && m.cmp(c.Key(ei), resume) == 0 {
+				ei = c.NextEntry(ei)
+			}
+			continue
+		}
+		c = next
+		ei = c.Head()
+	}
+}
+
+// Descend scans entries with lo ≤ key < hi in descending order using the
+// chunk-local stack iterator (§4.2, Fig. 2), issuing only one chunk
+// lookup per exhausted chunk rather than one per key.
+func (m *Map) Descend(lo, hi []byte, yield EntryFunc) {
+	var c *chunk.Chunk
+	if hi == nil {
+		c = m.lastChunk()
+	} else {
+		c = m.locateChunk(hi)
+	}
+	bound := hi
+	for c != nil {
+		it := c.NewDescIter(bound)
+		for {
+			ei := it.Next()
+			if ei < 0 {
+				break
+			}
+			key := c.Key(ei)
+			if lo != nil && m.cmp(key, lo) < 0 {
+				return
+			}
+			h := ValueHandle(c.ValHandle(ei))
+			if h != 0 && !m.IsDeleted(h) {
+				if !yield(c.KeyRef(ei), h) {
+					return
+				}
+			}
+		}
+		mk := c.MinKey()
+		if mk == nil {
+			return // the head chunk has no predecessor
+		}
+		if lo != nil && m.cmp(mk, lo) <= 0 {
+			return // everything below is out of range
+		}
+		// All remaining keys are < c.minKey; that also bounds against
+		// duplicates if the predecessor was rebalanced meanwhile.
+		bound = append([]byte(nil), mk...)
+		c = m.prevChunk(bound)
+	}
+}
+
+// DescendNaive is the ablation baseline for Fig. 4f's design point: a
+// descending scan implemented as a sequence of fresh lookups (one
+// O(log n) locate per key), the way skiplists do it.
+func (m *Map) DescendNaive(lo, hi []byte, yield EntryFunc) {
+	keyRef, h, ok := m.lowerEntry(hi)
+	for ok {
+		key := m.KeyBytes(keyRef)
+		if lo != nil && m.cmp(key, lo) < 0 {
+			return
+		}
+		if !yield(keyRef, h) {
+			return
+		}
+		next := append([]byte(nil), key...)
+		keyRef, h, ok = m.lowerEntry(next)
+	}
+}
+
+// lowerEntry finds the greatest live entry with key < bound (nil bound
+// means no upper limit).
+func (m *Map) lowerEntry(bound []byte) (uint64, ValueHandle, bool) {
+	var c *chunk.Chunk
+	if bound == nil {
+		c = m.lastChunk()
+	} else {
+		c = m.locateChunk(bound)
+	}
+	b := bound
+	for c != nil {
+		it := c.NewDescIter(b)
+		for {
+			ei := it.Next()
+			if ei < 0 {
+				break
+			}
+			h := ValueHandle(c.ValHandle(ei))
+			if h != 0 && !m.IsDeleted(h) {
+				return c.KeyRef(ei), h, true
+			}
+		}
+		mk := c.MinKey()
+		if mk == nil {
+			return 0, 0, false
+		}
+		b = append([]byte(nil), mk...)
+		c = m.prevChunk(b)
+	}
+	return 0, 0, false
+}
+
+// Navigation queries (the ConcurrentNavigableMap surface).
+
+// First returns the smallest live entry.
+func (m *Map) First() (uint64, ValueHandle, bool) {
+	var out uint64
+	var oh ValueHandle
+	found := false
+	m.Ascend(nil, nil, func(kr uint64, h ValueHandle) bool {
+		out, oh, found = kr, h, true
+		return false
+	})
+	return out, oh, found
+}
+
+// Last returns the greatest live entry.
+func (m *Map) Last() (uint64, ValueHandle, bool) {
+	return m.lowerEntry(nil)
+}
+
+// Lower returns the greatest live entry with key < k.
+func (m *Map) Lower(k []byte) (uint64, ValueHandle, bool) {
+	return m.lowerEntry(k)
+}
+
+// Floor returns the greatest live entry with key ≤ k.
+func (m *Map) Floor(k []byte) (uint64, ValueHandle, bool) {
+	if h, ok := m.Get(k); ok {
+		c := m.locateChunk(k)
+		if ei := c.LookUp(k); ei >= 0 {
+			return c.KeyRef(ei), h, true
+		}
+	}
+	return m.lowerEntry(k)
+}
+
+// Ceiling returns the smallest live entry with key ≥ k.
+func (m *Map) Ceiling(k []byte) (uint64, ValueHandle, bool) {
+	var out uint64
+	var oh ValueHandle
+	found := false
+	m.Ascend(k, nil, func(kr uint64, h ValueHandle) bool {
+		out, oh, found = kr, h, true
+		return false
+	})
+	return out, oh, found
+}
+
+// Higher returns the smallest live entry with key > k.
+func (m *Map) Higher(k []byte) (uint64, ValueHandle, bool) {
+	var out uint64
+	var oh ValueHandle
+	found := false
+	m.Ascend(k, nil, func(kr uint64, h ValueHandle) bool {
+		if m.cmp(m.KeyBytes(kr), k) == 0 {
+			return true // skip the equal key
+		}
+		out, oh, found = kr, h, true
+		return false
+	})
+	return out, oh, found
+}

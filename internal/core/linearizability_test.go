@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// This file checks the paper's central correctness claim (§4.5): the
+// point operations are linearizable. We record concurrent histories of
+// operations on a single key — invocation/response ordering via a global
+// logical clock — and then search for a sequential witness (Wing & Gong
+// style): a permutation of the operations that (a) respects real-time
+// order and (b) is legal for a single register with put / putIfAbsent /
+// remove / get semantics.
+
+type opKindL int
+
+const (
+	lPut opKindL = iota
+	lPutIfAbsent
+	lRemove
+	lGet
+	lUpsert // putIfAbsentComputeIfPresent: insert arg, or append "|"+arg
+)
+
+func (k opKindL) String() string {
+	return [...]string{"put", "putIfAbsent", "remove", "get", "upsert"}[k]
+}
+
+type opRecord struct {
+	kind opKindL
+	arg  string // value written (put/putIfAbsent)
+	// results
+	retBool  bool   // putIfAbsent: inserted; remove: removed; get: found
+	retVal   string // get: observed value
+	inv, ret uint64 // logical timestamps
+}
+
+func (o opRecord) String() string {
+	return fmt.Sprintf("%s(%s)=(%v,%q)@[%d,%d]", o.kind, o.arg, o.retBool, o.retVal, o.inv, o.ret)
+}
+
+// regState applies op to a sequential register; returns the new value
+// and whether the op's recorded results are legal from state v.
+func regApply(v string, present bool, o opRecord) (string, bool, bool) {
+	switch o.kind {
+	case lPut:
+		return o.arg, true, true
+	case lPutIfAbsent:
+		if present {
+			return v, true, !o.retBool
+		}
+		return o.arg, true, o.retBool
+	case lRemove:
+		if present {
+			return "", false, o.retBool
+		}
+		return "", false, !o.retBool
+	case lGet:
+		if present {
+			return v, true, o.retBool && o.retVal == v
+		}
+		return v, false, !o.retBool
+	case lUpsert:
+		if present {
+			return v + "|" + o.arg, true, true
+		}
+		return o.arg, true, true
+	}
+	return v, present, false
+}
+
+// linearizable searches for a sequential witness with memoized DFS over
+// (done-set bitmask, register value). History sizes stay ≤ 16 ops.
+func linearizable(ops []opRecord) bool {
+	n := len(ops)
+	type memoKey struct {
+		mask    int
+		val     string
+		present bool
+	}
+	seen := map[memoKey]bool{}
+	var dfs func(mask int, val string, present bool) bool
+	dfs = func(mask int, val string, present bool) bool {
+		if mask == 1<<n-1 {
+			return true
+		}
+		k := memoKey{mask, val, present}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			// Real-time constraint: i may be linearized now only if no
+			// other undone op returned before i was invoked.
+			ok := true
+			for j := 0; j < n; j++ {
+				if j != i && mask&(1<<j) == 0 && ops[j].ret < ops[i].inv {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			nv, np, legal := regApply(val, present, ops[i])
+			if legal && dfs(mask|1<<i, nv, np) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, "", false)
+}
+
+// TestLinearizabilityCheckerSelf sanity-checks the checker itself.
+func TestLinearizabilityCheckerSelf(t *testing.T) {
+	// Legal: put(a) then get=a, sequential.
+	ok := linearizable([]opRecord{
+		{kind: lPut, arg: "a", inv: 1, ret: 2},
+		{kind: lGet, retBool: true, retVal: "a", inv: 3, ret: 4},
+	})
+	if !ok {
+		t.Fatal("legal history rejected")
+	}
+	// Illegal: get observes a value never written.
+	ok = linearizable([]opRecord{
+		{kind: lPut, arg: "a", inv: 1, ret: 2},
+		{kind: lGet, retBool: true, retVal: "b", inv: 3, ret: 4},
+	})
+	if ok {
+		t.Fatal("illegal read accepted")
+	}
+	// Illegal: get misses after a completed put with no removes.
+	ok = linearizable([]opRecord{
+		{kind: lPut, arg: "a", inv: 1, ret: 2},
+		{kind: lGet, retBool: false, inv: 3, ret: 4},
+	})
+	if ok {
+		t.Fatal("lost update accepted")
+	}
+	// Illegal: two putIfAbsent both succeed with no remove between.
+	ok = linearizable([]opRecord{
+		{kind: lPutIfAbsent, arg: "a", retBool: true, inv: 1, ret: 2},
+		{kind: lPutIfAbsent, arg: "b", retBool: true, inv: 3, ret: 4},
+	})
+	if ok {
+		t.Fatal("double putIfAbsent accepted")
+	}
+	// Legal: overlapping put and get may order either way.
+	ok = linearizable([]opRecord{
+		{kind: lPut, arg: "a", inv: 1, ret: 5},
+		{kind: lGet, retBool: false, inv: 2, ret: 3},
+	})
+	if !ok {
+		t.Fatal("overlapping ops over-constrained")
+	}
+}
+
+// TestSingleKeyLinearizability runs many small concurrent histories on
+// one key of a real map (tiny chunks, so the key's chunk rebalances under
+// the churn of neighbouring keys) and verifies each is linearizable.
+func TestSingleKeyLinearizability(t *testing.T) {
+	const histories = 150
+	const threads = 4
+	const opsPerThread = 3
+	key := ik(42)
+
+	for h := 0; h < histories; h++ {
+		m := New(&Options{ChunkCapacity: 16, Pool: testPool(t)})
+		// Neighbour churn so the target key's chunk splits/merges. The
+		// target key itself starts absent (the checker's initial state).
+		for i := 0; i < 64; i++ {
+			if i == 42 {
+				continue
+			}
+			m.Put(ik(i), iv(i))
+		}
+		var clock atomic.Uint64
+		recs := make([][]opRecord, threads)
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(h*threads+g), 77))
+				for i := 0; i < opsPerThread; i++ {
+					var r opRecord
+					r.kind = opKindL(rng.Uint64() % 5)
+					r.arg = fmt.Sprintf("g%d-%d", g, i)
+					r.inv = clock.Add(1)
+					switch r.kind {
+					case lPut:
+						if err := m.Put(key, []byte(r.arg)); err != nil {
+							t.Errorf("put: %v", err)
+							return
+						}
+					case lPutIfAbsent:
+						ok, err := m.PutIfAbsent(key, []byte(r.arg))
+						if err != nil {
+							t.Errorf("putIfAbsent: %v", err)
+							return
+						}
+						r.retBool = ok
+					case lRemove:
+						ok, err := m.Remove(key)
+						if err != nil {
+							t.Errorf("remove: %v", err)
+							return
+						}
+						r.retBool = ok
+					case lGet:
+						if hd, ok := m.Get(key); ok {
+							b, err := m.CopyValue(hd, nil)
+							if err == nil {
+								r.retBool = true
+								r.retVal = string(b)
+							}
+							// A read that raced with a remove between
+							// Get and CopyValue observes "absent": its
+							// linearization point is the failed read
+							// lock, still within [inv, ret].
+						}
+					case lUpsert:
+						tag := r.arg
+						err := m.PutIfAbsentComputeIfPresent(key, []byte(tag),
+							func(w *WBuffer) error {
+								// Append "|tag", resizing in place — the
+								// compute runs atomically exactly once.
+								cur := append([]byte(nil), w.Bytes()...)
+								return w.Set(append(append(cur, '|'), tag...))
+							})
+						if err != nil {
+							t.Errorf("upsert: %v", err)
+							return
+						}
+					}
+					r.ret = clock.Add(1)
+					recs[g] = append(recs[g], r)
+				}
+			}(g)
+		}
+		wg.Wait()
+		var all []opRecord
+		for _, rs := range recs {
+			all = append(all, rs...)
+		}
+		if !linearizable(all) {
+			for _, o := range all {
+				t.Logf("  %v", o)
+			}
+			t.Fatalf("history %d is not linearizable", h)
+		}
+		m.Close()
+	}
+}
+
+// TestSingleKeyLinearizabilityWithReclaim repeats the check with the
+// epoch header-reclamation extension enabled: handle recycling must not
+// break linearizability (stale handles must read as deleted, never as
+// another incarnation).
+func TestSingleKeyLinearizabilityWithReclaim(t *testing.T) {
+	const histories = 100
+	const threads = 4
+	key := ik(7)
+	for h := 0; h < histories; h++ {
+		m := New(&Options{ChunkCapacity: 16, Pool: testPool(t), ReclaimHeaders: true})
+		var clock atomic.Uint64
+		var mu sync.Mutex
+		var all []opRecord
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(h*31+g), 13))
+				for i := 0; i < 3; i++ {
+					var r opRecord
+					// Bias toward remove/insert churn to force slot reuse.
+					switch rng.Uint64() % 5 {
+					case 0, 1:
+						r.kind = lPutIfAbsent
+					case 2, 3:
+						r.kind = lRemove
+					default:
+						r.kind = lGet
+					}
+					r.arg = fmt.Sprintf("g%d-%d", g, i)
+					r.inv = clock.Add(1)
+					switch r.kind {
+					case lPutIfAbsent:
+						ok, _ := m.PutIfAbsent(key, []byte(r.arg))
+						r.retBool = ok
+					case lRemove:
+						ok, _ := m.Remove(key)
+						r.retBool = ok
+					case lGet:
+						if hd, ok := m.Get(key); ok {
+							b, err := m.CopyValue(hd, nil)
+							if err == nil {
+								r.retBool = true
+								r.retVal = string(b)
+							}
+						}
+					}
+					r.ret = clock.Add(1)
+					mu.Lock()
+					all = append(all, r)
+					mu.Unlock()
+				}
+			}(g)
+		}
+		wg.Wait()
+		if !linearizable(all) {
+			for _, o := range all {
+				t.Logf("  %v", o)
+			}
+			t.Fatalf("reclaim history %d is not linearizable", h)
+		}
+		m.Close()
+	}
+}

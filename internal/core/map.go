@@ -1,0 +1,291 @@
+// Package core implements the Oak algorithm (§4) over serialized []byte
+// keys and values: a linked list of chunks indexed by a skiplist of
+// minKeys, with keys and values allocated off-heap (in arena blocks) and
+// all metadata on-heap (§3.1).
+//
+// The package operates below (de)serialization: the public generic API in
+// package oakmap wraps it. Values are identified by handles — indexes
+// into a vheader.Table whose headers carry the concurrency-control word
+// and the value's current data reference (§3.3).
+package core
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync/atomic"
+
+	"oakmap/internal/arena"
+	"oakmap/internal/chunk"
+	"oakmap/internal/skiplist"
+	"oakmap/internal/vheader"
+)
+
+// Comparator orders serialized keys; nil means bytes.Compare.
+type Comparator = chunk.Comparator
+
+// Errors returned by map operations.
+var (
+	// ErrConcurrentModification is returned when a buffer view observes
+	// that its mapping was deleted — the Go analogue of the paper's
+	// ConcurrentModificationException for reads of removed values.
+	ErrConcurrentModification = errors.New("oak: value concurrently deleted")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("oak: map closed")
+)
+
+// Options configures a core map.
+type Options struct {
+	// ChunkCapacity is the entries-array size per chunk (paper: 4096).
+	ChunkCapacity int
+	// RebalanceRatio triggers a rebalance when the unsorted suffix
+	// exceeds ratio × max(sortedPrefix, ChunkCapacity/8). The paper uses
+	// 0.5 ("whenever the unsorted linked list exceeds half of the sorted
+	// prefix").
+	RebalanceRatio float64
+	// Pool supplies off-heap blocks; nil uses arena.DefaultPool().
+	Pool *arena.Pool
+	// Comparator orders keys; nil means bytes.Compare.
+	Comparator Comparator
+	// DisableFirstFit turns off free-list reuse (allocator ablation).
+	DisableFirstFit bool
+	// ReclaimHeaders selects the generation-based reclaiming header
+	// table (the paper's epoch extension, §3.3) instead of the default
+	// append-only table: value headers are recycled once their mapping
+	// is removed, bounding header space by the peak live-value count.
+	ReclaimHeaders bool
+	// ReclaimKeys frees the off-heap key space of dead entries during
+	// rebalance. Off by default: with the paper's simple (non-epoch)
+	// memory manager, a scan may still hold a read-only view of such a
+	// key, so reclaiming keys is only safe when the application
+	// guarantees key views do not outlive the entry's last removal.
+	// (Internal scan resume positions have the same exposure: with this
+	// option on, a scan paused exactly at a key that is removed AND
+	// whose chunk is rebalanced before the scan resumes may re-enter at
+	// a slightly different position — still ordered, never duplicated.)
+	ReclaimKeys bool
+}
+
+func (o *Options) withDefaults() Options {
+	v := Options{}
+	if o != nil {
+		v = *o
+	}
+	if v.ChunkCapacity <= 0 {
+		v.ChunkCapacity = chunk.DefaultCapacity
+	}
+	if v.RebalanceRatio <= 0 {
+		v.RebalanceRatio = 0.5
+	}
+	if v.Pool == nil {
+		v.Pool = arena.DefaultPool()
+	}
+	if v.Comparator == nil {
+		v.Comparator = bytes.Compare
+	}
+	return v
+}
+
+// Map is the core Oak KV-map over serialized keys and values.
+type Map struct {
+	opts    Options
+	cmp     Comparator
+	alloc   *arena.Allocator
+	headers vheader.HeaderTable
+	index   *skiplist.List[*chunk.Chunk]
+	head    atomic.Pointer[chunk.Chunk]
+	size    atomic.Int64
+	closed  atomic.Bool
+
+	rebalances atomic.Int64 // total rebalance operations performed
+	keyLeak    atomic.Int64 // bytes of dead keys not reclaimed
+}
+
+// New creates an empty map.
+func New(o *Options) *Map {
+	opts := o.withDefaults()
+	var headers vheader.HeaderTable
+	if opts.ReclaimHeaders {
+		headers = vheader.NewReclaimingTable()
+	} else {
+		headers = vheader.NewTable()
+	}
+	m := &Map{
+		opts:    opts,
+		cmp:     opts.Comparator,
+		alloc:   arena.NewAllocator(opts.Pool),
+		headers: headers,
+		index:   skiplist.New[*chunk.Chunk](skiplist.Comparator(opts.Comparator)),
+	}
+	if opts.DisableFirstFit {
+		m.alloc.SetFirstFit(false)
+	}
+	// The head sentinel chunk has minKey nil (-infinity) and is a real
+	// data chunk; it is replaced, never removed, by rebalances.
+	m.head.Store(chunk.New(nil, opts.ChunkCapacity, m.alloc, m.cmp))
+	return m
+}
+
+// Len returns the number of live key-value pairs. Under concurrency the
+// value is linearizable only in quiescent states, like size() in Java's
+// concurrent maps.
+func (m *Map) Len() int { return int(m.size.Load()) }
+
+// Footprint returns the total off-heap bytes held by the map's allocator.
+// The paper highlights cheap RAM-footprint estimation as a first-class
+// feature (§1.1).
+func (m *Map) Footprint() int64 { return m.alloc.Footprint() }
+
+// LiveBytes returns the currently allocated off-heap bytes (keys, values,
+// and free-list slack excluded).
+func (m *Map) LiveBytes() int64 { return m.alloc.LiveBytes() }
+
+// ArenaStats exposes the allocator's accounting snapshot.
+func (m *Map) ArenaStats() arena.Stats { return m.alloc.Stats() }
+
+// Rebalances returns the number of chunk rebalances performed.
+func (m *Map) Rebalances() int64 { return m.rebalances.Load() }
+
+// HeaderCount returns the number of value-header slots materialized.
+// With the default table this grows with every insertion ever made;
+// with ReclaimHeaders it is bounded by the peak number of live values.
+func (m *Map) HeaderCount() uint64 { return m.headers.Count() }
+
+// NumChunks counts the chunks currently in the list.
+func (m *Map) NumChunks() int {
+	n := 0
+	for c := m.head.Load(); c != nil; c = chunk.Forward(c).Next() {
+		n++
+	}
+	return n
+}
+
+// Close releases all off-heap blocks back to the pool. The map must not
+// be used afterwards.
+func (m *Map) Close() {
+	if m.closed.CompareAndSwap(false, true) {
+		m.alloc.Close()
+	}
+}
+
+// locateChunk returns the chunk whose range includes key (§3.1): it
+// queries the (possibly outdated) index and completes with a partial
+// traversal of the chunk linked list.
+func (m *Map) locateChunk(key []byte) *chunk.Chunk {
+	var c *chunk.Chunk
+	if e, ok := m.index.Floor(key); ok {
+		c = e.Value
+	} else {
+		c = m.head.Load()
+	}
+	c = chunk.Forward(c)
+	for {
+		n := c.Next()
+		if n == nil {
+			return c
+		}
+		n = chunk.Forward(n)
+		if nk := n.MinKey(); nk != nil && m.cmp(key, nk) >= 0 {
+			c = n
+			continue
+		}
+		return c
+	}
+}
+
+// lastChunk returns the final chunk in the list (for unbounded
+// descending scans).
+func (m *Map) lastChunk() *chunk.Chunk {
+	var c *chunk.Chunk
+	if e, ok := m.index.Last(); ok {
+		c = chunk.Forward(e.Value)
+	} else {
+		c = chunk.Forward(m.head.Load())
+	}
+	for {
+		n := c.Next()
+		if n == nil {
+			return c
+		}
+		c = chunk.Forward(n)
+	}
+}
+
+// prevChunk returns the chunk preceding (in key order) a chunk whose
+// minKey is given, or nil when minKey is nil (the head chunk has no
+// predecessor). As in the paper's descending scan, it queries the index
+// for the greatest minKey strictly smaller than the current one and
+// walks forward as needed.
+func (m *Map) prevChunk(minKey []byte) *chunk.Chunk {
+	if minKey == nil {
+		return nil
+	}
+	var c *chunk.Chunk
+	if e, ok := m.index.Lower(minKey); ok {
+		c = chunk.Forward(e.Value)
+	} else {
+		c = chunk.Forward(m.head.Load())
+	}
+	for {
+		n := c.Next()
+		if n == nil {
+			return c
+		}
+		n = chunk.Forward(n)
+		if nk := n.MinKey(); nk == nil || m.cmp(nk, minKey) < 0 {
+			c = n
+			continue
+		}
+		return c
+	}
+}
+
+// retryPause yields the processor on long retry chains (e.g. while a
+// rebalance is in flight on a hot chunk).
+func retryPause(attempt int) {
+	if attempt > 4 {
+		runtime.Gosched()
+	}
+}
+
+// OccupancyStats summarizes the chunk population — the observability
+// counterpart of the paper's data-organization claims (§3.1): how full
+// the sorted prefixes are, how long the unsorted suffixes have grown.
+type OccupancyStats struct {
+	Chunks         int
+	Entries        int // allocated entry slots across chunks
+	Sorted         int // entries in sorted prefixes
+	Live           int // heuristic live entries
+	MinLive        int
+	MaxLive        int
+	AvgUtilization float64 // live entries / total capacity
+}
+
+// Occupancy walks the chunk list and returns its population statistics.
+func (m *Map) Occupancy() OccupancyStats {
+	st := OccupancyStats{MinLive: int(^uint(0) >> 1)}
+	capTotal := 0
+	for c := m.head.Load(); c != nil; {
+		c = chunk.Forward(c)
+		st.Chunks++
+		st.Entries += c.Allocated()
+		st.Sorted += c.SortedCount()
+		live := c.Live()
+		st.Live += live
+		if live < st.MinLive {
+			st.MinLive = live
+		}
+		if live > st.MaxLive {
+			st.MaxLive = live
+		}
+		capTotal += c.Capacity()
+		c = c.Next()
+	}
+	if st.Chunks == 0 {
+		st.MinLive = 0
+	}
+	if capTotal > 0 {
+		st.AvgUtilization = float64(st.Live) / float64(capTotal)
+	}
+	return st
+}

@@ -1,0 +1,293 @@
+package core
+
+import "oakmap/internal/chunk"
+
+// Get implements Algorithm 1: locate the chunk, look the key up, and
+// return the value's handle if a non-deleted value is present. The
+// caller turns the handle into a read-only view (OakRBuffer).
+func (m *Map) Get(key []byte) (ValueHandle, bool) {
+	c := m.locateChunk(key)
+	ei := c.LookUp(key)
+	if ei < 0 {
+		return 0, false
+	}
+	h := ValueHandle(c.ValHandle(ei))
+	if h == 0 || m.IsDeleted(h) {
+		return 0, false
+	}
+	return h, true
+}
+
+// opKind distinguishes the three insertion operations sharing doPut
+// (Algorithm 2).
+type opKind int
+
+const (
+	opPut opKind = iota
+	opPutIfAbsent
+	opPutIfAbsentComputeIfPresent
+)
+
+// Put maps key to val unconditionally (ZC put: no old value returned).
+func (m *Map) Put(key, val []byte) error {
+	_, err := m.doPut(key, BytesValue(val), nil, opPut)
+	return err
+}
+
+// PutWriter is Put with the value serialized directly into off-heap
+// memory by vw (§2.1).
+func (m *Map) PutWriter(key []byte, vw ValueWriter) error {
+	_, err := m.doPut(key, vw, nil, opPut)
+	return err
+}
+
+// PutIfAbsent maps key to val iff key is absent; reports whether it did.
+func (m *Map) PutIfAbsent(key, val []byte) (bool, error) {
+	return m.doPut(key, BytesValue(val), nil, opPutIfAbsent)
+}
+
+// PutIfAbsentWriter is PutIfAbsent with direct off-heap serialization.
+func (m *Map) PutIfAbsentWriter(key []byte, vw ValueWriter) (bool, error) {
+	return m.doPut(key, vw, nil, opPutIfAbsent)
+}
+
+// PutIfAbsentComputeIfPresent inserts val if key is absent, otherwise
+// atomically applies f to the present value in place (§2.2). The lambda
+// runs exactly once per successful application.
+func (m *Map) PutIfAbsentComputeIfPresent(key, val []byte, f func(*WBuffer) error) error {
+	_, err := m.doPut(key, BytesValue(val), f, opPutIfAbsentComputeIfPresent)
+	return err
+}
+
+// PutIfAbsentComputeIfPresentWriter is PutIfAbsentComputeIfPresent with
+// direct off-heap serialization of the initial value.
+func (m *Map) PutIfAbsentComputeIfPresentWriter(key []byte, vw ValueWriter, f func(*WBuffer) error) error {
+	_, err := m.doPut(key, vw, f, opPutIfAbsentComputeIfPresent)
+	return err
+}
+
+// doPut is Algorithm 2. It returns true when the operation took effect
+// as an insertion or in-place update; PutIfAbsent returns false when the
+// key was already present.
+func (m *Map) doPut(key []byte, vw ValueWriter, f func(*WBuffer) error, op opKind) (bool, error) {
+	if m.closed.Load() {
+		return false, ErrClosed
+	}
+	var keyRef uint64 // allocated at most once across retries
+	// If the key allocation ends up unused on any exit path (the entry
+	// linking raced with another insert of the same key, or an error
+	// occurred), reclaim it: a never-linked key has no readers.
+	defer func() { m.releaseKeyRef(&keyRef) }()
+	for attempt := 0; ; attempt++ {
+		retryPause(attempt)
+		c := m.locateChunk(key)
+		ei := c.LookUp(key)
+		var h ValueHandle
+		if ei >= 0 {
+			h = ValueHandle(c.ValHandle(ei))
+		}
+
+		if h != 0 && !m.IsDeleted(h) {
+			// Case 1: the key is present (lines 19–26).
+			switch op {
+			case opPutIfAbsent:
+				return false, nil
+			case opPut:
+				ok, err := m.valuePut(h, vw)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+			case opPutIfAbsentComputeIfPresent:
+				ok, err := m.valueCompute(h, f)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+			}
+			continue // value was deleted concurrently: retry (line 25)
+		}
+
+		// Case 2: the key is absent (h = ⊥ or deleted). A removed entry
+		// with the same key is reused (§4.3).
+		if ei < 0 {
+			if keyRef == 0 {
+				ref, err := m.alloc.Write(key)
+				if err != nil {
+					return false, err
+				}
+				keyRef = uint64(ref)
+			}
+			nei, st := c.AllocateEntry(keyRef)
+			if st == chunk.Full {
+				m.rebalance(c)
+				continue
+			}
+			if st != chunk.OK {
+				continue // frozen: retry on the replacement chunk
+			}
+			lei, st := c.PutIfAbsentInList(nei)
+			if st == chunk.Frozen {
+				continue
+			}
+			ei = lei
+			if st == chunk.OK {
+				keyRef = 0 // consumed by the linked entry
+			}
+			// On Exists, ei is the previously linked entry; our
+			// allocated entry stays unlinked and the key allocation is
+			// kept for a possible retry (freed on return below).
+			h = ValueHandle(c.ValHandle(ei))
+			if h != 0 && !m.IsDeleted(h) {
+				// The racing insert beat us; loop back into case 1.
+				continue
+			}
+		}
+
+		newH, err := m.allocValue(vw)
+		if err != nil {
+			return false, err
+		}
+		if !c.Publish() {
+			m.discardValue(newH)
+			continue
+		}
+		ok := c.CASValHandle(ei, uint64(h), uint64(newH))
+		c.Unpublish()
+		if !ok {
+			// A concurrent operation changed the value reference; we
+			// cannot linearize before it (see §4.3), so retry.
+			m.discardValue(newH)
+			continue
+		}
+		if h != 0 {
+			// The deleted predecessor is no longer referenced by the
+			// entry; its header slot can be recycled.
+			m.headers.Release(uint64(h))
+		}
+		m.size.Add(1)
+		c.IncLive()
+		m.maybeRebalance(c)
+		return true, nil
+	}
+}
+
+// releaseKeyRef frees a key allocation that ended up unused (the entry
+// linking raced with another insert of the same key).
+func (m *Map) releaseKeyRef(keyRef *uint64) {
+	if *keyRef != 0 {
+		// The entry that holds this keyRef is allocated but was never
+		// linked, so no reader can reference the key: freeing is safe.
+		m.freeKey(*keyRef)
+		*keyRef = 0
+	}
+}
+
+// discardValue reclaims a value that was never published: its data
+// space, and (under the reclaiming policy) its header slot.
+func (m *Map) discardValue(h ValueHandle) {
+	m.valueRemove(h)
+	m.headers.Release(uint64(h))
+}
+
+// ComputeIfPresent atomically applies f to the value mapped to key, in
+// place. Returns false if the key is absent (Algorithm 3).
+func (m *Map) ComputeIfPresent(key []byte, f func(*WBuffer) error) (bool, error) {
+	return m.doIfPresent(key, f, opCompute)
+}
+
+// Remove deletes the mapping for key, reporting whether a mapping was
+// removed (ZC remove: the old value is not returned).
+func (m *Map) Remove(key []byte) (bool, error) {
+	return m.doIfPresent(key, nil, opRemove)
+}
+
+type nonInsertOp int
+
+const (
+	opCompute nonInsertOp = iota
+	opRemove
+)
+
+// doIfPresent is Algorithm 3.
+func (m *Map) doIfPresent(key []byte, f func(*WBuffer) error, op nonInsertOp) (bool, error) {
+	if m.closed.Load() {
+		return false, ErrClosed
+	}
+	for attempt := 0; ; attempt++ {
+		retryPause(attempt)
+		c := m.locateChunk(key)
+		ei := c.LookUp(key)
+		if ei < 0 {
+			return false, nil // key not found (line 44)
+		}
+		h := ValueHandle(c.ValHandle(ei))
+		if h == 0 {
+			return false, nil // ⊥ value reference (line 44)
+		}
+		if !m.IsDeleted(h) {
+			// Case 1: value exists and is not deleted.
+			if op == opCompute {
+				ok, err := m.valueCompute(h, f)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil // l.p.: successful v.compute (line 46)
+				}
+			} else {
+				if m.valueRemove(h) {
+					// l.p.: v.remove set the deleted bit (line 48).
+					m.size.Add(-1)
+					c.DecLive()
+					m.finalizeRemove(key, h)
+					m.maybeMerge(c)
+					return true, nil
+				}
+			}
+		}
+		// Case 2: the value is deleted — ensure the entry is removed
+		// before reporting the key absent (lines 50–55).
+		if !c.Publish() {
+			continue
+		}
+		ok := c.CASValHandle(ei, uint64(h), 0)
+		c.Unpublish()
+		if !ok {
+			continue
+		}
+		m.headers.Release(uint64(h))
+		return false, nil
+	}
+}
+
+// finalizeRemove clears the entry's value reference after a successful
+// remove — an optimization that lets other operations and the rebalancer
+// skip the deleted value (§4.4). prev guards against clobbering a
+// concurrent re-insertion; handles are never reused, so the check is
+// ABA-free.
+func (m *Map) finalizeRemove(key []byte, prev ValueHandle) {
+	for attempt := 0; ; attempt++ {
+		retryPause(attempt)
+		c := m.locateChunk(key)
+		ei := c.LookUp(key)
+		if ei < 0 {
+			return
+		}
+		if ValueHandle(c.ValHandle(ei)) != prev {
+			return // key removed or replaced (line 65)
+		}
+		if !c.Publish() {
+			continue
+		}
+		if c.CASValHandle(ei, uint64(prev), 0) {
+			m.headers.Release(uint64(prev))
+		}
+		c.Unpublish()
+		return // CAS failure means someone else advanced the entry
+	}
+}

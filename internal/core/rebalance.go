@@ -1,0 +1,268 @@
+package core
+
+import (
+	"oakmap/internal/arena"
+	"oakmap/internal/chunk"
+)
+
+// maybeRebalance applies the paper's trigger policy after an insertion:
+// rebalance when the unsorted suffix of the entries array outgrows the
+// sorted prefix by the configured ratio (§5.1: "whenever the unsorted
+// linked list exceeds half of the sorted prefix").
+func (m *Map) maybeRebalance(c *chunk.Chunk) {
+	if m.shouldRebalance(c) {
+		m.rebalance(c)
+	}
+}
+
+// maybeMerge applies the under-utilization trigger after a removal: a
+// chunk whose live count dropped below capacity/8 is rebalanced, which
+// merges it with its successor (§4.1: rebalance "merges chunks when they
+// are under-used"). The head chunk with no successor is left alone — an
+// empty map needs one chunk anyway.
+func (m *Map) maybeMerge(c *chunk.Chunk) {
+	c = chunk.Forward(c)
+	if c.Next() == nil {
+		return
+	}
+	if c.Live() > 0 && c.Live() >= c.Capacity()/8 {
+		return
+	}
+	if c.Allocated() == 0 && c.Live() <= 0 {
+		// Fresh empty chunk produced by a recent merge: leave it; a
+		// rebalance would just recreate it.
+		return
+	}
+	m.rebalance(c)
+}
+
+func (m *Map) shouldRebalance(c *chunk.Chunk) bool {
+	alloc := c.Allocated()
+	if alloc >= c.Capacity() {
+		return true
+	}
+	sorted := c.SortedCount()
+	base := sorted
+	if min := c.Capacity() / 8; base < min {
+		base = min // fresh/empty chunks tolerate a small unsorted run
+	}
+	return alloc-sorted > int(m.opts.RebalanceRatio*float64(base))
+}
+
+// rebalance replaces chunk c (and possibly its successor, when merging)
+// with freshly built chunks whose prefixes are fully sorted (§4.1). The
+// rebalancer:
+//
+//  1. locates and locks c's predecessor, then c (in list order, so
+//     concurrent rebalances cannot deadlock), validating liveness after
+//     each acquisition;
+//  2. freezes c, draining published updates — after which no entry's
+//     value reference can change;
+//  3. gathers the live entries in ascending order (RB3) and optionally
+//     freezes and gathers the successor for a merge;
+//  4. builds replacement chunks of at most capacity/2 live entries each,
+//     links them, points the retired chunks' replacedBy at the new chain,
+//     and splices the chain in place of the retired chunks;
+//  5. updates the minKey index (lazily consistent: traversals forward
+//     through replacedBy until the index catches up).
+//
+// The guarantees RB1–RB3 hold: frozen chunks retain their data for
+// concurrent readers, the new chain covers exactly the retired range, and
+// gathered sequences are sorted and deduplicated by construction.
+func (m *Map) rebalance(c *chunk.Chunk) {
+	for attempt := 0; ; attempt++ {
+		retryPause(attempt)
+		c = chunk.Forward(c)
+		if c.ReplacedBy() != nil {
+			return
+		}
+
+		// Locate the predecessor (nil when c is the head chunk).
+		var pred *chunk.Chunk
+		if m.head.Load() != c {
+			p, ok := m.findPred(c)
+			if !ok {
+				continue // c was retired or moved; re-resolve
+			}
+			pred = p
+		}
+
+		// Lock in list order: pred, then c.
+		if pred != nil {
+			pred.RebalanceMu.Lock()
+		}
+		c.RebalanceMu.Lock()
+		valid := c.ReplacedBy() == nil
+		if pred == nil {
+			valid = valid && m.head.Load() == c
+		} else {
+			valid = valid && pred.ReplacedBy() == nil && pred.Next() == c
+		}
+		if !valid {
+			c.RebalanceMu.Unlock()
+			if pred != nil {
+				pred.RebalanceMu.Unlock()
+			}
+			continue
+		}
+
+		m.rebalanceLocked(pred, c)
+
+		c.RebalanceMu.Unlock()
+		if pred != nil {
+			pred.RebalanceMu.Unlock()
+		}
+		return
+	}
+}
+
+// rebalanceLocked performs steps 2–5 with pred (optional) and c locked.
+func (m *Map) rebalanceLocked(pred, c *chunk.Chunk) {
+	m.rebalances.Add(1)
+
+	c.Freeze()
+	live, deadKeys := c.Gather()
+
+	// Merge policy: when c is under-utilized, absorb the successor.
+	// Holding c's lock keeps c.Next() stable (a successor's rebalance
+	// must lock its predecessor — c — first).
+	last := c // last retired chunk
+	second := (*chunk.Chunk)(nil)
+	if len(live) < c.Capacity()/4 {
+		if n := c.Next(); n != nil && n.ReplacedBy() == nil {
+			n.RebalanceMu.Lock()
+			if n.ReplacedBy() == nil && c.Next() == n {
+				n.Freeze()
+				live2, dk2 := n.Gather()
+				live = append(live, live2...)
+				deadKeys = append(deadKeys, dk2...)
+				second = n
+				last = n
+			} else {
+				n.RebalanceMu.Unlock()
+				second = nil
+			}
+		}
+	}
+
+	// Build the replacement chain: chunks of at most capacity/2 entries,
+	// leaving headroom for future inserts.
+	per := c.Capacity() / 2
+	if per < 1 {
+		per = 1
+	}
+	var outs []*chunk.Chunk
+	for i := 0; i < len(live); i += per {
+		end := i + per
+		if end > len(live) {
+			end = len(live)
+		}
+		part := live[i:end]
+		var minKey []byte
+		if i == 0 {
+			minKey = c.MinKey() // the first replacement inherits c's range start
+		} else {
+			// Later replacements are keyed by their first entry. Clone
+			// to the heap: chunk metadata must not alias arena space.
+			kb := m.alloc.Bytes(arena.Ref(part[0].KeyRef))
+			minKey = append([]byte(nil), kb...)
+		}
+		outs = append(outs, chunk.NewSorted(minKey, c.Capacity(), m.alloc, m.cmp, part))
+	}
+	if len(outs) == 0 {
+		// Everything is dead: the range still needs a (now empty) chunk.
+		outs = append(outs, chunk.New(c.MinKey(), c.Capacity(), m.alloc, m.cmp))
+	}
+
+	// Chain the replacements and attach the tail.
+	tail := last.Next()
+	for i := 0; i+1 < len(outs); i++ {
+		outs[i].SetNext(outs[i+1])
+	}
+	outs[len(outs)-1].SetNext(tail)
+
+	// Publish forwarding, then splice. Readers holding retired chunks
+	// keep reading their frozen data; re-located operations forward.
+	c.SetReplacedBy(outs[0])
+	if second != nil {
+		second.SetReplacedBy(outs[0])
+	}
+	if pred == nil {
+		m.head.Store(outs[0])
+	} else {
+		pred.SetNext(outs[0])
+	}
+
+	// Index maintenance (lazy, but done eagerly here): re-point c's
+	// minKey, add the new split keys, drop a merged successor's key.
+	if k := outs[0].MinKey(); k != nil {
+		m.index.Put(k, outs[0])
+	}
+	for _, o := range outs[1:] {
+		m.index.Put(o.MinKey(), o)
+	}
+	if second != nil {
+		if k := second.MinKey(); k != nil {
+			// Only remove if the merged key did not become a split key.
+			owned := false
+			for _, o := range outs {
+				if o.MinKey() != nil && m.cmp(o.MinKey(), k) == 0 {
+					owned = true
+					break
+				}
+			}
+			if !owned {
+				m.index.Remove(k)
+			}
+		}
+		second.RebalanceMu.Unlock()
+	}
+
+	// Reclaim dead keys only when the application vouches that no key
+	// views outlive removals (§3.2 discussion in DESIGN.md).
+	if m.opts.ReclaimKeys {
+		for _, kr := range deadKeys {
+			m.freeKey(kr)
+		}
+	} else {
+		var leaked int64
+		for _, kr := range deadKeys {
+			leaked += int64(arena.Ref(kr).Len())
+		}
+		m.keyLeak.Add(leaked)
+	}
+	m.alloc.Compact()
+}
+
+// freeKey returns a key's off-heap space to the allocator.
+func (m *Map) freeKey(keyRef uint64) {
+	m.alloc.Free(arena.Ref(keyRef))
+}
+
+// KeyLeakBytes reports the cumulative bytes of dead keys retained because
+// key reclamation is disabled (the safe default).
+func (m *Map) KeyLeakBytes() int64 { return m.keyLeak.Load() }
+
+// findPred walks the live chunk list to find the chunk whose next pointer
+// is exactly c. Returns false if c is no longer in the list.
+func (m *Map) findPred(c *chunk.Chunk) (*chunk.Chunk, bool) {
+	cur := m.head.Load()
+	for cur != nil {
+		cur = chunk.Forward(cur)
+		n := cur.Next()
+		if n == c {
+			return cur, true
+		}
+		if n == nil {
+			return nil, false
+		}
+		// Overshoot check: once the walk passes c's range, c is gone.
+		if ck := c.MinKey(); ck != nil {
+			if nk := chunk.Forward(n).MinKey(); nk != nil && m.cmp(nk, ck) > 0 {
+				return nil, false
+			}
+		}
+		cur = n
+	}
+	return nil, false
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func newReclaimMap(t testing.TB) *Map {
+	t.Helper()
+	m := New(&Options{ChunkCapacity: 64, Pool: testPool(t), ReclaimHeaders: true})
+	t.Cleanup(m.Close)
+	return m
+}
+
+// TestReclaimHeadersSemantics re-runs the core semantic checks with the
+// reclaiming header table: behaviour must be indistinguishable.
+func TestReclaimHeadersSemantics(t *testing.T) {
+	m := newReclaimMap(t)
+	mustPut(t, m, ik(1), []byte("one"))
+	if got, _ := getString(t, m, ik(1)); got != "one" {
+		t.Fatal("get after put")
+	}
+	if ok, _ := m.Remove(ik(1)); !ok {
+		t.Fatal("remove")
+	}
+	if _, ok := m.Get(ik(1)); ok {
+		t.Fatal("get after remove")
+	}
+	mustPut(t, m, ik(1), []byte("two"))
+	if got, _ := getString(t, m, ik(1)); got != "two" {
+		t.Fatal("reinsert after remove")
+	}
+	ok, err := m.PutIfAbsent(ik(1), []byte("x"))
+	if err != nil || ok {
+		t.Fatal("putIfAbsent on present key")
+	}
+}
+
+// TestReclaimHeadersBounded: insert/remove churn on a fixed key set must
+// not grow the header table without bound — the point of the paper's
+// epoch extension.
+func TestReclaimHeadersBounded(t *testing.T) {
+	m := newReclaimMap(t)
+	const keys = 64
+	for round := 0; round < 200; round++ {
+		for k := 0; k < keys; k++ {
+			mustPut(t, m, ik(k), iv(round))
+		}
+		for k := 0; k < keys; k++ {
+			if ok, _ := m.Remove(ik(k)); !ok {
+				t.Fatalf("remove round %d key %d", round, k)
+			}
+		}
+	}
+	// 200 rounds × 64 keys = 12800 values ever created; the default
+	// table would hold 12800 headers. Reclaiming must stay near the peak
+	// live count.
+	if n := m.HeaderCount(); n > 1024 {
+		t.Fatalf("HeaderCount = %d; reclaiming not effective", n)
+	}
+	// Contrast with the default policy.
+	d := newTestMap(t, 64)
+	for round := 0; round < 20; round++ {
+		for k := 0; k < keys; k++ {
+			mustPut(t, d, ik(k), iv(round))
+		}
+		for k := 0; k < keys; k++ {
+			d.Remove(ik(k))
+		}
+	}
+	if n := d.HeaderCount(); n < 20*keys {
+		t.Fatalf("default table HeaderCount = %d; expected unbounded growth", n)
+	}
+}
+
+// TestReclaimHeadersStaleView: an OakRBuffer-style read of a removed
+// value whose header slot was recycled must fail, never read the new
+// occupant's bytes.
+func TestReclaimHeadersStaleView(t *testing.T) {
+	m := newReclaimMap(t)
+	mustPut(t, m, ik(1), []byte("AAAA"))
+	h, ok := m.Get(ik(1))
+	if !ok {
+		t.Fatal("get")
+	}
+	m.Remove(ik(1))
+	// Force slot reuse by inserting another value.
+	mustPut(t, m, ik(2), []byte("BBBB"))
+	err := m.ReadValue(h, func(b []byte) error {
+		t.Fatalf("stale view read bytes %q", b)
+		return nil
+	})
+	if err != ErrConcurrentModification {
+		t.Fatalf("stale view error = %v", err)
+	}
+}
+
+// TestReclaimHeadersConcurrentChurn mirrors the mixed churn test with
+// header reclamation on, under the race detector in CI.
+func TestReclaimHeadersConcurrentChurn(t *testing.T) {
+	m := newReclaimMap(t)
+	const keyRange = 512
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xfeed))
+			for i := 0; i < 4000; i++ {
+				k := ik(int(rng.Uint64() % keyRange))
+				switch rng.Uint64() % 6 {
+				case 0, 1, 2:
+					if err := m.Put(k, iv(i)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 3:
+					m.Remove(k)
+				case 4:
+					m.ComputeIfPresent(k, func(w *WBuffer) error {
+						b := w.Bytes()
+						if len(b) > 0 {
+							b[0]++
+						}
+						return nil
+					})
+				default:
+					if h, ok := m.Get(k); ok {
+						m.ReadValue(h, func([]byte) error { return nil })
+					}
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	// Quiescent validation.
+	count := 0
+	var prev []byte
+	m.Ascend(nil, nil, func(kr uint64, h ValueHandle) bool {
+		key := m.KeyBytes(kr)
+		if prev != nil && m.cmp(prev, key) >= 0 {
+			t.Fatal("order violation")
+		}
+		prev = append(prev[:0], key...)
+		count++
+		return true
+	})
+	if count != m.Len() {
+		t.Fatalf("scan %d != len %d", count, m.Len())
+	}
+	if n := m.HeaderCount(); n > 8*4000 {
+		t.Fatalf("HeaderCount = %d; reclamation ineffective", n)
+	}
+}
+
+// TestConcurrentResizeVsReaders targets the resize protocol (§2.2): a
+// value's data reference may move mid-read. Writers resize values to
+// random lengths, encoding the length into every byte; readers must
+// always observe a self-consistent (length, content) pair, never a torn
+// mix of two incarnations.
+func TestConcurrentResizeVsReaders(t *testing.T) {
+	for _, reclaim := range []bool{false, true} {
+		name := "default"
+		if reclaim {
+			name = "reclaim"
+		}
+		t.Run(name, func(t *testing.T) {
+			m := New(&Options{ChunkCapacity: 64, Pool: testPool(t), ReclaimHeaders: reclaim})
+			defer m.Close()
+			const keys = 8
+			encode := func(n int) []byte {
+				b := make([]byte, n)
+				for i := range b {
+					b[i] = byte(n)
+				}
+				return b
+			}
+			for k := 0; k < keys; k++ {
+				mustPut(t, m, ik(k), encode(10))
+			}
+			stop := make(chan struct{})
+			var writers, readers sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				writers.Add(1)
+				go func(seed uint64) {
+					defer writers.Done()
+					rng := rand.New(rand.NewPCG(seed, 0x5e5))
+					for i := 0; i < 4000; i++ {
+						k := ik(int(rng.Uint64() % keys))
+						n := 1 + int(rng.Uint64()%800)
+						m.ComputeIfPresent(k, func(wb *WBuffer) error {
+							return wb.Set(encode(n))
+						})
+					}
+				}(uint64(w + 1))
+			}
+			for r := 0; r < 4; r++ {
+				readers.Add(1)
+				go func(seed uint64) {
+					defer readers.Done()
+					rng := rand.New(rand.NewPCG(seed, 0xead))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := ik(int(rng.Uint64() % keys))
+						h, ok := m.Get(k)
+						if !ok {
+							continue
+						}
+						m.ReadValue(h, func(b []byte) error {
+							want := byte(len(b))
+							for i, c := range b {
+								if c != want {
+									t.Errorf("torn read at %d: byte %x, len %d", i, c, len(b))
+									return nil
+								}
+							}
+							return nil
+						})
+					}
+				}(uint64(r + 10))
+			}
+			// Readers run for the writers' whole lifetime, then stop.
+			writers.Wait()
+			close(stop)
+			readers.Wait()
+		})
+	}
+}

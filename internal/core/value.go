@@ -1,0 +1,190 @@
+package core
+
+import (
+	"oakmap/internal/arena"
+)
+
+// ValueHandle identifies a value: an index into the map's header table.
+// Handles are never reused (§3.3), so they double as ABA-free tokens on
+// the remove path (§4.4). Handle 0 is ⊥.
+type ValueHandle uint64
+
+// KeyBytes returns the serialized key behind a key reference. Keys are
+// immutable, so no locking is required (§2.1).
+func (m *Map) KeyBytes(keyRef uint64) []byte {
+	return m.alloc.Bytes(arena.Ref(keyRef))
+}
+
+// IsDeleted reports whether the value behind h is deleted.
+func (m *Map) IsDeleted(h ValueHandle) bool {
+	return m.headers.IsDeleted(uint64(h))
+}
+
+// ReadValue runs f on the value's current serialized bytes under the
+// value's read lock (one atomic acquisition per call — the paper's
+// method-call-granularity concurrency control, §2.2). It returns
+// ErrConcurrentModification if the value was deleted. f must not retain
+// the slice beyond the call.
+func (m *Map) ReadValue(h ValueHandle, f func([]byte) error) error {
+	if !m.headers.TryReadLock(uint64(h)) {
+		return ErrConcurrentModification
+	}
+	defer m.headers.ReadUnlock(uint64(h))
+	ref := arena.Ref(m.headers.LoadData(uint64(h)))
+	return f(m.alloc.Bytes(ref))
+}
+
+// ValueLen returns the value's current length in bytes, or an error if
+// the value is deleted.
+func (m *Map) ValueLen(h ValueHandle) (int, error) {
+	n := -1
+	err := m.ReadValue(h, func(b []byte) error { n = len(b); return nil })
+	return n, err
+}
+
+// CopyValue appends the value's bytes to dst and returns the result.
+func (m *Map) CopyValue(h ValueHandle, dst []byte) ([]byte, error) {
+	err := m.ReadValue(h, func(b []byte) error {
+		dst = append(dst, b...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// valuePut implements v.put(val) (§3.3): replace the value's contents
+// atomically. Returns false iff the value is deleted. If the new content
+// has a different size, the buffer is reallocated and the old space is
+// freed (the paper's "return to the free list upon ... value resize").
+func (m *Map) valuePut(h ValueHandle, vw ValueWriter) (bool, error) {
+	if !m.headers.TryWriteLock(uint64(h)) {
+		return false, nil
+	}
+	defer m.headers.WriteUnlock(uint64(h))
+	old := arena.Ref(m.headers.LoadData(uint64(h)))
+	if old.Len() == vw.N {
+		vw.Write(m.alloc.Bytes(old))
+		return true, nil
+	}
+	nref, err := m.alloc.Alloc(vw.N)
+	if err != nil {
+		return false, err
+	}
+	vw.Write(m.alloc.Bytes(nref))
+	m.headers.StoreData(uint64(h), uint64(nref))
+	m.alloc.Free(old)
+	return true, nil
+}
+
+// valueCompute implements v.compute(func) (§3.3): run the user's update
+// lambda on the value in place, atomically, exactly once. Returns false
+// iff the value is deleted.
+func (m *Map) valueCompute(h ValueHandle, f func(*WBuffer) error) (bool, error) {
+	if !m.headers.TryWriteLock(uint64(h)) {
+		return false, nil
+	}
+	defer m.headers.WriteUnlock(uint64(h))
+	w := WBuffer{m: m, h: h}
+	if err := f(&w); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// valueRemove implements v.remove() (§3.3): atomically mark the value
+// deleted. Returns false iff it was already deleted. On success the data
+// space returns to the free list; the header is retained (default
+// reclamation policy, §3.3).
+func (m *Map) valueRemove(h ValueHandle) bool {
+	if !m.headers.TryDelete(uint64(h)) {
+		return false
+	}
+	// The deleted bit is set: no reader can acquire the lock anymore and
+	// no writer can resurrect the value, so the data space is private.
+	ref := arena.Ref(m.headers.LoadData(uint64(h)))
+	m.headers.StoreData(uint64(h), 0)
+	m.alloc.Free(ref)
+	return true
+}
+
+// ValueWriter produces a value's serialized form directly inside Oak's
+// off-heap memory, realizing the paper's "create the binary
+// representation of the object directly into Oak's internal memory"
+// (§2.1): N is the serialized size, Write fills a buffer of exactly N
+// bytes.
+type ValueWriter struct {
+	N     int
+	Write func([]byte)
+}
+
+// BytesValue adapts an already-serialized value to a ValueWriter.
+func BytesValue(val []byte) ValueWriter {
+	return ValueWriter{N: len(val), Write: func(dst []byte) { copy(dst, val) }}
+}
+
+// allocValue allocates a fresh value (header + off-heap data), fills it
+// via vw, and returns its handle.
+func (m *Map) allocValue(vw ValueWriter) (ValueHandle, error) {
+	ref, err := m.alloc.Alloc(vw.N)
+	if err != nil {
+		return 0, err
+	}
+	vw.Write(m.alloc.Bytes(ref))
+	h := m.headers.Alloc()
+	m.headers.StoreData(h, uint64(ref))
+	return ValueHandle(h), nil
+}
+
+// WBuffer is the paper's OakWBuffer: a writable view of a value, valid
+// only inside an update lambda, while the value's write lock is held. It
+// supports in-place mutation and resizing.
+type WBuffer struct {
+	m *Map
+	h ValueHandle
+}
+
+// Bytes returns the value's current writable contents. The slice is
+// invalidated by Resize.
+func (w *WBuffer) Bytes() []byte {
+	ref := arena.Ref(w.m.headers.LoadData(uint64(w.h)))
+	return w.m.alloc.Bytes(ref)
+}
+
+// Len returns the value's current length.
+func (w *WBuffer) Len() int {
+	return arena.Ref(w.m.headers.LoadData(uint64(w.h))).Len()
+}
+
+// Resize changes the value's length to n, preserving the common prefix.
+// Growth beyond the current allocation moves the value to fresh space and
+// frees the old buffer — the paper's in-situ update that "extends the
+// value's memory allocation if its code so requires" (§2.2).
+func (w *WBuffer) Resize(n int) error {
+	old := arena.Ref(w.m.headers.LoadData(uint64(w.h)))
+	if old.Len() == n {
+		return nil
+	}
+	nref, err := w.m.alloc.Alloc(n)
+	if err != nil {
+		return err
+	}
+	nb := w.m.alloc.Bytes(nref)
+	copy(nb, w.m.alloc.Bytes(old))
+	for i := old.Len(); i < n; i++ {
+		nb[i] = 0
+	}
+	w.m.headers.StoreData(uint64(w.h), uint64(nref))
+	w.m.alloc.Free(old)
+	return nil
+}
+
+// Set replaces the value's contents with val (resizing as needed).
+func (w *WBuffer) Set(val []byte) error {
+	if err := w.Resize(len(val)); err != nil {
+		return err
+	}
+	copy(w.Bytes(), val)
+	return nil
+}

@@ -1,0 +1,353 @@
+package druid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file extends the case study past the paper's cut-off (§6: "the
+// data's further lifecycle is beyond the scope of this discussion") with
+// the two pieces a deployment needs next: segments that round-trip
+// through storage, and a broker that answers queries across the live
+// index plus any number of frozen segments — Druid's actual topology.
+
+const segmentMagic = "OAKSEG01"
+
+// WriteTo serializes the segment: header, schema shape, dictionaries,
+// then the flat key/row arrays. The format is self-contained: ReadSegment
+// rebuilds a queryable segment from it alone.
+func (s *Segment) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := &countingWriter{w: bw}
+	writeStr := func(str string) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(len(str)))
+		n.Write(b[:])
+		io.WriteString(n, str)
+	}
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		n.Write(b[:])
+	}
+	io.WriteString(n, segmentMagic)
+	// Schema.
+	writeU64(uint64(len(s.schema.Dimensions)))
+	for _, d := range s.schema.Dimensions {
+		writeStr(d)
+	}
+	writeU64(uint64(len(s.schema.Metrics)))
+	for _, m := range s.schema.Metrics {
+		writeStr(m)
+	}
+	writeU64(uint64(len(s.schema.Aggregators)))
+	for _, a := range s.schema.Aggregators {
+		a = a.normalized()
+		writeU64(uint64(a.Kind))
+		writeU64(uint64(a.Metric))
+		writeU64(uint64(a.Dim))
+		writeU64(uint64(a.HLLPrecision))
+		writeU64(binary.LittleEndian.Uint64(floatBytes(a.Quantile)))
+	}
+	// Dictionaries (code order == slice order, so codes are preserved).
+	for _, d := range s.dicts {
+		d.mu.RLock()
+		writeU64(uint64(len(d.reverse)))
+		for _, v := range d.reverse {
+			writeStr(v)
+		}
+		d.mu.RUnlock()
+	}
+	// Data.
+	writeU64(uint64(s.n))
+	writeU64(uint64(s.rawRows))
+	n.Write(s.keys)
+	n.Write(s.rows)
+	if err := bw.Flush(); err != nil {
+		return n.n, err
+	}
+	return n.n, n.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func floatBytes(f float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], binary.LittleEndian.Uint64(appendFloat(nil, f)))
+	return b[:]
+}
+
+// ErrBadSegment reports a malformed serialized segment.
+var ErrBadSegment = errors.New("druid: malformed segment")
+
+// ReadSegment deserializes a segment written by WriteTo.
+func ReadSegment(r io.Reader) (*Segment, error) {
+	br := bufio.NewReader(r)
+	readN := func(n int) ([]byte, error) {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+		}
+		return b, nil
+	}
+	readU64 := func() (uint64, error) {
+		b, err := readN(8)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	readStr := func() (string, error) {
+		b, err := readN(4)
+		if err != nil {
+			return "", err
+		}
+		sb, err := readN(int(binary.LittleEndian.Uint32(b)))
+		if err != nil {
+			return "", err
+		}
+		return string(sb), nil
+	}
+
+	magic, err := readN(len(segmentMagic))
+	if err != nil || string(magic) != segmentMagic {
+		return nil, ErrBadSegment
+	}
+	var schema Schema
+	schema.Rollup = true
+	nd, err := readU64()
+	if err != nil || nd > 1<<16 {
+		return nil, ErrBadSegment
+	}
+	for i := 0; i < int(nd); i++ {
+		s, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		schema.Dimensions = append(schema.Dimensions, s)
+	}
+	nm, err := readU64()
+	if err != nil || nm > 1<<16 {
+		return nil, ErrBadSegment
+	}
+	for i := 0; i < int(nm); i++ {
+		s, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		schema.Metrics = append(schema.Metrics, s)
+	}
+	na, err := readU64()
+	if err != nil || na > 1<<16 {
+		return nil, ErrBadSegment
+	}
+	for i := 0; i < int(na); i++ {
+		var a AggregatorSpec
+		v, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		a.Kind = AggKind(v)
+		if v, err = readU64(); err != nil {
+			return nil, err
+		}
+		a.Metric = int(v)
+		if v, err = readU64(); err != nil {
+			return nil, err
+		}
+		a.Dim = int(v)
+		if v, err = readU64(); err != nil {
+			return nil, err
+		}
+		a.HLLPrecision = uint8(v)
+		if v, err = readU64(); err != nil {
+			return nil, err
+		}
+		a.Quantile = getFloat(binary.LittleEndian.AppendUint64(nil, v))
+		schema.Aggregators = append(schema.Aggregators, a)
+	}
+	if err := schema.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	seg := &Segment{
+		schema: schema,
+		layout: newRowLayout(schema.Aggregators),
+		keySz:  keySize(len(schema.Dimensions), false),
+	}
+	seg.rowSz = seg.layout.size
+	for range schema.Dimensions {
+		d := NewDictionary()
+		nv, err := readU64()
+		if err != nil || nv > 1<<31 {
+			return nil, ErrBadSegment
+		}
+		for i := 0; i < int(nv); i++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			d.Code(s) // codes re-mint in original order
+		}
+		seg.dicts = append(seg.dicts, d)
+	}
+	rows, err := readU64()
+	if err != nil || rows > 1<<40 {
+		return nil, ErrBadSegment
+	}
+	raw, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	seg.n = int(rows)
+	seg.rawRows = int64(raw)
+	if seg.keys, err = readN(seg.n * seg.keySz); err != nil {
+		return nil, err
+	}
+	if seg.rows, err = readN(seg.n * seg.rowSz); err != nil {
+		return nil, err
+	}
+	return seg, nil
+}
+
+// QuerySource is anything the broker can aggregate over: a live Index, a
+// LegacyIndex, or a frozen Segment.
+type QuerySource interface {
+	GroupBy(dim int, t1, t2 int64) []GroupResult
+	Timeseries(t1, t2, bucket int64, agg int) []float64
+	QueryTimeRange(t1, t2 int64) []float64
+}
+
+// Broker fans a query out over a live index plus historical segments and
+// merges the partial results — the Druid broker/historical topology in
+// miniature. Scalar aggregates merge exactly; sketch readouts merge
+// approximately (estimates are summed, which is correct for disjoint
+// time ranges, the normal segment layout).
+type Broker struct {
+	layout  *rowLayout
+	sources []QuerySource
+}
+
+// NewBroker creates a broker over sources sharing one schema.
+func NewBroker(schema Schema, sources ...QuerySource) (*Broker, error) {
+	if err := schema.validate(); err != nil {
+		return nil, err
+	}
+	if !schema.Rollup {
+		return nil, ErrNotRollup
+	}
+	return &Broker{layout: newRowLayout(schema.Aggregators), sources: sources}, nil
+}
+
+// mergeScalars folds partial aggregate readouts (count/sum add; min/max
+// pick; sketch estimates add — exact for disjoint sources).
+func (b *Broker) mergeScalars(acc, part []float64) {
+	for i, spec := range b.layout.specs {
+		switch spec.Kind {
+		case AggCount, AggSum, AggUniqueHLL:
+			acc[i] += part[i]
+		case AggMin:
+			if part[i] < acc[i] {
+				acc[i] = part[i]
+			}
+		case AggMax:
+			if part[i] > acc[i] {
+				acc[i] = part[i]
+			}
+		case AggQuantileP2:
+			// Quantiles are not mergeable from readouts; keep the part
+			// with data (sources covering disjoint ranges rarely clash).
+			if part[i] != 0 {
+				acc[i] = part[i]
+			}
+		}
+	}
+}
+
+func (b *Broker) zeroScalars() []float64 {
+	return b.layout.readAll(b.layout.zeroTemplate())
+}
+
+// QueryTimeRange merges the time-range aggregate across all sources.
+func (b *Broker) QueryTimeRange(t1, t2 int64) []float64 {
+	acc := b.zeroScalars()
+	for _, s := range b.sources {
+		b.mergeScalars(acc, s.QueryTimeRange(t1, t2))
+	}
+	return acc
+}
+
+// Timeseries merges per-bucket aggregates across all sources.
+func (b *Broker) Timeseries(t1, t2, bucket int64, agg int) []float64 {
+	var out []float64
+	for _, s := range b.sources {
+		part := s.Timeseries(t1, t2, bucket, agg)
+		if out == nil {
+			out = make([]float64, len(part))
+			zero := b.zeroScalars()
+			for i := range out {
+				out[i] = zero[agg]
+			}
+		}
+		for i := range part {
+			acc := b.zeroScalars()
+			acc[agg] = out[i]
+			p := b.zeroScalars()
+			p[agg] = part[i]
+			b.mergeScalars(acc, p)
+			out[i] = acc[agg]
+		}
+	}
+	return out
+}
+
+// GroupBy merges per-group aggregates across all sources.
+func (b *Broker) GroupBy(dim int, t1, t2 int64) []GroupResult {
+	merged := map[string][]float64{}
+	for _, s := range b.sources {
+		for _, g := range s.GroupBy(dim, t1, t2) {
+			if acc, ok := merged[g.DimValue]; ok {
+				b.mergeScalars(acc, g.Aggs)
+			} else {
+				acc = b.zeroScalars()
+				b.mergeScalars(acc, g.Aggs)
+				merged[g.DimValue] = acc
+			}
+		}
+	}
+	out := make([]GroupResult, 0, len(merged))
+	for name, aggs := range merged {
+		out = append(out, GroupResult{DimValue: name, Aggs: aggs})
+	}
+	sortGroups(out)
+	return out
+}
+
+// TopN returns the k heaviest groups by aggregator agg across sources.
+func (b *Broker) TopN(dim, agg int, t1, t2 int64, k int) []GroupResult {
+	return topN(b.GroupBy(dim, t1, t2), agg, k)
+}
+
+func sortGroups(gs []GroupResult) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].DimValue < gs[j-1].DimValue; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package druid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSegmentSerializationRoundTrip(t *testing.T) {
+	oak, _, _ := seedIndexes(t)
+	seg, err := oak.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := seg.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo reported %d bytes; buffer has %d", n, buf.Len())
+	}
+	back, err := ReadSegment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != seg.Len() || back.SourceRows() != seg.SourceRows() {
+		t.Fatalf("row counts: %d/%d vs %d/%d",
+			back.Len(), back.SourceRows(), seg.Len(), seg.SourceRows())
+	}
+	// Queries agree bit-for-bit.
+	a := seg.GroupBy(0, 0, 50)
+	b := back.GroupBy(0, 0, 50)
+	if len(a) != len(b) {
+		t.Fatalf("groups %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].DimValue != b[i].DimValue {
+			t.Fatalf("group %d: %q vs %q", i, a[i].DimValue, b[i].DimValue)
+		}
+		for j := range a[i].Aggs {
+			if a[i].Aggs[j] != b[i].Aggs[j] {
+				t.Fatalf("group %q agg %d: %v vs %v",
+					a[i].DimValue, j, a[i].Aggs[j], b[i].Aggs[j])
+			}
+		}
+	}
+	// Point lookup through the re-minted dictionaries.
+	want, ok1 := seg.Get(7, []string{"site-1", "user-2"})
+	got, ok2 := back.Get(7, []string{"site-1", "user-2"})
+	if ok1 != ok2 {
+		t.Fatalf("Get presence: %v vs %v", ok1, ok2)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("Get agg %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadSegmentRejectsGarbage(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"NOTMAGIC",
+		segmentMagic, // truncated after magic
+		segmentMagic + strings.Repeat("\xff", 16),
+	} {
+		if _, err := ReadSegment(strings.NewReader(input)); err == nil {
+			t.Fatalf("garbage %q accepted", input)
+		}
+	}
+}
+
+func TestBrokerMergesLiveAndSegments(t *testing.T) {
+	schema := querySchema()
+	// Three sources with disjoint time ranges: two frozen, one live.
+	mkIndex := func(t1, t2 int64) *Index {
+		idx, err := NewIndex(schema, testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ts := t1; ts < t2; ts++ {
+			for s := 0; s < 3; s++ {
+				idx.Ingest(Tuple{
+					Timestamp: ts,
+					Dims:      []string{sname(s), "user-0"},
+					Metrics:   []float64{float64(s + 1)},
+				})
+			}
+		}
+		return idx
+	}
+	old1 := mkIndex(0, 10)
+	seg1, _ := old1.Persist()
+	old1.Close()
+	old2 := mkIndex(10, 20)
+	seg2, _ := old2.Persist()
+	old2.Close()
+	live := mkIndex(20, 30)
+	t.Cleanup(live.Close)
+
+	broker, err := NewBroker(schema, seg1, seg2, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-range count: 30 ticks × 3 sites.
+	out := broker.QueryTimeRange(0, 30)
+	if out[0] != 90 {
+		t.Fatalf("broker count = %v; want 90", out[0])
+	}
+	// Sum: per tick 1+2+3 = 6 → 180 total.
+	if out[1] != 180 {
+		t.Fatalf("broker sum = %v; want 180", out[1])
+	}
+	// Max across sources.
+	if out[2] != 3 {
+		t.Fatalf("broker max = %v; want 3", out[2])
+	}
+	// A range spanning the segment/live boundary.
+	out = broker.QueryTimeRange(5, 25)
+	if out[0] != 60 {
+		t.Fatalf("boundary count = %v; want 60", out[0])
+	}
+	// GroupBy merges per-site counts across sources.
+	groups := broker.GroupBy(0, 0, 30)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for _, g := range groups {
+		if g.Aggs[0] != 30 {
+			t.Fatalf("group %q count = %v; want 30", g.DimValue, g.Aggs[0])
+		}
+	}
+	// Timeseries across the boundary: bucket of 10 → 30 counts each.
+	ts := broker.Timeseries(0, 30, 10, 0)
+	if len(ts) != 3 || ts[0] != 30 || ts[1] != 30 || ts[2] != 30 {
+		t.Fatalf("broker timeseries = %v", ts)
+	}
+	// TopN by sum: site-2 ingests metric 3 per tick.
+	top := broker.TopN(0, 1, 0, 30, 1)
+	if len(top) != 1 || top[0].DimValue != "site-2" {
+		t.Fatalf("broker topN = %+v", top)
+	}
+}
+
+func sname(s int) string {
+	return "site-" + string(rune('0'+s))
+}
+
+func TestBrokerValidation(t *testing.T) {
+	bad := querySchema()
+	bad.Rollup = false
+	if _, err := NewBroker(bad); err != ErrNotRollup {
+		t.Fatalf("plain-schema broker: %v", err)
+	}
+	bad = Schema{Metrics: []string{"m"}, Aggregators: []AggregatorSpec{{Kind: AggSum, Metric: 9}}, Rollup: true}
+	if _, err := NewBroker(bad); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}

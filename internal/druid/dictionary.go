@@ -1,0 +1,56 @@
+package druid
+
+import "sync"
+
+// Dictionary maps variable-size string dimension values to fixed numeric
+// codewords, as Druid's I² does to save space (§6: "variable-size (e.g.,
+// string) dimensions are mapped to numeric codewords, through auxiliary
+// dynamic dictionaries"). Dictionaries stay on-heap in both index
+// implementations, like the paper's prototype.
+type Dictionary struct {
+	mu      sync.RWMutex
+	codes   map[string]uint32
+	reverse []string
+}
+
+// NewDictionary creates an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{codes: make(map[string]uint32)}
+}
+
+// Code returns the codeword for s, assigning the next free code on first
+// sight. Safe for concurrent use.
+func (d *Dictionary) Code(s string) uint32 {
+	d.mu.RLock()
+	c, ok := d.codes[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c = uint32(len(d.reverse))
+	d.codes[s] = c
+	d.reverse = append(d.reverse, s)
+	return c
+}
+
+// Lookup returns the string for a codeword.
+func (d *Dictionary) Lookup(code uint32) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(code) >= len(d.reverse) {
+		return "", false
+	}
+	return d.reverse[code], true
+}
+
+// Len returns the number of distinct values seen.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.reverse)
+}

@@ -1,0 +1,343 @@
+package druid
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func testOpts() *IndexOptions {
+	return &IndexOptions{ChunkCapacity: 256, BlockSize: 1 << 20}
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	a := d.Code("apple")
+	b := d.Code("banana")
+	if a == b {
+		t.Fatal("distinct strings share a code")
+	}
+	if d.Code("apple") != a {
+		t.Fatal("code not stable")
+	}
+	if s, ok := d.Lookup(a); !ok || s != "apple" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := d.Lookup(999); ok {
+		t.Fatal("lookup of unknown code")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewDictionary()
+	var wg sync.WaitGroup
+	codes := make([][]uint32, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		codes[g] = make([]uint32, 100)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				codes[g][i] = d.Code(string(rune('a' + i%26)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// All goroutines must have observed identical codes per string.
+	for g := 1; g < 8; g++ {
+		for i := 0; i < 100; i++ {
+			if codes[g][i] != codes[0][i] {
+				t.Fatalf("g%d saw different code for item %d", g, i)
+			}
+		}
+	}
+	if d.Len() != 26 {
+		t.Fatalf("Len = %d; want 26", d.Len())
+	}
+}
+
+func TestKeyEncodingOrder(t *testing.T) {
+	k1 := make([]byte, keySize(2, false))
+	k2 := make([]byte, keySize(2, false))
+	encodeKey(k1, -5, []uint32{1, 2}, 0, false)
+	encodeKey(k2, 3, []uint32{1, 2}, 0, false)
+	if string(k1) >= string(k2) {
+		t.Fatal("negative timestamp must sort before positive")
+	}
+	if decodeKeyTime(k1) != -5 || decodeKeyTime(k2) != 3 {
+		t.Fatal("timestamp round trip")
+	}
+	if decodeKeyDim(k1, 0) != 1 || decodeKeyDim(k1, 1) != 2 {
+		t.Fatal("dim code round trip")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	s := DefaultSchema(true)
+	if err := s.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Schema{Metrics: []string{"m"}, Aggregators: []AggregatorSpec{{Kind: AggSum, Metric: 5}}}
+	if err := bad.validate(); err == nil {
+		t.Fatal("expected validation error for out-of-range metric")
+	}
+	if _, err := NewIndex(bad, testOpts()); err == nil {
+		t.Fatal("NewIndex accepted bad schema")
+	}
+	if _, err := NewLegacyIndex(bad); err == nil {
+		t.Fatal("NewLegacyIndex accepted bad schema")
+	}
+}
+
+// TestRollupAgreement ingests the same stream into I²-Oak and I²-legacy
+// and checks that every aggregate readout matches (sketches included:
+// both sides run the identical sketch algorithms).
+func TestRollupAgreement(t *testing.T) {
+	schema := DefaultSchema(true)
+	oakIdx, err := NewIndex(schema, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oakIdx.Close()
+	legIdx, err := NewLegacyIndex(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := NewTupleGen(7, 5, []int{20, 100}, 2)
+	var tuples []Tuple
+	for i := 0; i < 5000; i++ {
+		tu := gen.Next()
+		tuples = append(tuples, tu)
+		if err := oakIdx.Ingest(tu); err != nil {
+			t.Fatal(err)
+		}
+		if err := legIdx.Ingest(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if oakIdx.Cardinality() != legIdx.Cardinality() {
+		t.Fatalf("cardinality %d vs %d", oakIdx.Cardinality(), legIdx.Cardinality())
+	}
+	if oakIdx.Rows() != 5000 || legIdx.Rows() != 5000 {
+		t.Fatal("row counts")
+	}
+	checked := 0
+	for _, tu := range tuples {
+		a, ok1 := oakIdx.Get(tu.Timestamp, tu.Dims)
+		b, ok2 := legIdx.Get(tu.Timestamp, tu.Dims)
+		if !ok1 || !ok2 {
+			t.Fatalf("lookup failed: %v %v", ok1, ok2)
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+				t.Fatalf("aggregate %d mismatch: %v vs %v", i, a[i], b[i])
+			}
+		}
+		checked++
+		if checked > 500 {
+			break
+		}
+	}
+}
+
+// TestRollupCorrectness checks the aggregates against exact values for a
+// deterministic stream.
+func TestRollupCorrectness(t *testing.T) {
+	schema := Schema{
+		Dimensions: []string{"d"},
+		Metrics:    []string{"m"},
+		Aggregators: []AggregatorSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Metric: 0},
+			{Kind: AggMin, Metric: 0},
+			{Kind: AggMax, Metric: 0},
+		},
+		Rollup: true,
+	}
+	idx, err := NewIndex(schema, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	for i := 1; i <= 100; i++ {
+		idx.Ingest(Tuple{Timestamp: 42, Dims: []string{"x"}, Metrics: []float64{float64(i)}})
+	}
+	got, ok := idx.Get(42, []string{"x"})
+	if !ok {
+		t.Fatal("key missing")
+	}
+	want := []float64{100, 5050, 1, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("agg %d = %v; want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPlainIndexKeepsAllRows(t *testing.T) {
+	schema := DefaultSchema(false)
+	idx, err := NewIndex(schema, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	// Identical tuples must NOT roll up in a plain index.
+	tu := Tuple{Timestamp: 1, Dims: []string{"a", "b"}, Metrics: []float64{1, 2}}
+	for i := 0; i < 50; i++ {
+		idx.Ingest(tu)
+	}
+	if idx.Cardinality() != 50 {
+		t.Fatalf("plain index cardinality = %d; want 50", idx.Cardinality())
+	}
+	leg, _ := NewLegacyIndex(schema)
+	for i := 0; i < 50; i++ {
+		leg.Ingest(tu)
+	}
+	if leg.Cardinality() != 50 {
+		t.Fatalf("legacy plain cardinality = %d", leg.Cardinality())
+	}
+}
+
+func TestQueryTimeRange(t *testing.T) {
+	schema := Schema{
+		Dimensions:  []string{"d"},
+		Metrics:     []string{"m"},
+		Aggregators: []AggregatorSpec{{Kind: AggCount}, {Kind: AggSum, Metric: 0}},
+		Rollup:      true,
+	}
+	idx, _ := NewIndex(schema, testOpts())
+	defer idx.Close()
+	for ts := int64(0); ts < 100; ts++ {
+		idx.Ingest(Tuple{Timestamp: ts, Dims: []string{"x"}, Metrics: []float64{1}})
+		idx.Ingest(Tuple{Timestamp: ts, Dims: []string{"y"}, Metrics: []float64{2}})
+	}
+	out := idx.QueryTimeRange(10, 20)
+	if out[0] != 20 { // 10 timestamps × 2 dims
+		t.Fatalf("range count = %v; want 20", out[0])
+	}
+	if out[1] != 30 { // 10×(1+2)
+		t.Fatalf("range sum = %v; want 30", out[1])
+	}
+}
+
+func TestRecentKeysDescending(t *testing.T) {
+	schema := DefaultSchema(true)
+	idx, _ := NewIndex(schema, testOpts())
+	defer idx.Close()
+	leg, _ := NewLegacyIndex(schema)
+	gen := NewTupleGen(1, 3, []int{10, 10}, 2)
+	for i := 0; i < 3000; i++ {
+		tu := gen.Next()
+		idx.Ingest(tu)
+		leg.Ingest(tu)
+	}
+	a := idx.RecentKeys(100)
+	b := leg.RecentKeys(100)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] > a[i-1] {
+			t.Fatal("oak recent keys not descending")
+		}
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("recent key %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	schema := DefaultSchema(true)
+	idx, _ := NewIndex(schema, testOpts())
+	defer idx.Close()
+	var wg sync.WaitGroup
+	const perG = 3000
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen := NewTupleGen(uint64(g+1), 4, []int{15, 50}, 2)
+			for i := 0; i < perG; i++ {
+				if err := idx.Ingest(gen.Next()); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if idx.Rows() != 4*perG {
+		t.Fatalf("rows = %d", idx.Rows())
+	}
+	// The total count across all rows must equal the number of tuples
+	// (no lost updates): compute via full time-range query.
+	out := idx.QueryTimeRange(-1<<62, 1<<62)
+	if int64(out[0]) != 4*perG {
+		t.Fatalf("aggregated count %v != %d tuples", out[0], 4*perG)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	idx, _ := NewIndex(DefaultSchema(true), testOpts())
+	defer idx.Close()
+	gen := NewTupleGen(2, 2, []int{10, 10}, 2)
+	for i := 0; i < 1000; i++ {
+		idx.Ingest(gen.Next())
+	}
+	if idx.RawBytes() <= 0 || idx.OffHeapBytes() <= 0 {
+		t.Fatal("accounting not populated")
+	}
+	if v, ok := idx.DimValue(0, 0); !ok || v == "" {
+		t.Fatal("dim value lookup failed")
+	}
+}
+
+func BenchmarkOakIngest(b *testing.B) {
+	idx, _ := NewIndex(DefaultSchema(true), &IndexOptions{BlockSize: 8 << 20})
+	defer idx.Close()
+	gen := NewTupleGen(1, 4, []int{1000, 100000}, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Ingest(gen.Next())
+	}
+}
+
+func BenchmarkQueryTimeRange(b *testing.B) {
+	idx, _ := NewIndex(DefaultSchema(true), &IndexOptions{BlockSize: 8 << 20})
+	defer idx.Close()
+	gen := NewTupleGen(1, 4, []int{100, 1000}, 2)
+	for i := 0; i < 50000; i++ {
+		idx.Ingest(gen.Next())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.QueryTimeRange(1000, 2000)
+	}
+}
+
+func BenchmarkSegmentVsIndexScan(b *testing.B) {
+	idx, _ := NewIndex(querySchema(), &IndexOptions{BlockSize: 8 << 20})
+	defer idx.Close()
+	gen := NewTupleGen(1, 4, []int{100, 1000}, 1)
+	for i := 0; i < 50000; i++ {
+		idx.Ingest(gen.Next())
+	}
+	seg, _ := idx.Persist()
+	b.Run("live-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.GroupBy(0, 0, 1<<40)
+		}
+	})
+	b.Run("frozen-segment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seg.GroupBy(0, 0, 1<<40)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package druid
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"oakmap/internal/sketch"
+	"oakmap/internal/skiplist"
+)
+
+// legacyRow is the on-heap aggregate object of I²-legacy: one Go object
+// per indexed key, holding boxed aggregator states — the per-row object
+// population whose GC cost the paper's Fig. 5 measures. Updates are
+// synchronized with a per-row mutex, as in Druid's OnheapIncrementalIndex
+// aggregators.
+type legacyRow struct {
+	mu     sync.Mutex
+	counts []uint64
+	floats []float64
+	hlls   []*sketch.HLL
+	p2s    []*sketch.P2
+}
+
+// LegacyIndex is I²-legacy: the baseline incremental index over an
+// on-heap concurrent skiplist with per-row aggregate objects.
+type LegacyIndex struct {
+	schema Schema
+	dicts  []*Dictionary
+	list   *skiplist.List[*legacyRow]
+
+	rows     atomic.Int64
+	rawBytes atomic.Int64
+	rowID    atomic.Uint64
+	// slot mapping per aggregator kind, mirroring rowLayout's order
+	countSlot, floatSlot, hllSlot, p2Slot []int
+}
+
+// NewLegacyIndex creates an I²-legacy for the given schema.
+func NewLegacyIndex(schema Schema) (*LegacyIndex, error) {
+	if err := schema.validate(); err != nil {
+		return nil, err
+	}
+	x := &LegacyIndex{schema: schema, list: skiplist.New[*legacyRow](nil)}
+	for range schema.Dimensions {
+		x.dicts = append(x.dicts, NewDictionary())
+	}
+	var nc, nf, nh, np int
+	for _, a := range schema.Aggregators {
+		switch a.Kind {
+		case AggCount:
+			x.countSlot = append(x.countSlot, nc)
+			nc++
+			x.floatSlot = append(x.floatSlot, -1)
+			x.hllSlot = append(x.hllSlot, -1)
+			x.p2Slot = append(x.p2Slot, -1)
+		case AggSum, AggMin, AggMax:
+			x.floatSlot = append(x.floatSlot, nf)
+			nf++
+			x.countSlot = append(x.countSlot, -1)
+			x.hllSlot = append(x.hllSlot, -1)
+			x.p2Slot = append(x.p2Slot, -1)
+		case AggUniqueHLL:
+			x.hllSlot = append(x.hllSlot, nh)
+			nh++
+			x.countSlot = append(x.countSlot, -1)
+			x.floatSlot = append(x.floatSlot, -1)
+			x.p2Slot = append(x.p2Slot, -1)
+		case AggQuantileP2:
+			x.p2Slot = append(x.p2Slot, np)
+			np++
+			x.countSlot = append(x.countSlot, -1)
+			x.floatSlot = append(x.floatSlot, -1)
+			x.hllSlot = append(x.hllSlot, -1)
+		}
+	}
+	return x, nil
+}
+
+func (x *LegacyIndex) newRow() *legacyRow {
+	r := &legacyRow{}
+	for _, a := range x.schema.Aggregators {
+		a = a.normalized()
+		switch a.Kind {
+		case AggCount:
+			r.counts = append(r.counts, 0)
+		case AggSum:
+			r.floats = append(r.floats, 0)
+		case AggMin:
+			r.floats = append(r.floats, math.Inf(1))
+		case AggMax:
+			r.floats = append(r.floats, math.Inf(-1))
+		case AggUniqueHLL:
+			r.hlls = append(r.hlls, sketch.NewHLL(a.HLLPrecision))
+		case AggQuantileP2:
+			r.p2s = append(r.p2s, sketch.NewP2(a.Quantile))
+		}
+	}
+	return r
+}
+
+func (x *LegacyIndex) updateRow(r *legacyRow, t Tuple) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, a := range x.schema.Aggregators {
+		switch a.Kind {
+		case AggCount:
+			r.counts[x.countSlot[i]]++
+		case AggSum:
+			r.floats[x.floatSlot[i]] += t.Metrics[a.Metric]
+		case AggMin:
+			if v := t.Metrics[a.Metric]; v < r.floats[x.floatSlot[i]] {
+				r.floats[x.floatSlot[i]] = v
+			}
+		case AggMax:
+			if v := t.Metrics[a.Metric]; v > r.floats[x.floatSlot[i]] {
+				r.floats[x.floatSlot[i]] = v
+			}
+		case AggUniqueHLL:
+			r.hlls[x.hllSlot[i]].Add(sketch.HashBytes([]byte(t.Dims[a.Dim])))
+		case AggQuantileP2:
+			r.p2s[x.p2Slot[i]].Add(t.Metrics[a.Metric])
+		}
+	}
+}
+
+func (x *LegacyIndex) encode(t Tuple, rowID uint64) []byte {
+	key := make([]byte, keySize(len(x.schema.Dimensions), !x.schema.Rollup))
+	codes := make([]uint32, len(t.Dims))
+	for i, d := range t.Dims {
+		codes[i] = x.dicts[i].Code(d)
+	}
+	encodeKey(key, t.Timestamp, codes, rowID, !x.schema.Rollup)
+	return key
+}
+
+// Ingest absorbs one tuple.
+func (x *LegacyIndex) Ingest(t Tuple) error {
+	x.rows.Add(1)
+	x.rawBytes.Add(int64(t.RawSize()))
+	if !x.schema.Rollup {
+		key := x.encode(t, x.rowID.Add(1))
+		r := x.newRow()
+		r.floats = append([]float64(nil), t.Metrics...)
+		x.list.Put(key, r)
+		return nil
+	}
+	key := x.encode(t, 0)
+	for {
+		if r, ok := x.list.Get(key); ok {
+			x.updateRow(r, t)
+			return nil
+		}
+		r := x.newRow()
+		x.updateRow(r, t)
+		if x.list.PutIfAbsent(key, r) {
+			return nil
+		}
+	}
+}
+
+// Rows returns the number of ingested tuples.
+func (x *LegacyIndex) Rows() int64 { return x.rows.Load() }
+
+// RawBytes returns the cumulative raw size of ingested tuples.
+func (x *LegacyIndex) RawBytes() int64 { return x.rawBytes.Load() }
+
+// Cardinality returns the number of distinct keys indexed.
+func (x *LegacyIndex) Cardinality() int { return x.list.Len() }
+
+// StoredDataBytes returns the inherent size of the indexed data (same
+// formula as Index.StoredDataBytes, so Fig. 5c compares both against the
+// identical baseline).
+func (x *LegacyIndex) StoredDataBytes() int64 {
+	per := int64(keySize(len(x.schema.Dimensions), !x.schema.Rollup))
+	if x.schema.Rollup {
+		per += int64(newRowLayout(x.schema.Aggregators).size)
+	} else {
+		per += int64(8 * len(x.schema.Metrics))
+	}
+	return per * int64(x.Cardinality())
+}
+
+// Get returns the aggregate readouts for an exact key.
+func (x *LegacyIndex) Get(ts int64, dims []string) ([]float64, bool) {
+	if !x.schema.Rollup {
+		return nil, false
+	}
+	key := x.encode(Tuple{Timestamp: ts, Dims: dims}, 0)
+	r, ok := x.list.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return x.readRow(r), true
+}
+
+func (x *LegacyIndex) readRow(r *legacyRow) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, len(x.schema.Aggregators))
+	for i, a := range x.schema.Aggregators {
+		switch a.Kind {
+		case AggCount:
+			out[i] = float64(r.counts[x.countSlot[i]])
+		case AggSum, AggMin, AggMax:
+			out[i] = r.floats[x.floatSlot[i]]
+		case AggUniqueHLL:
+			out[i] = r.hlls[x.hllSlot[i]].Estimate()
+		case AggQuantileP2:
+			out[i] = r.p2s[x.p2Slot[i]].Estimate()
+		}
+	}
+	return out
+}
+
+// RecentKeys returns up to n most-recent keys' timestamps in descending
+// order. Like ConcurrentSkipListMap, the descending walk re-looks-up
+// every step.
+func (x *LegacyIndex) RecentKeys(n int) []int64 {
+	out := make([]int64, 0, n)
+	x.list.Descend(nil, nil, func(k []byte, _ *legacyRow) bool {
+		out = append(out, decodeKeyTime(k))
+		return len(out) < n
+	})
+	return out
+}
+
+// Close is a no-op: I²-legacy's memory is reclaimed by the Go GC. That
+// asymmetry with Index.Close is the point of the case study.
+func (x *LegacyIndex) Close() {}

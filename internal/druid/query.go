@@ -1,0 +1,294 @@
+package druid
+
+import (
+	"sort"
+
+	"oakmap"
+)
+
+// Query layer: the three query families Druid serves from an incremental
+// index while it ingests (§6 "a data structure that absorbs new data
+// while serving queries in parallel"): timeseries (per-bucket
+// aggregates), groupBy (aggregates per dimension value), and topN (the k
+// heaviest dimension values by some aggregate). The I²-Oak read path
+// streams over Oak buffers without materializing rows; the legacy path
+// walks the skiplist.
+
+// GroupResult holds one group's aggregate readouts.
+type GroupResult struct {
+	DimValue string
+	Aggs     []float64
+}
+
+// rowVisitor abstracts the two indexes' range-scan machinery.
+type rowVisitor func(t1, t2 int64, visit func(key []byte, row []byte))
+
+// groupBy accumulates rows per code of dimension dim.
+func groupBy(layout *rowLayout, scan rowVisitor, lookup func(uint32) (string, bool),
+	dim int, t1, t2 int64) []GroupResult {
+	acc := map[uint32][]byte{}
+	scan(t1, t2, func(key []byte, row []byte) {
+		code := decodeKeyDim(key, dim)
+		g, ok := acc[code]
+		if !ok {
+			g = layout.zeroRow()
+			acc[code] = g
+		}
+		layout.mergeRows(g, row)
+	})
+	out := make([]GroupResult, 0, len(acc))
+	for code, g := range acc {
+		name, _ := lookup(code)
+		out = append(out, GroupResult{DimValue: name, Aggs: layout.readAll(g)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DimValue < out[j].DimValue })
+	return out
+}
+
+// topN returns the k groups with the greatest readout of aggregator agg.
+func topN(groups []GroupResult, agg, k int) []GroupResult {
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Aggs[agg] != groups[j].Aggs[agg] {
+			return groups[i].Aggs[agg] > groups[j].Aggs[agg]
+		}
+		return groups[i].DimValue < groups[j].DimValue
+	})
+	if len(groups) > k {
+		groups = groups[:k]
+	}
+	return groups
+}
+
+// timeseries buckets [t1, t2) into windows of width bucket and returns
+// aggregator agg's readout per window.
+func timeseries(layout *rowLayout, scan rowVisitor, t1, t2, bucket int64, agg int) []float64 {
+	if bucket <= 0 || t2 <= t1 {
+		return nil
+	}
+	n := int((t2 - t1 + bucket - 1) / bucket)
+	accs := make([][]byte, n)
+	scan(t1, t2, func(key []byte, row []byte) {
+		ts := decodeKeyTime(key)
+		idx := int((ts - t1) / bucket)
+		if idx < 0 || idx >= n {
+			return
+		}
+		if accs[idx] == nil {
+			accs[idx] = layout.zeroRow()
+		}
+		layout.mergeRows(accs[idx], row)
+	})
+	out := make([]float64, n)
+	for i, a := range accs {
+		if a == nil {
+			a = layout.zeroRow()
+		}
+		out[i] = layout.read(a, agg)
+	}
+	return out
+}
+
+// scanRange is Index's rowVisitor: a zero-copy stream scan. The row
+// bytes passed to visit alias Oak's buffer and are only valid during the
+// callback (the same contract as OakRBuffer.Read).
+func (x *Index) scanRange(t1, t2 int64, visit func(key []byte, row []byte)) {
+	lo := make([]byte, keySize(len(x.schema.Dimensions), false))
+	hi := make([]byte, keySize(len(x.schema.Dimensions), false))
+	encodeKey(lo, t1, make([]uint32, len(x.schema.Dimensions)), 0, false)
+	encodeKey(hi, t2, make([]uint32, len(x.schema.Dimensions)), 0, false)
+	var kbuf []byte
+	x.zc.AscendStream(&lo, &hi, func(k, v *oakmap.OakRBuffer) bool {
+		k.Read(func(kb []byte) error {
+			kbuf = append(kbuf[:0], kb...)
+			return nil
+		})
+		v.Read(func(row []byte) error {
+			visit(kbuf, row)
+			return nil
+		})
+		return true
+	})
+}
+
+// GroupBy aggregates all rows with t1 ≤ timestamp < t2 per value of
+// dimension dim, returning groups sorted by dimension value.
+func (x *Index) GroupBy(dim int, t1, t2 int64) []GroupResult {
+	if !x.schema.Rollup {
+		return nil
+	}
+	return groupBy(x.layout, x.scanRange, x.dicts[dim].Lookup, dim, t1, t2)
+}
+
+// TopN returns the k values of dimension dim with the greatest readout
+// of aggregator agg over [t1, t2).
+func (x *Index) TopN(dim, agg int, t1, t2 int64, k int) []GroupResult {
+	return topN(x.GroupBy(dim, t1, t2), agg, k)
+}
+
+// Timeseries buckets [t1, t2) into fixed windows and reads aggregator
+// agg per window.
+func (x *Index) Timeseries(t1, t2, bucket int64, agg int) []float64 {
+	if !x.schema.Rollup {
+		return nil
+	}
+	return timeseries(x.layout, x.scanRange, t1, t2, bucket, agg)
+}
+
+// Legacy equivalents. The legacy index materializes each row into a flat
+// state via the same layout so that query results are bit-identical with
+// I²-Oak for identical input.
+
+func (x *LegacyIndex) layout() *rowLayout { return newRowLayout(x.schema.Aggregators) }
+
+func (x *LegacyIndex) scanRange(layout *rowLayout, t1, t2 int64, visit func(key []byte, row []byte)) {
+	lo := make([]byte, keySize(len(x.schema.Dimensions), false))
+	hi := make([]byte, keySize(len(x.schema.Dimensions), false))
+	encodeKey(lo, t1, make([]uint32, len(x.schema.Dimensions)), 0, false)
+	encodeKey(hi, t2, make([]uint32, len(x.schema.Dimensions)), 0, false)
+	row := make([]byte, layout.size)
+	x.list.Ascend(lo, hi, func(k []byte, r *legacyRow) bool {
+		x.serializeRow(layout, r, row)
+		visit(k, row)
+		return true
+	})
+}
+
+// serializeRow flattens a legacy row into the layout's binary form.
+func (x *LegacyIndex) serializeRow(layout *rowLayout, r *legacyRow, dst []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(dst, layout.zeroTemplate())
+	for i, a := range x.schema.Aggregators {
+		st := dst[layout.offsets[i]:]
+		switch a.Kind {
+		case AggCount:
+			putU64(st, r.counts[x.countSlot[i]])
+		case AggSum, AggMin, AggMax:
+			putFloat(st, r.floats[x.floatSlot[i]])
+		case AggUniqueHLL:
+			copy(st, r.hlls[x.hllSlot[i]].AppendState(nil))
+		case AggQuantileP2:
+			copy(st, r.p2s[x.p2Slot[i]].AppendState(nil))
+		}
+	}
+}
+
+// GroupBy aggregates per dimension value over [t1, t2).
+func (x *LegacyIndex) GroupBy(dim int, t1, t2 int64) []GroupResult {
+	if !x.schema.Rollup {
+		return nil
+	}
+	layout := x.layout()
+	scan := func(t1, t2 int64, visit func([]byte, []byte)) {
+		x.scanRange(layout, t1, t2, visit)
+	}
+	return groupBy(layout, scan, x.dicts[dim].Lookup, dim, t1, t2)
+}
+
+// TopN returns the k heaviest dimension values by aggregator agg.
+func (x *LegacyIndex) TopN(dim, agg int, t1, t2 int64, k int) []GroupResult {
+	return topN(x.GroupBy(dim, t1, t2), agg, k)
+}
+
+// Timeseries buckets [t1, t2) and reads aggregator agg per window.
+func (x *LegacyIndex) Timeseries(t1, t2, bucket int64, agg int) []float64 {
+	if !x.schema.Rollup {
+		return nil
+	}
+	layout := x.layout()
+	scan := func(t1, t2 int64, visit func([]byte, []byte)) {
+		x.scanRange(layout, t1, t2, visit)
+	}
+	return timeseries(layout, scan, t1, t2, bucket, agg)
+}
+
+// QueryTimeRange for the legacy index (parity with Index.QueryTimeRange).
+func (x *LegacyIndex) QueryTimeRange(t1, t2 int64) []float64 {
+	if !x.schema.Rollup {
+		return nil
+	}
+	layout := x.layout()
+	acc := layout.zeroRow()
+	x.scanRange(layout, t1, t2, func(_ []byte, row []byte) {
+		layout.mergeRows(acc, row)
+	})
+	return layout.readAll(acc)
+}
+
+// Filtered queries (Druid's dimension filter spec): restrict a query to
+// rows whose dimension filterDim equals filterValue. Filtering happens
+// on dictionary codes read straight from the serialized keys, so no
+// strings are materialized during the scan.
+
+// whereVisitor wraps a rowVisitor with a dimension-equality filter.
+func whereVisitor(scan rowVisitor, dim int, code uint32, ok bool) rowVisitor {
+	return func(t1, t2 int64, visit func(key []byte, row []byte)) {
+		if !ok {
+			return // the value was never ingested: nothing matches
+		}
+		scan(t1, t2, func(key []byte, row []byte) {
+			if decodeKeyDim(key, dim) == code {
+				visit(key, row)
+			}
+		})
+	}
+}
+
+// TimeseriesWhere is Timeseries restricted to rows whose dimension
+// whereDim equals whereValue.
+func (x *Index) TimeseriesWhere(t1, t2, bucket int64, agg, whereDim int, whereValue string) []float64 {
+	if !x.schema.Rollup {
+		return nil
+	}
+	code, ok := x.dicts[whereDim].lookupCode(whereValue)
+	return timeseries(x.layout, whereVisitor(x.scanRange, whereDim, code, ok), t1, t2, bucket, agg)
+}
+
+// GroupByWhere is GroupBy over dim restricted by a filter on whereDim.
+func (x *Index) GroupByWhere(dim int, t1, t2 int64, whereDim int, whereValue string) []GroupResult {
+	if !x.schema.Rollup {
+		return nil
+	}
+	code, ok := x.dicts[whereDim].lookupCode(whereValue)
+	return groupBy(x.layout, whereVisitor(x.scanRange, whereDim, code, ok),
+		x.dicts[dim].Lookup, dim, t1, t2)
+}
+
+// TimeseriesWhere for the legacy index.
+func (x *LegacyIndex) TimeseriesWhere(t1, t2, bucket int64, agg, whereDim int, whereValue string) []float64 {
+	if !x.schema.Rollup {
+		return nil
+	}
+	layout := x.layout()
+	scan := func(t1, t2 int64, visit func([]byte, []byte)) {
+		x.scanRange(layout, t1, t2, visit)
+	}
+	code, ok := x.dicts[whereDim].lookupCode(whereValue)
+	return timeseries(layout, whereVisitor(scan, whereDim, code, ok), t1, t2, bucket, agg)
+}
+
+// GroupByWhere for the legacy index.
+func (x *LegacyIndex) GroupByWhere(dim int, t1, t2 int64, whereDim int, whereValue string) []GroupResult {
+	if !x.schema.Rollup {
+		return nil
+	}
+	layout := x.layout()
+	scan := func(t1, t2 int64, visit func([]byte, []byte)) {
+		x.scanRange(layout, t1, t2, visit)
+	}
+	code, ok := x.dicts[whereDim].lookupCode(whereValue)
+	return groupBy(layout, whereVisitor(scan, whereDim, code, ok), x.dicts[dim].Lookup, dim, t1, t2)
+}
+
+// TimeseriesWhere for frozen segments.
+func (s *Segment) TimeseriesWhere(t1, t2, bucket int64, agg, whereDim int, whereValue string) []float64 {
+	code, ok := s.dicts[whereDim].lookupCode(whereValue)
+	return timeseries(s.layout, whereVisitor(s.scanRange, whereDim, code, ok), t1, t2, bucket, agg)
+}
+
+// GroupByWhere for frozen segments.
+func (s *Segment) GroupByWhere(dim int, t1, t2 int64, whereDim int, whereValue string) []GroupResult {
+	code, ok := s.dicts[whereDim].lookupCode(whereValue)
+	return groupBy(s.layout, whereVisitor(s.scanRange, whereDim, code, ok),
+		s.dicts[dim].Lookup, dim, t1, t2)
+}

@@ -1,0 +1,294 @@
+package druid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// querySchema: counts and sums only, so query results are exact and the
+// two implementations must agree bit-for-bit.
+func querySchema() Schema {
+	return Schema{
+		Dimensions: []string{"site", "user"},
+		Metrics:    []string{"m"},
+		Aggregators: []AggregatorSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Metric: 0},
+			{Kind: AggMax, Metric: 0},
+		},
+		Rollup: true,
+	}
+}
+
+// seedIndexes ingests a deterministic stream into both implementations
+// and returns them plus a brute-force oracle keyed by (site, bucketed?).
+func seedIndexes(t *testing.T) (*Index, *LegacyIndex, []Tuple) {
+	t.Helper()
+	schema := querySchema()
+	oak, err := NewIndex(schema, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(oak.Close)
+	leg, err := NewLegacyIndex(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples []Tuple
+	for ts := int64(0); ts < 50; ts++ {
+		for s := 0; s < 5; s++ {
+			for u := 0; u < 3; u++ {
+				tu := Tuple{
+					Timestamp: ts,
+					Dims:      []string{fmt.Sprintf("site-%d", s), fmt.Sprintf("user-%d", u)},
+					Metrics:   []float64{float64(s*10 + u)},
+				}
+				tuples = append(tuples, tu)
+				if err := oak.Ingest(tu); err != nil {
+					t.Fatal(err)
+				}
+				if err := leg.Ingest(tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return oak, leg, tuples
+}
+
+func TestGroupByAgainstOracle(t *testing.T) {
+	oak, leg, tuples := seedIndexes(t)
+	t1, t2 := int64(10), int64(30)
+
+	// Brute-force oracle.
+	wantCount := map[string]float64{}
+	wantSum := map[string]float64{}
+	wantMax := map[string]float64{}
+	for _, tu := range tuples {
+		if tu.Timestamp < t1 || tu.Timestamp >= t2 {
+			continue
+		}
+		s := tu.Dims[0]
+		wantCount[s]++
+		wantSum[s] += tu.Metrics[0]
+		if tu.Metrics[0] > wantMax[s] || wantCount[s] == 1 {
+			wantMax[s] = math.Max(wantMax[s], tu.Metrics[0])
+		}
+	}
+
+	for _, idx := range []interface {
+		GroupBy(dim int, t1, t2 int64) []GroupResult
+	}{oak, leg} {
+		groups := idx.GroupBy(0, t1, t2)
+		if len(groups) != len(wantCount) {
+			t.Fatalf("groups = %d; want %d", len(groups), len(wantCount))
+		}
+		for _, g := range groups {
+			if g.Aggs[0] != wantCount[g.DimValue] {
+				t.Fatalf("%s count = %v; want %v", g.DimValue, g.Aggs[0], wantCount[g.DimValue])
+			}
+			if math.Abs(g.Aggs[1]-wantSum[g.DimValue]) > 1e-9 {
+				t.Fatalf("%s sum = %v; want %v", g.DimValue, g.Aggs[1], wantSum[g.DimValue])
+			}
+			if g.Aggs[2] != wantMax[g.DimValue] {
+				t.Fatalf("%s max = %v; want %v", g.DimValue, g.Aggs[2], wantMax[g.DimValue])
+			}
+		}
+	}
+}
+
+func TestGroupByImplementationsAgree(t *testing.T) {
+	oak, leg, _ := seedIndexes(t)
+	for dim := 0; dim < 2; dim++ {
+		a := oak.GroupBy(dim, 0, 50)
+		b := leg.GroupBy(dim, 0, 50)
+		if len(a) != len(b) {
+			t.Fatalf("dim %d: %d vs %d groups", dim, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DimValue != b[i].DimValue {
+				t.Fatalf("dim %d group %d: %q vs %q", dim, i, a[i].DimValue, b[i].DimValue)
+			}
+			for j := range a[i].Aggs {
+				if a[i].Aggs[j] != b[i].Aggs[j] {
+					t.Fatalf("dim %d group %q agg %d: %v vs %v",
+						dim, a[i].DimValue, j, a[i].Aggs[j], b[i].Aggs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	oak, leg, _ := seedIndexes(t)
+	// By sum of metric m, site-4 has the largest values (s*10+u).
+	for _, idx := range []interface {
+		TopN(dim, agg int, t1, t2 int64, k int) []GroupResult
+	}{oak, leg} {
+		top := idx.TopN(0, 1, 0, 50, 2)
+		if len(top) != 2 {
+			t.Fatalf("topN returned %d", len(top))
+		}
+		if top[0].DimValue != "site-4" || top[1].DimValue != "site-3" {
+			t.Fatalf("topN order = %q, %q", top[0].DimValue, top[1].DimValue)
+		}
+		if top[0].Aggs[1] < top[1].Aggs[1] {
+			t.Fatal("topN not sorted by aggregate")
+		}
+	}
+	// k beyond the group count returns everything.
+	if got := oak.TopN(0, 1, 0, 50, 100); len(got) != 5 {
+		t.Fatalf("topN with large k = %d groups", len(got))
+	}
+}
+
+func TestTimeseries(t *testing.T) {
+	oak, leg, _ := seedIndexes(t)
+	// 50 ticks, 15 tuples per tick; buckets of 10 → counts of 150 each.
+	for _, idx := range []interface {
+		Timeseries(t1, t2, bucket int64, agg int) []float64
+	}{oak, leg} {
+		counts := idx.Timeseries(0, 50, 10, 0)
+		if len(counts) != 5 {
+			t.Fatalf("buckets = %d", len(counts))
+		}
+		for i, c := range counts {
+			if c != 150 {
+				t.Fatalf("bucket %d count = %v; want 150", i, c)
+			}
+		}
+	}
+	// Empty range and zero bucket are safe.
+	if out := oak.Timeseries(10, 10, 5, 0); out != nil {
+		t.Fatal("empty range should return nil")
+	}
+	if out := oak.Timeseries(0, 50, 0, 0); out != nil {
+		t.Fatal("zero bucket should return nil")
+	}
+	// A bucket with no data reads the identity (count 0): window
+	// [45,55) holds ticks 45–49 (75 tuples), [55,65) holds none.
+	sparse := oak.Timeseries(45, 65, 10, 0)
+	if len(sparse) != 2 || sparse[0] != 75 || sparse[1] != 0 {
+		t.Fatalf("sparse timeseries = %v; want [75 0]", sparse)
+	}
+}
+
+func TestLegacyQueryTimeRangeParity(t *testing.T) {
+	oak, leg, _ := seedIndexes(t)
+	a := oak.QueryTimeRange(5, 25)
+	b := leg.QueryTimeRange(5, 25)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("agg %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQueriesOnPlainIndexReturnNil(t *testing.T) {
+	schema := querySchema()
+	schema.Rollup = false
+	oak, _ := NewIndex(schema, testOpts())
+	defer oak.Close()
+	leg, _ := NewLegacyIndex(schema)
+	if oak.GroupBy(0, 0, 10) != nil || leg.GroupBy(0, 0, 10) != nil {
+		t.Fatal("plain index GroupBy must return nil")
+	}
+	if oak.Timeseries(0, 10, 1, 0) != nil || leg.Timeseries(0, 10, 1, 0) != nil {
+		t.Fatal("plain index Timeseries must return nil")
+	}
+}
+
+// TestQueriesDuringIngest exercises §6's headline property: the index
+// absorbs new data while serving queries in parallel. Aggregate readouts
+// must be monotone (counts only grow) and never torn.
+func TestQueriesDuringIngest(t *testing.T) {
+	schema := querySchema()
+	idx, err := NewIndex(schema, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		gen := NewTupleGen(99, 3, []int{8, 20}, 1)
+		for i := 0; i < 30000; i++ {
+			if err := idx.Ingest(gen.Next()); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+		}
+	}()
+	var prevCount float64
+	for {
+		select {
+		case <-done:
+			// Final consistency: total count equals rows ingested.
+			out := idx.QueryTimeRange(-1<<62, 1<<62)
+			if int64(out[0]) != idx.Rows() {
+				t.Fatalf("final count %v != rows %d", out[0], idx.Rows())
+			}
+			return
+		default:
+		}
+		out := idx.QueryTimeRange(-1<<62, 1<<62)
+		if out[0] < prevCount {
+			t.Fatalf("count went backwards: %v < %v", out[0], prevCount)
+		}
+		prevCount = out[0]
+		idx.TopN(0, 1, 0, 1<<30, 3)
+		idx.Timeseries(0, 1000, 100, 0)
+	}
+}
+
+func TestFilteredQueries(t *testing.T) {
+	oak, leg, tuples := seedIndexes(t)
+	seg, err := oak.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: per-bucket counts restricted to site-2.
+	want := make([]float64, 5)
+	for _, tu := range tuples {
+		if tu.Dims[0] == "site-2" {
+			want[tu.Timestamp/10]++
+		}
+	}
+	type filterable interface {
+		TimeseriesWhere(t1, t2, bucket int64, agg, whereDim int, whereValue string) []float64
+	}
+	for _, idx := range []filterable{oak, leg, seg} {
+		got := idx.TimeseriesWhere(0, 50, 10, 0, 0, "site-2")
+		if len(got) != len(want) {
+			t.Fatalf("buckets = %d", len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bucket %d = %v; want %v", i, got[i], want[i])
+			}
+		}
+		// Unknown filter values match nothing.
+		empty := idx.TimeseriesWhere(0, 50, 10, 0, 0, "site-nope")
+		for i := range empty {
+			if empty[i] != 0 {
+				t.Fatalf("unknown filter bucket %d = %v", i, empty[i])
+			}
+		}
+	}
+	// GroupBy users within site-3: 3 users, 50 ticks each.
+	for _, g := range [][]GroupResult{
+		oak.GroupByWhere(1, 0, 50, 0, "site-3"),
+		leg.GroupByWhere(1, 0, 50, 0, "site-3"),
+		seg.GroupByWhere(1, 0, 50, 0, "site-3"),
+	} {
+		if len(g) != 3 {
+			t.Fatalf("filtered groups = %d", len(g))
+		}
+		for _, gr := range g {
+			if gr.Aggs[0] != 50 {
+				t.Fatalf("group %q count = %v; want 50", gr.DimValue, gr.Aggs[0])
+			}
+		}
+	}
+}

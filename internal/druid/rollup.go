@@ -1,0 +1,170 @@
+package druid
+
+import (
+	"encoding/binary"
+	"math"
+
+	"oakmap/internal/sketch"
+)
+
+// rowLayout maps a schema's aggregators onto a flat, fixed-size byte
+// row. Fixed size is what makes the I²-Oak write path a pure in-place
+// compute: every ingest mutates the row without resizing it.
+type rowLayout struct {
+	specs   []AggregatorSpec
+	offsets []int
+	size    int
+	tmpl    []byte // cached identity row
+}
+
+func newRowLayout(specs []AggregatorSpec) *rowLayout {
+	l := &rowLayout{}
+	for _, s := range specs {
+		s = s.normalized()
+		l.specs = append(l.specs, s)
+		l.offsets = append(l.offsets, l.size)
+		l.size += s.stateSize()
+	}
+	return l
+}
+
+// zeroRow builds the identity-element row: counts and sums at 0, min at
+// +Inf, max at -Inf, fresh sketches.
+func (l *rowLayout) zeroRow() []byte {
+	buf := make([]byte, 0, l.size)
+	for _, s := range l.specs {
+		switch s.Kind {
+		case AggCount:
+			buf = append(buf, make([]byte, 8)...)
+		case AggSum:
+			buf = appendFloat(buf, 0)
+		case AggMin:
+			buf = appendFloat(buf, math.Inf(1))
+		case AggMax:
+			buf = appendFloat(buf, math.Inf(-1))
+		case AggUniqueHLL:
+			buf = sketch.NewHLL(s.HLLPrecision).AppendState(buf)
+		case AggQuantileP2:
+			buf = sketch.NewP2(s.Quantile).AppendState(buf)
+		}
+	}
+	return buf
+}
+
+// zeroTemplate returns a shared immutable identity row (callers copy).
+func (l *rowLayout) zeroTemplate() []byte {
+	if l.tmpl == nil {
+		l.tmpl = l.zeroRow()
+	}
+	return l.tmpl
+}
+
+func putU64(buf []byte, v uint64) {
+	binary.LittleEndian.PutUint64(buf, v)
+}
+
+func appendFloat(dst []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(dst, b[:]...)
+}
+
+func getFloat(buf []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf))
+}
+
+func putFloat(buf []byte, v float64) {
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+}
+
+// update folds one tuple into the row, in place. This is the body of the
+// paper's "atomic update of multiple aggregates within a single lambda".
+func (l *rowLayout) update(row []byte, t Tuple) {
+	for i, s := range l.specs {
+		st := row[l.offsets[i]:]
+		switch s.Kind {
+		case AggCount:
+			binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+1)
+		case AggSum:
+			putFloat(st, getFloat(st)+t.Metrics[s.Metric])
+		case AggMin:
+			if v := t.Metrics[s.Metric]; v < getFloat(st) {
+				putFloat(st, v)
+			}
+		case AggMax:
+			if v := t.Metrics[s.Metric]; v > getFloat(st) {
+				putFloat(st, v)
+			}
+		case AggUniqueHLL:
+			sketch.HLLAddInPlace(st[:sketch.HLLStateSize(s.HLLPrecision)],
+				sketch.HashBytes([]byte(t.Dims[s.Dim])))
+		case AggQuantileP2:
+			sketch.P2AddInPlace(st[:sketch.P2StateSize], t.Metrics[s.Metric])
+		}
+	}
+}
+
+// read extracts aggregator i's current scalar readout from a row:
+// counts and sums directly, min/max directly, sketch estimates for
+// sketches.
+func (l *rowLayout) read(row []byte, i int) float64 {
+	s := l.specs[i]
+	st := row[l.offsets[i]:]
+	switch s.Kind {
+	case AggCount:
+		return float64(binary.LittleEndian.Uint64(st))
+	case AggSum, AggMin, AggMax:
+		return getFloat(st)
+	case AggUniqueHLL:
+		return sketch.HLLEstimateState(st[:sketch.HLLStateSize(s.HLLPrecision)])
+	case AggQuantileP2:
+		return sketch.P2EstimateState(st[:sketch.P2StateSize])
+	}
+	return math.NaN()
+}
+
+// readAll extracts all aggregator readouts.
+func (l *rowLayout) readAll(row []byte) []float64 {
+	out := make([]float64, len(l.specs))
+	for i := range l.specs {
+		out[i] = l.read(row, i)
+	}
+	return out
+}
+
+// mergeRows folds row b into row a (used by range queries that combine
+// per-key rows into one result).
+func (l *rowLayout) mergeRows(a, b []byte) {
+	for i, s := range l.specs {
+		sa, sb := a[l.offsets[i]:], b[l.offsets[i]:]
+		switch s.Kind {
+		case AggCount:
+			binary.LittleEndian.PutUint64(sa,
+				binary.LittleEndian.Uint64(sa)+binary.LittleEndian.Uint64(sb))
+		case AggSum:
+			putFloat(sa, getFloat(sa)+getFloat(sb))
+		case AggMin:
+			if getFloat(sb) < getFloat(sa) {
+				putFloat(sa, getFloat(sb))
+			}
+		case AggMax:
+			if getFloat(sb) > getFloat(sa) {
+				putFloat(sa, getFloat(sb))
+			}
+		case AggUniqueHLL:
+			n := sketch.HLLStateSize(s.HLLPrecision)
+			ha := sketch.HLLFromState(sa[:n])
+			ha.Merge(sketch.HLLFromState(sb[:n]))
+			copy(sa[:n], ha.AppendState(nil))
+		case AggQuantileP2:
+			// P² states are not mergeable in general; range queries over
+			// quantile aggregators approximate by keeping the row with
+			// more observations.
+			pa := sketch.P2FromState(sa[:sketch.P2StateSize])
+			pb := sketch.P2FromState(sb[:sketch.P2StateSize])
+			if pb.Count() > pa.Count() {
+				copy(sa[:sketch.P2StateSize], sb[:sketch.P2StateSize])
+			}
+		}
+	}
+}

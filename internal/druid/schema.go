@@ -1,0 +1,157 @@
+// Package druid re-implements the component the paper's case study (§6)
+// re-implements: Druid's Incremental Index (I²) — the in-memory data
+// structure that absorbs new data while serving queries in parallel.
+//
+// An I² maps multi-dimensional keys (timestamp + dictionary-encoded
+// string dimensions) to values. In a *rollup* index the value is a row
+// of materialized aggregates (counters, sums, min/max, and sketches for
+// unique counts and quantiles); in a *plain* index the value is the raw
+// tuple and keys are disambiguated with a row id. Two implementations
+// are provided:
+//
+//   - Index (I²-Oak): the adaptation layer over oakmap's ZC API. The
+//     write path uses PutIfAbsentComputeIfPresent to update all
+//     aggregates of a row atomically in a single lambda, off-heap.
+//   - LegacyIndex (I²-legacy): the JDK-style baseline — a concurrent
+//     skiplist holding one on-heap aggregate object per row.
+package druid
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oakmap/internal/sketch"
+)
+
+// AggKind enumerates rollup aggregator types.
+type AggKind int
+
+// Aggregator kinds. Count needs no input metric; Sum/Min/Max aggregate
+// one metric; UniqueHLL sketches one dimension; QuantileP2 sketches one
+// metric.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggUniqueHLL
+	AggQuantileP2
+)
+
+// AggregatorSpec describes one materialized aggregate of a rollup row.
+type AggregatorSpec struct {
+	Kind AggKind
+	// Metric is the input metric index for Sum/Min/Max/QuantileP2.
+	Metric int
+	// Dim is the input dimension index for UniqueHLL.
+	Dim int
+	// HLLPrecision configures UniqueHLL (default 9 → 512B state).
+	HLLPrecision uint8
+	// Quantile configures QuantileP2 (default 0.5).
+	Quantile float64
+}
+
+func (a AggregatorSpec) normalized() AggregatorSpec {
+	if a.Kind == AggUniqueHLL && a.HLLPrecision == 0 {
+		a.HLLPrecision = 9
+	}
+	if a.Kind == AggQuantileP2 && a.Quantile == 0 {
+		a.Quantile = 0.5
+	}
+	return a
+}
+
+// stateSize returns the serialized size of the aggregator's state.
+func (a AggregatorSpec) stateSize() int {
+	switch a.Kind {
+	case AggCount, AggSum, AggMin, AggMax:
+		return 8
+	case AggUniqueHLL:
+		return sketch.HLLStateSize(a.HLLPrecision)
+	case AggQuantileP2:
+		return sketch.P2StateSize
+	default:
+		panic(fmt.Sprintf("druid: unknown aggregator kind %d", a.Kind))
+	}
+}
+
+// Schema describes an index's dimensions, metrics and (for rollup
+// indexes) aggregators.
+type Schema struct {
+	Dimensions  []string // dimension names; values are strings
+	Metrics     []string // metric names; values are float64
+	Aggregators []AggregatorSpec
+	// Rollup selects the index mode: rollup (aggregate rows) or plain
+	// (raw rows with a row-id key suffix).
+	Rollup bool
+}
+
+func (s *Schema) validate() error {
+	for i, a := range s.Aggregators {
+		switch a.Kind {
+		case AggSum, AggMax, AggMin, AggQuantileP2:
+			if a.Metric < 0 || a.Metric >= len(s.Metrics) {
+				return fmt.Errorf("druid: aggregator %d references metric %d of %d", i, a.Metric, len(s.Metrics))
+			}
+		case AggUniqueHLL:
+			if a.Dim < 0 || a.Dim >= len(s.Dimensions) {
+				return fmt.Errorf("druid: aggregator %d references dim %d of %d", i, a.Dim, len(s.Dimensions))
+			}
+		case AggCount:
+		default:
+			return fmt.Errorf("druid: aggregator %d has unknown kind", i)
+		}
+	}
+	return nil
+}
+
+// Tuple is one incoming data record.
+type Tuple struct {
+	Timestamp int64
+	Dims      []string
+	Metrics   []float64
+}
+
+// RawSize estimates the tuple's raw data size in bytes (timestamp +
+// dimension strings + metrics), used for Fig. 5c's raw-data baseline.
+func (t Tuple) RawSize() int {
+	n := 8 + 8*len(t.Metrics)
+	for _, d := range t.Dims {
+		n += len(d)
+	}
+	return n
+}
+
+// keySize is the encoded key length: biased big-endian timestamp plus one
+// 4-byte dictionary code per dimension (plus an 8-byte row id for plain
+// indexes). Time is always the primary dimension (§6).
+func keySize(numDims int, plain bool) int {
+	n := 8 + 4*numDims
+	if plain {
+		n += 8
+	}
+	return n
+}
+
+// encodeKey writes the tuple's key into dst.
+func encodeKey(dst []byte, ts int64, codes []uint32, rowID uint64, plain bool) {
+	binary.BigEndian.PutUint64(dst, uint64(ts)^(1<<63)) // order-preserving bias
+	off := 8
+	for _, c := range codes {
+		binary.BigEndian.PutUint32(dst[off:], c)
+		off += 4
+	}
+	if plain {
+		binary.BigEndian.PutUint64(dst[off:], rowID)
+	}
+}
+
+// decodeKeyTime extracts the timestamp from an encoded key.
+func decodeKeyTime(key []byte) int64 {
+	return int64(binary.BigEndian.Uint64(key) ^ (1 << 63))
+}
+
+// decodeKeyDim extracts the i-th dimension code from an encoded key.
+func decodeKeyDim(key []byte, i int) uint32 {
+	return binary.BigEndian.Uint32(key[8+4*i:])
+}

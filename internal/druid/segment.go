@@ -1,0 +1,162 @@
+package druid
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+)
+
+// Segment is the immutable artifact an I² turns into when it fills up
+// (§6: "Once an I² fills up, its data gets reorganized and persisted,
+// and the I² is disposed"). Keys and rows are packed into two flat,
+// pointer-free arrays — the same GC-friendly representation Oak uses,
+// now sorted and frozen. Segments answer the same query families as the
+// live index.
+type Segment struct {
+	schema  Schema
+	layout  *rowLayout
+	keySz   int
+	rowSz   int
+	n       int
+	keys    []byte // n × keySz, ascending
+	rows    []byte // n × rowSz
+	dicts   []*Dictionary
+	rawRows int64
+}
+
+// ErrNotRollup is returned when persisting a plain index as a rollup
+// segment is attempted (plain indexes persist raw rows instead).
+var ErrNotRollup = errors.New("druid: segment persistence requires a rollup index")
+
+// Persist freezes the index's current contents into a Segment. The
+// caller typically Closes the index afterwards, returning its off-heap
+// blocks to the pool — completing the paper's I² lifecycle. Persisting
+// concurrently with ingestion yields a consistent-enough snapshot (the
+// usual non-atomic scan guarantees).
+func (x *Index) Persist() (*Segment, error) {
+	if !x.schema.Rollup {
+		return nil, ErrNotRollup
+	}
+	s := &Segment{
+		schema:  x.schema,
+		layout:  x.layout,
+		keySz:   keySize(len(x.schema.Dimensions), false),
+		rowSz:   x.layout.size,
+		dicts:   x.dicts,
+		rawRows: x.Rows(),
+	}
+	x.scanRange(-1<<62, 1<<62, func(key []byte, row []byte) {
+		s.keys = append(s.keys, key...)
+		s.rows = append(s.rows, row...)
+		s.n++
+	})
+	return s, nil
+}
+
+// Persist freezes a legacy index into the same Segment format, so
+// segments from either implementation are interchangeable downstream.
+func (x *LegacyIndex) Persist() (*Segment, error) {
+	if !x.schema.Rollup {
+		return nil, ErrNotRollup
+	}
+	layout := x.layout()
+	s := &Segment{
+		schema:  x.schema,
+		layout:  layout,
+		keySz:   keySize(len(x.schema.Dimensions), false),
+		rowSz:   layout.size,
+		dicts:   x.dicts,
+		rawRows: x.Rows(),
+	}
+	x.scanRange(layout, -1<<62, 1<<62, func(key []byte, row []byte) {
+		s.keys = append(s.keys, key...)
+		s.rows = append(s.rows, row...)
+		s.n++
+	})
+	return s, nil
+}
+
+// Len returns the number of rows in the segment.
+func (s *Segment) Len() int { return s.n }
+
+// SourceRows returns the number of raw tuples the source index ingested.
+func (s *Segment) SourceRows() int64 { return s.rawRows }
+
+// SizeBytes returns the segment's flat-array size.
+func (s *Segment) SizeBytes() int64 { return int64(len(s.keys) + len(s.rows)) }
+
+func (s *Segment) keyAt(i int) []byte { return s.keys[i*s.keySz : (i+1)*s.keySz] }
+func (s *Segment) rowAt(i int) []byte { return s.rows[i*s.rowSz : (i+1)*s.rowSz] }
+
+// search returns the first row index whose key is ≥ key.
+func (s *Segment) search(key []byte) int {
+	return sort.Search(s.n, func(i int) bool {
+		return bytes.Compare(s.keyAt(i), key) >= 0
+	})
+}
+
+// Get returns the aggregate readouts for an exact (timestamp, dims) key.
+func (s *Segment) Get(ts int64, dims []string) ([]float64, bool) {
+	key := make([]byte, s.keySz)
+	codes := make([]uint32, len(dims))
+	for i, d := range dims {
+		// Frozen segments never mint new codes: unseen values miss.
+		c, ok := s.dicts[i].lookupCode(d)
+		if !ok {
+			return nil, false
+		}
+		codes[i] = c
+	}
+	encodeKey(key, ts, codes, 0, false)
+	i := s.search(key)
+	if i >= s.n || !bytes.Equal(s.keyAt(i), key) {
+		return nil, false
+	}
+	return s.layout.readAll(s.rowAt(i)), true
+}
+
+// scanRange visits rows with t1 ≤ timestamp < t2 (the Segment's
+// rowVisitor, shared with the query helpers).
+func (s *Segment) scanRange(t1, t2 int64, visit func(key []byte, row []byte)) {
+	lo := make([]byte, s.keySz)
+	encodeKey(lo, t1, make([]uint32, len(s.schema.Dimensions)), 0, false)
+	for i := s.search(lo); i < s.n; i++ {
+		k := s.keyAt(i)
+		if decodeKeyTime(k) >= t2 {
+			return
+		}
+		visit(k, s.rowAt(i))
+	}
+}
+
+// GroupBy aggregates per dimension value over [t1, t2).
+func (s *Segment) GroupBy(dim int, t1, t2 int64) []GroupResult {
+	return groupBy(s.layout, s.scanRange, s.dicts[dim].Lookup, dim, t1, t2)
+}
+
+// TopN returns the k heaviest dimension values by aggregator agg.
+func (s *Segment) TopN(dim, agg int, t1, t2 int64, k int) []GroupResult {
+	return topN(s.GroupBy(dim, t1, t2), agg, k)
+}
+
+// Timeseries buckets [t1, t2) and reads aggregator agg per window.
+func (s *Segment) Timeseries(t1, t2, bucket int64, agg int) []float64 {
+	return timeseries(s.layout, s.scanRange, t1, t2, bucket, agg)
+}
+
+// QueryTimeRange combines all rows in [t1, t2) into one readout.
+func (s *Segment) QueryTimeRange(t1, t2 int64) []float64 {
+	acc := s.layout.zeroRow()
+	s.scanRange(t1, t2, func(_ []byte, row []byte) {
+		s.layout.mergeRows(acc, row)
+	})
+	return s.layout.readAll(acc)
+}
+
+// lookupCode resolves a string to its existing code without minting.
+func (d *Dictionary) lookupCode(s string) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.codes[s]
+	return c, ok
+}

@@ -1,0 +1,127 @@
+package druid
+
+import "testing"
+
+func TestPersistLifecycle(t *testing.T) {
+	oak, leg, tuples := seedIndexes(t)
+
+	segOak, err := oak.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segLeg, err := leg.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segOak.Len() != oak.Cardinality() || segLeg.Len() != leg.Cardinality() {
+		t.Fatalf("segment rows %d/%d vs cardinality %d/%d",
+			segOak.Len(), segLeg.Len(), oak.Cardinality(), leg.Cardinality())
+	}
+	if segOak.SourceRows() != int64(len(tuples)) {
+		t.Fatalf("SourceRows = %d", segOak.SourceRows())
+	}
+	if segOak.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+
+	// Segments answer the same queries as the live index, identically.
+	for _, pair := range [][2]interface {
+		GroupBy(dim int, t1, t2 int64) []GroupResult
+	}{{oak, segOak}, {leg, segLeg}, {segOak, segLeg}} {
+		a := pair[0].GroupBy(0, 0, 50)
+		b := pair[1].GroupBy(0, 0, 50)
+		if len(a) != len(b) {
+			t.Fatalf("group counts differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DimValue != b[i].DimValue {
+				t.Fatalf("group %d: %q vs %q", i, a[i].DimValue, b[i].DimValue)
+			}
+			for j := range a[i].Aggs {
+				if a[i].Aggs[j] != b[i].Aggs[j] {
+					t.Fatalf("group %q agg %d: %v vs %v",
+						a[i].DimValue, j, a[i].Aggs[j], b[i].Aggs[j])
+				}
+			}
+		}
+	}
+
+	// Point lookups.
+	want, ok := oak.Get(10, []string{"site-2", "user-1"})
+	if !ok {
+		t.Fatal("index Get")
+	}
+	got, ok := segOak.Get(10, []string{"site-2", "user-1"})
+	if !ok {
+		t.Fatal("segment Get")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment Get agg %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if _, ok := segOak.Get(10, []string{"site-2", "never-seen"}); ok {
+		t.Fatal("segment Get hit an unseen dimension value")
+	}
+	if _, ok := segOak.Get(9999, []string{"site-2", "user-1"}); ok {
+		t.Fatal("segment Get hit a missing timestamp")
+	}
+
+	// Timeseries and time-range parity with the live index.
+	a := oak.Timeseries(0, 50, 10, 0)
+	b := segOak.Timeseries(0, 50, 10, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timeseries bucket %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	qa := oak.QueryTimeRange(5, 45)
+	qb := segOak.QueryTimeRange(5, 45)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("range agg %d: %v vs %v", i, qa[i], qb[i])
+		}
+	}
+	top := segOak.TopN(0, 1, 0, 50, 1)
+	if len(top) != 1 || top[0].DimValue != "site-4" {
+		t.Fatalf("segment TopN = %+v", top)
+	}
+
+	// The lifecycle's point: dispose the index; the segment lives on.
+	oak.Close()
+	if g := segOak.GroupBy(0, 0, 50); len(g) != 5 {
+		t.Fatal("segment unusable after index Close")
+	}
+}
+
+func TestPersistPlainIndexFails(t *testing.T) {
+	schema := querySchema()
+	schema.Rollup = false
+	oak, _ := NewIndex(schema, testOpts())
+	defer oak.Close()
+	if _, err := oak.Persist(); err != ErrNotRollup {
+		t.Fatalf("Persist on plain index: %v", err)
+	}
+	leg, _ := NewLegacyIndex(schema)
+	if _, err := leg.Persist(); err != ErrNotRollup {
+		t.Fatalf("legacy Persist on plain index: %v", err)
+	}
+}
+
+func TestPersistEmptyIndex(t *testing.T) {
+	oak, _ := NewIndex(querySchema(), testOpts())
+	defer oak.Close()
+	seg, err := oak.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Len() != 0 {
+		t.Fatalf("empty segment rows = %d", seg.Len())
+	}
+	if _, ok := seg.Get(0, []string{"a", "b"}); ok {
+		t.Fatal("Get on empty segment")
+	}
+	if out := seg.Timeseries(0, 10, 5, 0); len(out) != 2 || out[0] != 0 {
+		t.Fatalf("empty timeseries = %v", out)
+	}
+}

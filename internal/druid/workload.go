@@ -1,0 +1,75 @@
+package druid
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// TupleGen generates the synthetic tuple stream of §6's evaluation: the
+// primary dimension is a monotonically advancing timestamp (so the
+// workload is spatially local), secondary dimensions draw from bounded
+// string vocabularies, and metrics are random floats. Rollup density is
+// controlled by how many tuples share a timestamp bucket.
+type TupleGen struct {
+	rng        *rand.Rand
+	ts         int64
+	perBucket  int // tuples sharing each timestamp
+	inBucket   int
+	dimCards   []int // vocabulary size per secondary dimension
+	numMetrics int
+}
+
+// NewTupleGen creates a generator. dimCards gives the vocabulary size of
+// each secondary dimension; perBucket ≥ 1 controls rollup density.
+func NewTupleGen(seed uint64, perBucket int, dimCards []int, numMetrics int) *TupleGen {
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	return &TupleGen{
+		rng:        rand.New(rand.NewPCG(seed, seed^0xabcdef)),
+		perBucket:  perBucket,
+		dimCards:   dimCards,
+		numMetrics: numMetrics,
+	}
+}
+
+// Next produces the next tuple.
+func (g *TupleGen) Next() Tuple {
+	if g.inBucket == g.perBucket {
+		g.inBucket = 0
+		g.ts++
+	}
+	g.inBucket++
+	t := Tuple{
+		Timestamp: g.ts,
+		Dims:      make([]string, len(g.dimCards)),
+		Metrics:   make([]float64, g.numMetrics),
+	}
+	for i, card := range g.dimCards {
+		t.Dims[i] = fmt.Sprintf("dim%d-val%06d", i, int(g.rng.Uint64())%card)
+	}
+	for i := range t.Metrics {
+		t.Metrics[i] = g.rng.Float64() * 1000
+	}
+	return t
+}
+
+// DefaultSchema returns the rollup schema used by the Fig. 5 experiments:
+// two string dimensions, two metrics, and the paper's aggregate mix of
+// plain counters plus sketches (count, sum, min, max, unique, p50).
+func DefaultSchema(rollup bool) Schema {
+	return Schema{
+		Dimensions: []string{"site", "user"},
+		Metrics:    []string{"latency", "bytes"},
+		Aggregators: []AggregatorSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Metric: 0},
+			{Kind: AggMin, Metric: 0},
+			{Kind: AggMax, Metric: 0},
+			{Kind: AggSum, Metric: 1},
+			{Kind: AggUniqueHLL, Dim: 1, HLLPrecision: 9},
+			{Kind: AggQuantileP2, Metric: 0, Quantile: 0.5},
+		},
+		Rollup: rollup,
+	}
+}

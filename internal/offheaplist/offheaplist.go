@@ -1,0 +1,240 @@
+// Package offheaplist implements the paper's "SkipList-OffHeap" baseline
+// (§5.1): a concurrent skiplist over intermediate cell objects, where
+// each cell references a key buffer and a value buffer allocated in
+// off-heap arenas through Oak's memory manager. It isolates the effect
+// of off-heap allocation from Oak's other design choices (chunk layout,
+// descending scans, ZC API). The design mirrors off-heap support in
+// production systems such as HBase.
+package offheaplist
+
+import (
+	"bytes"
+	"errors"
+
+	"oakmap/internal/arena"
+	"oakmap/internal/skiplist"
+	"oakmap/internal/vheader"
+)
+
+// ErrConcurrentModification mirrors core.ErrConcurrentModification.
+var ErrConcurrentModification = errors.New("offheaplist: value concurrently deleted")
+
+// cell is the on-heap intermediate object: one per mapping, pointing at
+// the off-heap key and value. This per-entry object (plus the skiplist
+// node) is exactly the metadata overhead Oak's chunks amortize away.
+type cell struct {
+	keyRef arena.Ref
+	handle uint64 // vheader index; data ref lives in the header table
+}
+
+// Map is an off-heap skiplist map over []byte keys and values.
+type Map struct {
+	list    *skiplist.List[*cell]
+	alloc   *arena.Allocator
+	headers *vheader.Table
+}
+
+// New creates an empty map drawing blocks from pool (nil = shared pool).
+func New(pool *arena.Pool) *Map {
+	if pool == nil {
+		pool = arena.DefaultPool()
+	}
+	return &Map{
+		list:    skiplist.New[*cell](bytes.Compare),
+		alloc:   arena.NewAllocator(pool),
+		headers: vheader.NewTable(),
+	}
+}
+
+// Len returns the number of mappings.
+func (m *Map) Len() int { return m.list.Len() }
+
+// Footprint returns the off-heap bytes held by the map.
+func (m *Map) Footprint() int64 { return m.alloc.Footprint() }
+
+// Close releases the off-heap blocks.
+func (m *Map) Close() { m.alloc.Close() }
+
+func (m *Map) newCell(key, val []byte) (*cell, error) {
+	kr, err := m.alloc.Write(key)
+	if err != nil {
+		return nil, err
+	}
+	vr, err := m.alloc.Write(val)
+	if err != nil {
+		return nil, err
+	}
+	h := m.headers.Alloc()
+	m.headers.StoreData(h, uint64(vr))
+	return &cell{keyRef: kr, handle: h}, nil
+}
+
+// setValue replaces c's value in place (same size) or via realloc.
+func (m *Map) setValue(c *cell, val []byte) (bool, error) {
+	if !m.headers.TryWriteLock(c.handle) {
+		return false, nil
+	}
+	defer m.headers.WriteUnlock(c.handle)
+	old := arena.Ref(m.headers.LoadData(c.handle))
+	if old.Len() == len(val) {
+		copy(m.alloc.Bytes(old), val)
+		return true, nil
+	}
+	nref, err := m.alloc.Write(val)
+	if err != nil {
+		return false, err
+	}
+	m.headers.StoreData(c.handle, uint64(nref))
+	m.alloc.Free(old)
+	return true, nil
+}
+
+// Put maps key to val.
+func (m *Map) Put(key, val []byte) error {
+	for {
+		if c, ok := m.list.Get(key); ok {
+			ok2, err := m.setValue(c, val)
+			if err != nil {
+				return err
+			}
+			if ok2 {
+				return nil
+			}
+			// Cell's value was deleted under us; fall through to insert.
+		}
+		nc, err := m.newCell(key, val)
+		if err != nil {
+			return err
+		}
+		if m.list.PutIfAbsent(m.alloc.Bytes(nc.keyRef), nc) {
+			return nil
+		}
+		// Raced with another insert; retry updating in place.
+		m.discard(nc)
+	}
+}
+
+// discard reclaims a never-published cell.
+func (m *Map) discard(c *cell) {
+	if m.headers.TryDelete(c.handle) {
+		ref := arena.Ref(m.headers.LoadData(c.handle))
+		m.headers.StoreData(c.handle, 0)
+		m.alloc.Free(ref)
+	}
+	m.alloc.Free(c.keyRef)
+}
+
+// PutIfAbsent inserts key→val iff absent.
+func (m *Map) PutIfAbsent(key, val []byte) (bool, error) {
+	if c, ok := m.list.Get(key); ok && !m.headers.IsDeleted(c.handle) {
+		return false, nil
+	}
+	nc, err := m.newCell(key, val)
+	if err != nil {
+		return false, err
+	}
+	if m.list.PutIfAbsent(m.alloc.Bytes(nc.keyRef), nc) {
+		return true, nil
+	}
+	m.discard(nc)
+	return false, nil
+}
+
+// Read runs f on the value mapped to key under its read lock.
+func (m *Map) Read(key []byte, f func([]byte) error) error {
+	c, ok := m.list.Get(key)
+	if !ok {
+		return ErrConcurrentModification
+	}
+	return m.readCell(c, f)
+}
+
+func (m *Map) readCell(c *cell, f func([]byte) error) error {
+	if !m.headers.TryReadLock(c.handle) {
+		return ErrConcurrentModification
+	}
+	defer m.headers.ReadUnlock(c.handle)
+	ref := arena.Ref(m.headers.LoadData(c.handle))
+	return f(m.alloc.Bytes(ref))
+}
+
+// Contains reports whether key maps to a live value.
+func (m *Map) Contains(key []byte) bool {
+	c, ok := m.list.Get(key)
+	return ok && !m.headers.IsDeleted(c.handle)
+}
+
+// GetCopy returns a copy of the value (legacy-style access).
+func (m *Map) GetCopy(key []byte, dst []byte) ([]byte, bool) {
+	var out []byte
+	err := m.Read(key, func(b []byte) error {
+		out = append(dst[:0], b...)
+		return nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// ComputeIfPresent applies f to the value in place under the write lock.
+func (m *Map) ComputeIfPresent(key []byte, f func([]byte)) bool {
+	c, ok := m.list.Get(key)
+	if !ok {
+		return false
+	}
+	if !m.headers.TryWriteLock(c.handle) {
+		return false
+	}
+	ref := arena.Ref(m.headers.LoadData(c.handle))
+	f(m.alloc.Bytes(ref))
+	m.headers.WriteUnlock(c.handle)
+	return true
+}
+
+// Remove deletes the mapping for key.
+func (m *Map) Remove(key []byte) bool {
+	c, ok := m.list.Remove(key)
+	if !ok {
+		return false
+	}
+	if m.headers.TryDelete(c.handle) {
+		ref := arena.Ref(m.headers.LoadData(c.handle))
+		m.headers.StoreData(c.handle, 0)
+		m.alloc.Free(ref)
+		// Key space is retained (same safe-default policy as core).
+		return true
+	}
+	return false
+}
+
+// Ascend scans ascending over [from, to) with read-locked value access.
+func (m *Map) Ascend(from, to []byte, f func(key []byte, val []byte) bool) {
+	m.list.Ascend(from, to, func(k []byte, c *cell) bool {
+		keep := true
+		err := m.readCell(c, func(v []byte) error {
+			keep = f(k, v)
+			return nil
+		})
+		if err != nil {
+			return true // deleted mid-scan: skip
+		}
+		return keep
+	})
+}
+
+// Descend scans descending; like ConcurrentSkipListMap it performs one
+// fresh lookup per step (the behaviour Fig. 4f measures).
+func (m *Map) Descend(from, to []byte, f func(key []byte, val []byte) bool) {
+	m.list.Descend(from, to, func(k []byte, c *cell) bool {
+		keep := true
+		err := m.readCell(c, func(v []byte) error {
+			keep = f(k, v)
+			return nil
+		})
+		if err != nil {
+			return true
+		}
+		return keep
+	})
+}

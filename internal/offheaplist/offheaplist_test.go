@@ -1,0 +1,213 @@
+package offheaplist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"oakmap/internal/arena"
+)
+
+func newMap(t testing.TB) *Map {
+	t.Helper()
+	m := New(arena.NewPool(1<<20, 0))
+	t.Cleanup(m.Close)
+	return m
+}
+
+func k(i int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func TestPutGetRemove(t *testing.T) {
+	m := newMap(t)
+	if m.Contains(k(1)) {
+		t.Fatal("empty contains")
+	}
+	if err := m.Put(k(1), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.GetCopy(k(1), nil)
+	if !ok || string(v) != "one" {
+		t.Fatalf("GetCopy = %q %v", v, ok)
+	}
+	m.Put(k(1), []byte("uno!"))
+	v, _ = m.GetCopy(k(1), nil)
+	if string(v) != "uno!" {
+		t.Fatalf("after overwrite: %q", v)
+	}
+	if !m.Remove(k(1)) {
+		t.Fatal("Remove")
+	}
+	if m.Contains(k(1)) {
+		t.Fatal("contains after remove")
+	}
+	if m.Remove(k(1)) {
+		t.Fatal("double remove")
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	m := newMap(t)
+	if ok, _ := m.PutIfAbsent(k(1), []byte("a")); !ok {
+		t.Fatal("first putIfAbsent")
+	}
+	if ok, _ := m.PutIfAbsent(k(1), []byte("b")); ok {
+		t.Fatal("second putIfAbsent")
+	}
+	v, _ := m.GetCopy(k(1), nil)
+	if string(v) != "a" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestComputeInPlace(t *testing.T) {
+	m := newMap(t)
+	m.Put(k(1), make([]byte, 8))
+	for i := 0; i < 10; i++ {
+		if !m.ComputeIfPresent(k(1), func(b []byte) {
+			binary.BigEndian.PutUint64(b, binary.BigEndian.Uint64(b)+1)
+		}) {
+			t.Fatal("compute failed")
+		}
+	}
+	v, _ := m.GetCopy(k(1), nil)
+	if binary.BigEndian.Uint64(v) != 10 {
+		t.Fatal("counter wrong")
+	}
+}
+
+func TestScans(t *testing.T) {
+	m := newMap(t)
+	const n = 200
+	for _, i := range rand.Perm(n) {
+		m.Put(k(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	var asc []int
+	m.Ascend(nil, nil, func(key, val []byte) bool {
+		asc = append(asc, int(binary.BigEndian.Uint64(key)))
+		return true
+	})
+	if len(asc) != n {
+		t.Fatalf("asc len %d", len(asc))
+	}
+	var desc []int
+	m.Descend(nil, nil, func(key, val []byte) bool {
+		desc = append(desc, int(binary.BigEndian.Uint64(key)))
+		return true
+	})
+	for i := range asc {
+		if asc[i] != i || desc[i] != n-1-i {
+			t.Fatalf("scan order broken at %d", i)
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	m := newMap(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 3))
+			for i := 0; i < 3000; i++ {
+				kk := k(int(rng.Uint64() % 300))
+				switch rng.Uint64() % 5 {
+				case 0, 1:
+					m.Put(kk, []byte("vvvvvvvv"))
+				case 2:
+					m.Remove(kk)
+				case 3:
+					m.ComputeIfPresent(kk, func(b []byte) { b[0] = 'x' })
+				default:
+					m.GetCopy(kk, nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	prev := -1
+	m.Ascend(nil, nil, func(key, val []byte) bool {
+		ki := int(binary.BigEndian.Uint64(key))
+		if ki <= prev {
+			t.Fatalf("order violation")
+		}
+		prev = ki
+		return true
+	})
+}
+
+func TestFootprint(t *testing.T) {
+	m := newMap(t)
+	for i := 0; i < 500; i++ {
+		m.Put(k(i), make([]byte, 100))
+	}
+	if m.Footprint() <= 0 {
+		t.Fatal("footprint")
+	}
+	if m.Len() != 500 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	m := newMap(t)
+	if err := m.Read(k(1), func([]byte) error { return nil }); err != ErrConcurrentModification {
+		t.Fatalf("Read absent = %v", err)
+	}
+	if _, ok := m.GetCopy(k(1), nil); ok {
+		t.Fatal("GetCopy absent")
+	}
+	if m.ComputeIfPresent(k(1), func([]byte) {}) {
+		t.Fatal("compute absent")
+	}
+	// GetCopy reuses dst capacity.
+	m.Put(k(2), []byte("abc"))
+	dst := make([]byte, 0, 16)
+	out, ok := m.GetCopy(k(2), dst)
+	if !ok || string(out) != "abc" || &out[0] != &dst[:1][0] {
+		t.Fatal("GetCopy did not reuse dst")
+	}
+}
+
+func TestValueResizeRealloc(t *testing.T) {
+	m := newMap(t)
+	m.Put(k(1), []byte("short"))
+	m.Put(k(1), []byte("a-much-longer-value-now"))
+	v, _ := m.GetCopy(k(1), nil)
+	if string(v) != "a-much-longer-value-now" {
+		t.Fatalf("resized value = %q", v)
+	}
+	m.Put(k(1), []byte("s"))
+	if v, _ := m.GetCopy(k(1), nil); string(v) != "s" {
+		t.Fatalf("shrunk value = %q", v)
+	}
+}
+
+func TestBoundedScans(t *testing.T) {
+	m := newMap(t)
+	for i := 0; i < 50; i++ {
+		m.Put(k(i), []byte{byte(i)})
+	}
+	var got []int
+	m.Ascend(k(10), k(15), func(key, _ []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(key)))
+		return true
+	})
+	if fmt.Sprint(got) != "[10 11 12 13 14]" {
+		t.Fatalf("bounded ascend = %v", got)
+	}
+	got = got[:0]
+	m.Descend(k(10), k(15), func(key, _ []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(key)))
+		return true
+	})
+	if fmt.Sprint(got) != "[14 13 12 11 10]" {
+		t.Fatalf("bounded descend = %v", got)
+	}
+}

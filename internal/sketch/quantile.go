@@ -1,0 +1,192 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// P2 is the P² ("P-square") streaming quantile estimator of Jain &
+// Chlamtac: it tracks one target quantile with five markers and O(1)
+// state, which makes it ideal for in-place updates inside Oak values.
+type P2 struct {
+	q       float64    // target quantile in (0, 1)
+	n       int64      // observations seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired positions
+	incr    [5]float64 // desired-position increments
+}
+
+// P2StateSize is the serialized size of a P² estimator.
+const P2StateSize = 8 + 8 + 5*8*3
+
+// NewP2 creates an estimator for quantile q (e.g. 0.5, 0.99).
+func NewP2(q float64) *P2 {
+	if q <= 0 || q >= 1 {
+		panic("sketch: quantile out of (0,1)")
+	}
+	p := &P2{q: q}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Add inserts an observation.
+func (p *P2) Add(x float64) {
+	if p.n < 5 {
+		// Insertion sort into the initial heights.
+		i := p.n
+		for i > 0 && p.heights[i-1] > x {
+			p.heights[i] = p.heights[i-1]
+			i--
+		}
+		p.heights[i] = x
+		p.n++
+		if p.n == 5 {
+			for j := 0; j < 5; j++ {
+				p.pos[j] = float64(j + 1)
+				p.want[j] = 1 + 4*p.incr[j]
+			}
+		}
+		return
+	}
+	p.n++
+	// Find the cell k containing x and adjust extreme markers.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.incr[i]
+	}
+	// Adjust interior markers with parabolic (or linear) interpolation.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := sign(d)
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+func sign(x float64) float64 {
+	if x >= 0 {
+		return 1
+	}
+	return -1
+}
+
+func (p *P2) parabolic(i int, s float64) float64 {
+	return p.heights[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.heights[i] + s*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Estimate returns the current quantile estimate.
+func (p *P2) Estimate() float64 {
+	if p.n == 0 {
+		return math.NaN()
+	}
+	if p.n < 5 {
+		// Exact small-sample quantile.
+		idx := int(p.q * float64(p.n))
+		if idx >= int(p.n) {
+			idx = int(p.n) - 1
+		}
+		return p.heights[idx]
+	}
+	return p.heights[2]
+}
+
+// Count returns the number of observations.
+func (p *P2) Count() int64 { return p.n }
+
+// AppendState serializes the estimator.
+func (p *P2) AppendState(dst []byte) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.q))
+	dst = append(dst, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], uint64(p.n))
+	dst = append(dst, b[:]...)
+	for _, arr := range [][5]float64{p.heights, p.pos, p.want} {
+		for _, v := range arr {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			dst = append(dst, b[:]...)
+		}
+	}
+	return dst
+}
+
+// loadState fills p from a serialized state without allocating.
+func (p *P2) loadState(state []byte) {
+	p.q = math.Float64frombits(binary.LittleEndian.Uint64(state[0:]))
+	p.n = int64(binary.LittleEndian.Uint64(state[8:]))
+	off := 16
+	for _, arr := range []*[5]float64{&p.heights, &p.pos, &p.want} {
+		for i := 0; i < 5; i++ {
+			arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(state[off:]))
+			off += 8
+		}
+	}
+	p.incr = [5]float64{0, p.q / 2, p.q, (1 + p.q) / 2, 1}
+}
+
+// storeState serializes p over state (len ≥ P2StateSize).
+func (p *P2) storeState(state []byte) {
+	binary.LittleEndian.PutUint64(state[0:], math.Float64bits(p.q))
+	binary.LittleEndian.PutUint64(state[8:], uint64(p.n))
+	off := 16
+	for _, arr := range [][5]float64{p.heights, p.pos, p.want} {
+		for i := 0; i < 5; i++ {
+			binary.LittleEndian.PutUint64(state[off:], math.Float64bits(arr[i]))
+			off += 8
+		}
+	}
+}
+
+// P2FromState deserializes an estimator.
+func P2FromState(state []byte) *P2 {
+	p := &P2{}
+	p.loadState(state)
+	return p
+}
+
+// P2AddInPlace updates a serialized P² state in situ (deserialize into a
+// stack value, add, re-serialize over the same bytes, no heap
+// allocation). The state size is constant, so the in-place contract of
+// Oak's compute holds.
+func P2AddInPlace(state []byte, x float64) {
+	var p P2
+	p.loadState(state)
+	p.Add(x)
+	p.storeState(state)
+}
+
+// P2EstimateState reads the estimate directly from a serialized state.
+func P2EstimateState(state []byte) float64 {
+	return P2FromState(state).Estimate()
+}

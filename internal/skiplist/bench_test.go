@@ -1,0 +1,79 @@
+package skiplist
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+)
+
+func benchList(n int) *List[int] {
+	l := New[int](nil)
+	for _, i := range rand.Perm(n) {
+		l.Put(key(i), i)
+	}
+	return l
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := benchList(100000)
+	kb := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(kb, uint64(i%100000))
+		l.Get(kb)
+	}
+}
+
+func BenchmarkPutOverwrite(b *testing.B) {
+	l := benchList(100000)
+	kb := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(kb, uint64(i%100000))
+		l.Put(kb, i)
+	}
+}
+
+func BenchmarkInsertFresh(b *testing.B) {
+	l := New[int](nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Put(key(i), i)
+	}
+}
+
+func BenchmarkAscend1000(b *testing.B) {
+	l := benchList(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		l.Ascend(key(i%50000), nil, func([]byte, int) bool {
+			n++
+			return n < 1000
+		})
+	}
+}
+
+// BenchmarkDescend1000 shows the per-key-lookup cost Fig. 4f punishes.
+func BenchmarkDescend1000(b *testing.B) {
+	l := benchList(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		l.Descend(nil, key(i%50000+50000), func([]byte, int) bool {
+			n++
+			return n < 1000
+		})
+	}
+}
+
+func BenchmarkFloor(b *testing.B) {
+	l := benchList(100000)
+	kb := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(kb, uint64(i%100000))
+		l.Floor(kb)
+	}
+}

@@ -1,0 +1,155 @@
+package skiplist
+
+// Navigation and iteration. Ascending scans ride the level-0 links.
+// Descending scans deliberately issue a fresh O(log N) lookup per step —
+// that is how ConcurrentSkipListMap implements descending iteration, and
+// it is the behaviour Oak's chunk-based descending scan beats in Fig. 4f.
+
+// Entry is a key/value pair returned by navigation queries.
+type Entry[V any] struct {
+	Key   []byte
+	Value V
+}
+
+// First returns the smallest entry.
+func (l *List[V]) First() (Entry[V], bool) {
+	for {
+		n := l.head.next[0].Load()
+		for n != nil && n.marked.Load() {
+			n = n.next[0].Load()
+		}
+		if n == nil {
+			return Entry[V]{}, false
+		}
+		if n.fullyLinked.Load() {
+			return Entry[V]{n.key, *n.val.Load()}, true
+		}
+	}
+}
+
+// Last returns the greatest entry.
+func (l *List[V]) Last() (Entry[V], bool) {
+	pred := l.head
+	for lvl := maxLevel; lvl >= 0; lvl-- {
+		for {
+			curr := pred.next[lvl].Load()
+			if curr == nil {
+				break
+			}
+			pred = curr
+		}
+	}
+	if pred == l.head {
+		return Entry[V]{}, false
+	}
+	if pred.marked.Load() || !pred.fullyLinked.Load() {
+		// Rare race with removal of the last node; restart via Lower of
+		// a key greater than everything is impossible, so just rescan.
+		return l.Last()
+	}
+	return Entry[V]{pred.key, *pred.val.Load()}, true
+}
+
+// Floor returns the greatest entry with key ≤ k.
+func (l *List[V]) Floor(k []byte) (Entry[V], bool) {
+	for {
+		var preds, succs [maxLevel + 1]*node[V]
+		found := l.find(k, &preds, &succs)
+		if found >= 0 {
+			n := succs[found]
+			if n.fullyLinked.Load() && !n.marked.Load() {
+				return Entry[V]{n.key, *n.val.Load()}, true
+			}
+			continue
+		}
+		n := preds[0]
+		if n == l.head {
+			return Entry[V]{}, false
+		}
+		if !n.marked.Load() && n.fullyLinked.Load() {
+			return Entry[V]{n.key, *n.val.Load()}, true
+		}
+		// pred was concurrently removed; retry.
+	}
+}
+
+// Lower returns the greatest entry with key strictly < k.
+func (l *List[V]) Lower(k []byte) (Entry[V], bool) {
+	for {
+		var preds, succs [maxLevel + 1]*node[V]
+		l.find(k, &preds, &succs)
+		n := preds[0]
+		if n == l.head {
+			return Entry[V]{}, false
+		}
+		if !n.marked.Load() && n.fullyLinked.Load() {
+			return Entry[V]{n.key, *n.val.Load()}, true
+		}
+	}
+}
+
+// Ceiling returns the smallest entry with key ≥ k.
+func (l *List[V]) Ceiling(k []byte) (Entry[V], bool) {
+	for {
+		var preds, succs [maxLevel + 1]*node[V]
+		l.find(k, &preds, &succs)
+		n := succs[0]
+		for n != nil && n.marked.Load() {
+			n = n.next[0].Load()
+		}
+		if n == nil {
+			return Entry[V]{}, false
+		}
+		if n.fullyLinked.Load() {
+			return Entry[V]{n.key, *n.val.Load()}, true
+		}
+	}
+}
+
+// Ascend calls yield for each entry with from ≤ key < to, in ascending
+// order, until yield returns false. A nil from starts at the beginning; a
+// nil to means no upper bound. The scan is non-atomic (§1.1): entries
+// inserted or removed concurrently may or may not be observed.
+func (l *List[V]) Ascend(from, to []byte, yield func(key []byte, v V) bool) {
+	var n *node[V]
+	if from == nil {
+		n = l.head.next[0].Load()
+	} else {
+		var preds, succs [maxLevel + 1]*node[V]
+		l.find(from, &preds, &succs)
+		n = succs[0]
+	}
+	for n != nil {
+		if to != nil && l.cmp(n.key, to) >= 0 {
+			return
+		}
+		if !n.marked.Load() && n.fullyLinked.Load() {
+			if !yield(n.key, *n.val.Load()) {
+				return
+			}
+		}
+		n = n.next[0].Load()
+	}
+}
+
+// Descend calls yield for each entry with from ≤ key < to in descending
+// order. Each step performs a fresh lookup (Lower), reproducing the
+// skiplist descending-scan cost model the paper measures.
+func (l *List[V]) Descend(from, to []byte, yield func(key []byte, v V) bool) {
+	var e Entry[V]
+	var ok bool
+	if to == nil {
+		e, ok = l.Last()
+	} else {
+		e, ok = l.Lower(to)
+	}
+	for ok {
+		if from != nil && l.cmp(e.Key, from) < 0 {
+			return
+		}
+		if !yield(e.Key, e.Value) {
+			return
+		}
+		e, ok = l.Lower(e.Key)
+	}
+}

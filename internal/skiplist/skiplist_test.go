@@ -1,0 +1,403 @@
+package skiplist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func keyInt(b []byte) int { return int(binary.BigEndian.Uint64(b)) }
+
+func TestEmpty(t *testing.T) {
+	l := New[string](nil)
+	if l.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+	if _, ok := l.Get(key(1)); ok {
+		t.Fatal("Get on empty")
+	}
+	if _, ok := l.First(); ok {
+		t.Fatal("First on empty")
+	}
+	if _, ok := l.Last(); ok {
+		t.Fatal("Last on empty")
+	}
+	if _, ok := l.Remove(key(1)); ok {
+		t.Fatal("Remove on empty")
+	}
+}
+
+func TestPutGetRemove(t *testing.T) {
+	l := New[string](nil)
+	if _, replaced := l.Put(key(1), "a"); replaced {
+		t.Fatal("first Put replaced")
+	}
+	if v, ok := l.Get(key(1)); !ok || v != "a" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	old, replaced := l.Put(key(1), "b")
+	if !replaced || old != "a" {
+		t.Fatalf("Put returned %q %v", old, replaced)
+	}
+	v, ok := l.Remove(key(1))
+	if !ok || v != "b" {
+		t.Fatalf("Remove = %q %v", v, ok)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	l := New[int](nil)
+	if !l.PutIfAbsent(key(1), 10) {
+		t.Fatal("first PutIfAbsent")
+	}
+	if l.PutIfAbsent(key(1), 20) {
+		t.Fatal("second PutIfAbsent succeeded")
+	}
+	if v, _ := l.Get(key(1)); v != 10 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+// TestAgainstReferenceModel drives the skiplist and a Go map with the
+// same random operations and compares results.
+func TestAgainstReferenceModel(t *testing.T) {
+	l := New[int](nil)
+	ref := map[int]int{}
+	rng := rand.New(rand.NewPCG(42, 43))
+	for i := 0; i < 20000; i++ {
+		k := int(rng.Uint64() % 500)
+		switch rng.Uint64() % 4 {
+		case 0, 1:
+			old, replaced := l.Put(key(k), i)
+			refOld, refHad := ref[k]
+			if replaced != refHad || (refHad && old != refOld) {
+				t.Fatalf("Put(%d) mismatch: (%d,%v) vs (%d,%v)", k, old, replaced, refOld, refHad)
+			}
+			ref[k] = i
+		case 2:
+			old, removed := l.Remove(key(k))
+			refOld, refHad := ref[k]
+			if removed != refHad || (refHad && old != refOld) {
+				t.Fatalf("Remove(%d) mismatch", k)
+			}
+			delete(ref, k)
+		default:
+			v, ok := l.Get(key(k))
+			refV, refHad := ref[k]
+			if ok != refHad || (refHad && v != refV) {
+				t.Fatalf("Get(%d) mismatch: (%d,%v) vs (%d,%v)", k, v, ok, refV, refHad)
+			}
+		}
+	}
+	if l.Len() != len(ref) {
+		t.Fatalf("Len %d != %d", l.Len(), len(ref))
+	}
+	// Final ascending scan matches the sorted reference.
+	var want []int
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Ints(want)
+	var got []int
+	l.Ascend(nil, nil, func(k []byte, v int) bool {
+		got = append(got, keyInt(k))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d; want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	l := New[int](nil)
+	for i := 0; i < 100; i += 10 {
+		l.Put(key(i), i)
+	}
+	if e, ok := l.Floor(key(35)); !ok || keyInt(e.Key) != 30 {
+		t.Fatal("Floor(35)")
+	}
+	if e, ok := l.Floor(key(30)); !ok || keyInt(e.Key) != 30 {
+		t.Fatal("Floor(30)")
+	}
+	if e, ok := l.Lower(key(30)); !ok || keyInt(e.Key) != 20 {
+		t.Fatal("Lower(30)")
+	}
+	if e, ok := l.Ceiling(key(35)); !ok || keyInt(e.Key) != 40 {
+		t.Fatal("Ceiling(35)")
+	}
+	if e, ok := l.First(); !ok || keyInt(e.Key) != 0 {
+		t.Fatal("First")
+	}
+	if e, ok := l.Last(); !ok || keyInt(e.Key) != 90 {
+		t.Fatal("Last")
+	}
+	if _, ok := l.Lower(key(0)); ok {
+		t.Fatal("Lower(0) should be empty")
+	}
+	if _, ok := l.Ceiling(key(91)); ok {
+		t.Fatal("Ceiling(91) should be empty")
+	}
+}
+
+func TestAscendDescendBounds(t *testing.T) {
+	l := New[int](nil)
+	for i := 0; i < 50; i++ {
+		l.Put(key(i), i)
+	}
+	var got []int
+	l.Ascend(key(10), key(15), func(k []byte, v int) bool {
+		got = append(got, keyInt(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[10 11 12 13 14]" {
+		t.Fatalf("Ascend = %v", got)
+	}
+	got = got[:0]
+	l.Descend(key(10), key(15), func(k []byte, v int) bool {
+		got = append(got, keyInt(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[14 13 12 11 10]" {
+		t.Fatalf("Descend = %v", got)
+	}
+	// Early termination.
+	n := 0
+	l.Ascend(nil, nil, func(k []byte, v int) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMergeAndComputeIfPresent(t *testing.T) {
+	l := New[int](nil)
+	l.Merge(key(1), 100, func(v int) int { return v + 1 })
+	if v, _ := l.Get(key(1)); v != 100 {
+		t.Fatalf("merge-insert = %d", v)
+	}
+	l.Merge(key(1), 100, func(v int) int { return v + 1 })
+	if v, _ := l.Get(key(1)); v != 101 {
+		t.Fatalf("merge-update = %d", v)
+	}
+	if l.ComputeIfPresent(key(2), func(v int) int { return v }) {
+		t.Fatal("ComputeIfPresent on absent key")
+	}
+}
+
+func TestCustomComparator(t *testing.T) {
+	// Reverse ordering.
+	l := New[int](func(a, b []byte) int { return bytes.Compare(b, a) })
+	for i := 0; i < 10; i++ {
+		l.Put(key(i), i)
+	}
+	var got []int
+	l.Ascend(nil, nil, func(k []byte, v int) bool {
+		got = append(got, keyInt(k))
+		return true
+	})
+	for i := range got {
+		if got[i] != 9-i {
+			t.Fatalf("reverse order broken: %v", got)
+		}
+	}
+}
+
+func TestConcurrentInsertDisjoint(t *testing.T) {
+	l := New[int](nil)
+	const perG = 2000
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Put(key(g*perG+i), i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != perG*goroutines {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	prev := -1
+	count := 0
+	l.Ascend(nil, nil, func(k []byte, v int) bool {
+		ki := keyInt(k)
+		if ki <= prev {
+			t.Fatalf("order violation at %d", ki)
+		}
+		prev = ki
+		count++
+		return true
+	})
+	if count != perG*goroutines {
+		t.Fatalf("scan count = %d", count)
+	}
+}
+
+func TestConcurrentPutIfAbsentOneWinner(t *testing.T) {
+	l := New[int](nil)
+	const keys = 300
+	const goroutines = 8
+	var winners [keys]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				if l.PutIfAbsent(key(k), g) {
+					mu.Lock()
+					winners[k]++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if winners[k] != 1 {
+			t.Fatalf("key %d: %d winners", k, winners[k])
+		}
+	}
+}
+
+func TestConcurrentMixedChurn(t *testing.T) {
+	l := New[int](nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 5))
+			for i := 0; i < 5000; i++ {
+				k := int(rng.Uint64() % 400)
+				switch rng.Uint64() % 6 {
+				case 0, 1:
+					l.Put(key(k), i)
+				case 2:
+					l.Remove(key(k))
+				case 3:
+					l.Merge(key(k), 0, func(v int) int { return v + 1 })
+				case 4:
+					n := 0
+					l.Ascend(nil, nil, func([]byte, int) bool { n++; return n < 50 })
+				default:
+					l.Get(key(k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Quiescent invariant: strictly ascending scan, count == Len.
+	prev := -1
+	count := 0
+	l.Ascend(nil, nil, func(k []byte, v int) bool {
+		ki := keyInt(k)
+		if ki <= prev {
+			t.Fatalf("order violation: %d after %d", ki, prev)
+		}
+		prev = ki
+		count++
+		return true
+	})
+	if count != l.Len() {
+		t.Fatalf("count %d != Len %d", count, l.Len())
+	}
+}
+
+// Property: descending scan is the exact reverse of ascending for any
+// key set.
+func TestDescendReversesAscendProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		l := New[bool](nil)
+		for _, k := range keys {
+			l.Put(key(int(k)), true)
+		}
+		var asc, desc []int
+		l.Ascend(nil, nil, func(k []byte, _ bool) bool {
+			asc = append(asc, keyInt(k))
+			return true
+		})
+		l.Descend(nil, nil, func(k []byte, _ bool) bool {
+			desc = append(desc, keyInt(k))
+			return true
+		})
+		if len(asc) != len(desc) {
+			return false
+		}
+		for i := range asc {
+			if asc[i] != desc[len(desc)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Floor/Ceiling agree with a sorted-slice oracle.
+func TestFloorCeilingProperty(t *testing.T) {
+	f := func(keys []uint8, probe uint8) bool {
+		l := New[bool](nil)
+		set := map[int]bool{}
+		for _, k := range keys {
+			l.Put(key(int(k)), true)
+			set[int(k)] = true
+		}
+		var sorted []int
+		for k := range set {
+			sorted = append(sorted, k)
+		}
+		sort.Ints(sorted)
+		p := int(probe)
+		// Oracle.
+		wantFloor, haveFloor := -1, false
+		wantCeil, haveCeil := -1, false
+		for _, k := range sorted {
+			if k <= p {
+				wantFloor, haveFloor = k, true
+			}
+			if k >= p && !haveCeil {
+				wantCeil, haveCeil = k, true
+			}
+		}
+		gotF, okF := l.Floor(key(p))
+		gotC, okC := l.Ceiling(key(p))
+		if okF != haveFloor || okC != haveCeil {
+			return false
+		}
+		if haveFloor && keyInt(gotF.Key) != wantFloor {
+			return false
+		}
+		if haveCeil && keyInt(gotC.Key) != wantCeil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package vheader
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReclaimAllocReleaseReuse(t *testing.T) {
+	tb := NewReclaimingTable()
+	h1 := tb.Alloc()
+	tb.StoreData(h1, 111)
+	if !tb.TryDelete(h1) {
+		t.Fatal("delete")
+	}
+	tb.Release(h1)
+	if tb.Released() != 1 {
+		t.Fatalf("Released = %d", tb.Released())
+	}
+	h2 := tb.Alloc()
+	if tb.Reused() != 1 {
+		t.Fatalf("Reused = %d; slot not recycled", tb.Reused())
+	}
+	if h2 == h1 {
+		t.Fatal("recycled handle must differ (generation bump)")
+	}
+	if tb.Count() != 1 {
+		t.Fatalf("Count = %d; want 1 materialized slot", tb.Count())
+	}
+	// The new incarnation is live with clean data.
+	if tb.IsDeleted(h2) || tb.LoadData(h2) != 0 {
+		t.Fatal("recycled slot not reset")
+	}
+}
+
+func TestReclaimStaleHandleFailsEverything(t *testing.T) {
+	tb := NewReclaimingTable()
+	old := tb.Alloc()
+	tb.TryDelete(old)
+	tb.Release(old)
+	fresh := tb.Alloc() // same slot, new generation
+	tb.StoreData(fresh, 42)
+
+	if !tb.IsDeleted(old) {
+		t.Fatal("stale handle must read as deleted")
+	}
+	if tb.TryReadLock(old) {
+		t.Fatal("stale read lock must fail")
+	}
+	if tb.TryWriteLock(old) {
+		t.Fatal("stale write lock must fail")
+	}
+	if tb.TryDelete(old) {
+		t.Fatal("stale delete must fail")
+	}
+	// And the fresh incarnation is unaffected.
+	if tb.IsDeleted(fresh) || tb.LoadData(fresh) != 42 {
+		t.Fatal("fresh incarnation corrupted by stale operations")
+	}
+	if !tb.TryReadLock(fresh) {
+		t.Fatal("fresh read lock")
+	}
+	tb.ReadUnlock(fresh)
+}
+
+func TestReclaimDoubleReleaseIsIdempotent(t *testing.T) {
+	tb := NewReclaimingTable()
+	h := tb.Alloc()
+	tb.TryDelete(h)
+	tb.Release(h)
+	tb.Release(h) // must be a no-op
+	if tb.Released() != 1 {
+		t.Fatalf("Released = %d after double release", tb.Released())
+	}
+	a := tb.Alloc()
+	b := tb.Alloc()
+	if slotOf(a) == slotOf(b) {
+		t.Fatal("double release put the slot on the free list twice")
+	}
+}
+
+func TestReclaimHandleEncoding(t *testing.T) {
+	h := handleOf(123456, 789)
+	if slotOf(h) != 123456 || genOf(h) != 789 {
+		t.Fatal("handle pack/unpack")
+	}
+}
+
+func TestReclaimBoundedUnderChurn(t *testing.T) {
+	tb := NewReclaimingTable()
+	for i := 0; i < 10000; i++ {
+		h := tb.Alloc()
+		tb.StoreData(h, uint64(i))
+		if !tb.TryDelete(h) {
+			t.Fatal("delete")
+		}
+		tb.Release(h)
+	}
+	if tb.Count() > 4 {
+		t.Fatalf("Count = %d; churn must reuse slots", tb.Count())
+	}
+}
+
+func TestReclaimConcurrentChurn(t *testing.T) {
+	tb := NewReclaimingTable()
+	var wg sync.WaitGroup
+	var deleted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				h := tb.Alloc()
+				tb.StoreData(h, uint64(g))
+				if !tb.TryWriteLock(h) {
+					t.Error("write lock on fresh handle failed")
+					return
+				}
+				if got := tb.LoadData(h); got != uint64(g) {
+					t.Errorf("data word cross-contamination: %d != %d", got, g)
+					return
+				}
+				tb.WriteUnlock(h)
+				if tb.TryDelete(h) {
+					deleted.Add(1)
+					tb.Release(h)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if deleted.Load() != 8*3000 {
+		t.Fatalf("deleted %d of %d", deleted.Load(), 8*3000)
+	}
+	// Slots are bounded by concurrency, not total operations.
+	if tb.Count() > 1000 {
+		t.Fatalf("Count = %d; expected bounded slot usage", tb.Count())
+	}
+}
+
+// TestReclaimStaleReaderVsRecycler hammers the narrow race: a reader
+// holding an old handle while the slot is released and re-allocated. The
+// reader must never observe the new incarnation's data as its own.
+func TestReclaimStaleReaderVsRecycler(t *testing.T) {
+	tb := NewReclaimingTable()
+	const rounds = 5000
+	h := tb.Alloc()
+	tb.StoreData(h, 1)
+	var cur atomic.Uint64
+	cur.Store(h)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hh := cur.Load()
+				if tb.TryReadLock(hh) {
+					// Under the read lock the generation matched, so the
+					// data must belong to this incarnation.
+					if tb.LoadData(hh)%2 != genOf(hh)%2 {
+						t.Error("reader observed another incarnation's data")
+						tb.ReadUnlock(hh)
+						return
+					}
+					tb.ReadUnlock(hh)
+				}
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		old := cur.Load()
+		if tb.TryDelete(old) {
+			tb.Release(old)
+		}
+		nh := tb.Alloc()
+		// Data parity tracks generation parity so readers can verify.
+		tb.StoreData(nh, genOf(nh)%2+2*uint64(i))
+		cur.Store(nh)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,169 @@
+// Package vheader implements Oak's per-value headers (§3.3): a one-word
+// read–write spinlock with an embedded deleted bit, used to make
+// v.put, v.compute, v.remove and buffer reads atomic with respect to one
+// another.
+//
+// In the paper the header occupies the first bytes of each value buffer
+// and is manipulated with Unsafe atomics; headers are never reclaimed by
+// the default memory manager, which both simplifies reclamation and rules
+// out ABA on the remove path (§4.4). Here headers live in an append-only
+// segmented table of uint64 words: the same lifetime discipline (a header
+// index is never reused), the same one-word state machine, but with
+// naturally aligned atomics and no unsafe. Each value buffer records its
+// header index in its first 8 bytes, preserving the paper's "header at
+// the start of the value" addressing through one extra hop.
+//
+// Each header consists of two words. The first is the lock word:
+//
+//	bit 63    deleted
+//	bit 62    writer locked
+//	bits 0-61 reader count
+//
+// The second is the value's current data reference (a packed arena.Ref).
+// Keeping the data reference inside the header — readable only under the
+// read lock, replaced only under the write lock — is what makes value
+// resizing (§2.2: compute "extends the value's memory allocation if its
+// code so requires") linearizable: a resize moves the bytes and swaps the
+// data word without changing the value's identity (its header index), so
+// chunk entries, rebalancers, and finalizeRemove's ABA argument all keep
+// working unchanged.
+package vheader
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	deletedBit = uint64(1) << 63
+	writerBit  = uint64(1) << 62
+	readerMask = writerBit - 1
+)
+
+const (
+	segmentBits = 16
+	segmentSize = 1 << segmentBits // headers per segment
+	maxSegments = 1 << 14          // ~1B headers per table
+)
+
+type segment [2 * segmentSize]atomic.Uint64
+
+// Table is an append-only table of value headers. Index 0 is reserved so
+// that "no header" can be expressed as 0 (the paper's ⊥ value reference).
+type Table struct {
+	segments [maxSegments]atomic.Pointer[segment]
+	next     atomic.Uint64
+}
+
+// NewTable creates an empty header table.
+func NewTable() *Table {
+	t := &Table{}
+	t.next.Store(1) // reserve index 0
+	return t
+}
+
+// Alloc returns a fresh header index in the live, unlocked state with a
+// zero data reference. Headers are never reused, mirroring the paper's
+// default reclamation policy ("refrains from reclaiming headers"), which
+// makes the remove path ABA-free.
+func (t *Table) Alloc() uint64 {
+	idx := t.next.Add(1) - 1
+	seg := idx >> segmentBits
+	if t.segments[seg].Load() == nil {
+		t.segments[seg].CompareAndSwap(nil, new(segment))
+	}
+	// Fresh segments are zeroed, so the header is already live/unlocked.
+	return idx
+}
+
+// Count returns the number of headers allocated so far.
+func (t *Table) Count() uint64 { return t.next.Load() - 1 }
+
+func (t *Table) word(idx uint64) *atomic.Uint64 {
+	return &t.segments[idx>>segmentBits].Load()[(idx&(segmentSize-1))*2]
+}
+
+func (t *Table) dataWord(idx uint64) *atomic.Uint64 {
+	return &t.segments[idx>>segmentBits].Load()[(idx&(segmentSize-1))*2+1]
+}
+
+// LoadData returns the header's current data reference word. Callers that
+// need a stable snapshot must hold the read or write lock.
+func (t *Table) LoadData(idx uint64) uint64 { return t.dataWord(idx).Load() }
+
+// StoreData replaces the header's data reference word. Callers must hold
+// the write lock, except when initializing a freshly allocated header
+// that is not yet published.
+func (t *Table) StoreData(idx uint64, ref uint64) { t.dataWord(idx).Store(ref) }
+
+// IsDeleted reports whether the header's deleted bit is set.
+func (t *Table) IsDeleted(idx uint64) bool {
+	return t.word(idx).Load()&deletedBit != 0
+}
+
+// TryReadLock acquires the header's read lock. It returns false iff the
+// value is deleted; it spins while a writer holds the lock.
+func (t *Table) TryReadLock(idx uint64) bool {
+	w := t.word(idx)
+	for spins := 0; ; spins++ {
+		h := w.Load()
+		if h&deletedBit != 0 {
+			return false
+		}
+		if h&writerBit != 0 {
+			backoff(spins)
+			continue
+		}
+		if w.CompareAndSwap(h, h+1) {
+			return true
+		}
+	}
+}
+
+// ReadUnlock releases a read lock previously acquired with TryReadLock.
+func (t *Table) ReadUnlock(idx uint64) {
+	t.word(idx).Add(^uint64(0)) // -1
+}
+
+// TryWriteLock acquires the header's write lock. It returns false iff the
+// value is deleted; it spins while readers or another writer are present.
+func (t *Table) TryWriteLock(idx uint64) bool {
+	w := t.word(idx)
+	for spins := 0; ; spins++ {
+		h := w.Load()
+		if h&deletedBit != 0 {
+			return false
+		}
+		if h != 0 { // readers present or writer locked
+			backoff(spins)
+			continue
+		}
+		if w.CompareAndSwap(0, writerBit) {
+			return true
+		}
+	}
+}
+
+// WriteUnlock releases the write lock.
+func (t *Table) WriteUnlock(idx uint64) {
+	t.word(idx).Store(0)
+}
+
+// TryDelete atomically transitions the header to deleted. It acquires the
+// write lock internally, so it waits out concurrent readers and writers.
+// It returns false iff the value was already deleted. This is the
+// linearization point of a successful remove (§4.5).
+func (t *Table) TryDelete(idx uint64) bool {
+	if !t.TryWriteLock(idx) {
+		return false
+	}
+	t.word(idx).Store(deletedBit)
+	return true
+}
+
+// backoff yields the processor with increasing insistence.
+func backoff(spins int) {
+	if spins > 16 {
+		runtime.Gosched()
+	}
+}

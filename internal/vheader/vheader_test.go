@@ -1,0 +1,228 @@
+package vheader
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocUniqueMonotone(t *testing.T) {
+	tb := NewTable()
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		h := tb.Alloc()
+		if h <= prev {
+			t.Fatalf("handle %d not greater than previous %d", h, prev)
+		}
+		prev = h
+	}
+	if tb.Count() != 1000 {
+		t.Fatalf("Count = %d", tb.Count())
+	}
+}
+
+func TestAllocZeroReserved(t *testing.T) {
+	tb := NewTable()
+	if h := tb.Alloc(); h == 0 {
+		t.Fatal("handle 0 must be reserved for ⊥")
+	}
+}
+
+func TestReadWriteLockBasics(t *testing.T) {
+	tb := NewTable()
+	h := tb.Alloc()
+	if !tb.TryReadLock(h) {
+		t.Fatal("fresh header must be readable")
+	}
+	if !tb.TryReadLock(h) {
+		t.Fatal("read lock must be shared")
+	}
+	tb.ReadUnlock(h)
+	tb.ReadUnlock(h)
+	if !tb.TryWriteLock(h) {
+		t.Fatal("write lock after full unlock")
+	}
+	tb.WriteUnlock(h)
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	tb := NewTable()
+	h := tb.Alloc()
+	if tb.IsDeleted(h) {
+		t.Fatal("fresh header deleted")
+	}
+	if !tb.TryDelete(h) {
+		t.Fatal("first delete must succeed")
+	}
+	if !tb.IsDeleted(h) {
+		t.Fatal("deleted bit not set")
+	}
+	if tb.TryDelete(h) {
+		t.Fatal("second delete must fail")
+	}
+	if tb.TryReadLock(h) {
+		t.Fatal("read lock on deleted header must fail")
+	}
+	if tb.TryWriteLock(h) {
+		t.Fatal("write lock on deleted header must fail")
+	}
+}
+
+func TestDataWord(t *testing.T) {
+	tb := NewTable()
+	h := tb.Alloc()
+	if tb.LoadData(h) != 0 {
+		t.Fatal("fresh data word must be zero")
+	}
+	tb.StoreData(h, 0xDEADBEEF)
+	if tb.LoadData(h) != 0xDEADBEEF {
+		t.Fatal("data word round trip failed")
+	}
+	h2 := tb.Alloc()
+	if tb.LoadData(h2) != 0 {
+		t.Fatal("neighbouring header data leaked")
+	}
+}
+
+func TestSegmentBoundary(t *testing.T) {
+	tb := NewTable()
+	var last uint64
+	for i := 0; i < segmentSize+10; i++ {
+		last = tb.Alloc()
+		tb.StoreData(last, last*3)
+	}
+	// Spot-check across the segment boundary.
+	for h := last - 20; h <= last; h++ {
+		if tb.LoadData(h) != h*3 {
+			t.Fatalf("data at %d corrupted", h)
+		}
+	}
+}
+
+// TestWriterMutualExclusion: concurrent writers incrementing a plain
+// counter under the write lock must not lose updates.
+func TestWriterMutualExclusion(t *testing.T) {
+	tb := NewTable()
+	h := tb.Alloc()
+	var counter int64 // plain, protected by the header's write lock
+	const goroutines = 8
+	const rounds = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if !tb.TryWriteLock(h) {
+					t.Error("write lock failed on live header")
+					return
+				}
+				counter++
+				tb.WriteUnlock(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*rounds {
+		t.Fatalf("lost updates: %d != %d", counter, goroutines*rounds)
+	}
+}
+
+// TestReadersExcludeWriter: while any reader holds the lock, a writer
+// must not enter. The writer flips a flag that readers check.
+func TestReadersExcludeWriter(t *testing.T) {
+	tb := NewTable()
+	h := tb.Alloc()
+	var inWrite atomic.Bool
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if tb.TryReadLock(h) {
+					if inWrite.Load() {
+						violations.Add(1)
+					}
+					tb.ReadUnlock(h)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		if !tb.TryWriteLock(h) {
+			t.Fatal("write lock failed")
+		}
+		inWrite.Store(true)
+		inWrite.Store(false)
+		tb.WriteUnlock(h)
+	}
+	close(stop)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d reader-during-writer violations", violations.Load())
+	}
+}
+
+// TestConcurrentDeleteSingleWinner: exactly one of many racing deletes
+// succeeds.
+func TestConcurrentDeleteSingleWinner(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		tb := NewTable()
+		h := tb.Alloc()
+		var wins atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if tb.TryDelete(h) {
+					wins.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if wins.Load() != 1 {
+			t.Fatalf("round %d: %d delete winners", round, wins.Load())
+		}
+	}
+}
+
+// Property: any interleaving of balanced lock/unlock sequences leaves the
+// header in the unlocked state.
+func TestLockStateProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		tb := NewTable()
+		h := tb.Alloc()
+		for _, isWrite := range ops {
+			if isWrite {
+				if !tb.TryWriteLock(h) {
+					return false
+				}
+				tb.WriteUnlock(h)
+			} else {
+				if !tb.TryReadLock(h) {
+					return false
+				}
+				tb.ReadUnlock(h)
+			}
+		}
+		// After balanced use, both lock modes must be available.
+		if !tb.TryWriteLock(h) {
+			return false
+		}
+		tb.WriteUnlock(h)
+		return !tb.IsDeleted(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package oakmap
+
+import "oakmap/internal/core"
+
+// Zero-copy scans (§2.2). Two flavours are provided, as in the paper:
+//
+//   - Set-style scans (Ascend/Descend) create a fresh ephemeral
+//     OakRBuffer pair per yielded entry — the view objects may be
+//     retained by the callback.
+//   - Stream-style scans (AscendStream/DescendStream) reuse ONE key view
+//     and ONE value view for the entire scan, eliminating per-entry
+//     allocation. The views' contents change on every step, so callbacks
+//     must not retain them — the paper's documented non-standard
+//     semantics for the stream API.
+//
+// All scans are non-atomic: concurrently inserted or removed keys may or
+// may not be observed, but a key present throughout the scan is yielded
+// exactly once.
+
+// Ascend scans mappings with from ≤ key < to in ascending order (nil
+// bounds are open), creating fresh buffer views per entry.
+func (z ZeroCopyMap[K, V]) Ascend(from, to *K, f func(key, value *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef},
+			&OakRBuffer{m: z.m.core, h: h})
+	})
+}
+
+// Descend scans mappings with from ≤ key < to in descending order using
+// Oak's chunk-stack descending iterator (§4.2).
+func (z ZeroCopyMap[K, V]) Descend(from, to *K, f func(key, value *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	z.m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef},
+			&OakRBuffer{m: z.m.core, h: h})
+	})
+}
+
+// AscendStream is Ascend with the stream API: the same two view objects
+// are re-filled for every entry.
+func (z ZeroCopyMap[K, V]) AscendStream(from, to *K, f func(key, value *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	kb := &OakRBuffer{m: z.m.core}
+	vb := &OakRBuffer{m: z.m.core}
+	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		kb.keyRef, kb.h = keyRef, 0
+		vb.h = h
+		return f(kb, vb)
+	})
+}
+
+// DescendStream is Descend with the stream API.
+func (z ZeroCopyMap[K, V]) DescendStream(from, to *K, f func(key, value *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	kb := &OakRBuffer{m: z.m.core}
+	vb := &OakRBuffer{m: z.m.core}
+	z.m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		kb.keyRef, kb.h = keyRef, 0
+		vb.h = h
+		return f(kb, vb)
+	})
+}
+
+// Keys scans keys only (ascending), with fresh views.
+func (z ZeroCopyMap[K, V]) Keys(from, to *K, f func(key *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef})
+	})
+}
+
+// Values scans values only (ascending), with fresh views.
+func (z ZeroCopyMap[K, V]) Values(from, to *K, f func(value *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: z.m.core, h: h})
+	})
+}
+
+// KeysStream is Keys with the stream API: one reused key view.
+func (z ZeroCopyMap[K, V]) KeysStream(from, to *K, f func(key *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	kb := &OakRBuffer{m: z.m.core}
+	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		kb.keyRef, kb.h = keyRef, 0
+		return f(kb)
+	})
+}
+
+// ValuesStream is Values with the stream API: one reused value view.
+func (z ZeroCopyMap[K, V]) ValuesStream(from, to *K, f func(value *OakRBuffer) bool) {
+	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
+	vb := &OakRBuffer{m: z.m.core}
+	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		vb.h = h
+		return f(vb)
+	})
+}
+
+// SubMap is a restricted view of a map covering from ≤ key < to (the
+// ConcurrentNavigableMap subMap). A nil bound is open.
+type SubMap[K, V any] struct {
+	m        *Map[K, V]
+	from, to *K
+}
+
+// SubMap returns a view restricted to [from, to).
+func (m *Map[K, V]) SubMap(from, to *K) SubMap[K, V] {
+	return SubMap[K, V]{m: m, from: from, to: to}
+}
+
+// HeadMap returns a view of keys < to.
+func (m *Map[K, V]) HeadMap(to K) SubMap[K, V] { return SubMap[K, V]{m: m, to: &to} }
+
+// TailMap returns a view of keys ≥ from.
+func (m *Map[K, V]) TailMap(from K) SubMap[K, V] { return SubMap[K, V]{m: m, from: &from} }
+
+// Range iterates the sub-map ascending with deserialized entries.
+func (s SubMap[K, V]) Range(f func(k K, v V) bool) { s.m.Range(s.from, s.to, f) }
+
+// RangeDescending iterates the sub-map descending.
+func (s SubMap[K, V]) RangeDescending(f func(k K, v V) bool) {
+	s.m.RangeDescending(s.from, s.to, f)
+}
+
+// Len counts the sub-map's entries (O(n) over the range).
+func (s SubMap[K, V]) Len() int {
+	n := 0
+	s.m.Range(s.from, s.to, func(K, V) bool { n++; return true })
+	return n
+}
+
+// ZC returns the zero-copy view of the sub-map's range.
+func (s SubMap[K, V]) ZC() ZeroCopySubMap[K, V] {
+	return ZeroCopySubMap[K, V]{z: s.m.ZC(), from: s.from, to: s.to}
+}
+
+// ZeroCopySubMap offers the zero-copy scans over a restricted range.
+type ZeroCopySubMap[K, V any] struct {
+	z        ZeroCopyMap[K, V]
+	from, to *K
+}
+
+// Ascend scans the range ascending with fresh views.
+func (s ZeroCopySubMap[K, V]) Ascend(f func(key, value *OakRBuffer) bool) {
+	s.z.Ascend(s.from, s.to, f)
+}
+
+// Descend scans the range descending with fresh views.
+func (s ZeroCopySubMap[K, V]) Descend(f func(key, value *OakRBuffer) bool) {
+	s.z.Descend(s.from, s.to, f)
+}
+
+// AscendStream scans the range ascending with reused views.
+func (s ZeroCopySubMap[K, V]) AscendStream(f func(key, value *OakRBuffer) bool) {
+	s.z.AscendStream(s.from, s.to, f)
+}
+
+// DescendStream scans the range descending with reused views.
+func (s ZeroCopySubMap[K, V]) DescendStream(f func(key, value *OakRBuffer) bool) {
+	s.z.DescendStream(s.from, s.to, f)
+}

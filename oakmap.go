@@ -1,0 +1,468 @@
+// Package oakmap is a Go implementation of Oak — a scalable, concurrent,
+// ordered key-value map that self-manages its data off-heap (Meir et al.,
+// "Oak: A Scalable Off-Heap Allocated Key-Value Map", PPoPP '20).
+//
+// Keys and values are serialized into large pointer-free memory blocks
+// that the Go garbage collector treats as single opaque objects, so the
+// GC cost is independent of the number of mappings. Metadata (a chunk
+// list plus a skiplist index) stays on-heap. Two API surfaces are
+// offered, mirroring the paper's Table 1:
+//
+//   - The legacy, ConcurrentNavigableMap-style API on Map[K, V]:
+//     object-in/object-out with (de)serialization per call.
+//   - The zero-copy API behind Map.ZC(): gets and scans return buffer
+//     views (OakRBuffer), updates take in-place lambdas (OakWBuffer) and
+//     do not return old values.
+//
+// All point operations — Get, Put, PutIfAbsent, Remove, ComputeIfPresent,
+// PutIfAbsentComputeIfPresent — are linearizable; update lambdas execute
+// atomically, exactly once. Scans are non-atomic, as in the paper.
+package oakmap
+
+import (
+	"bytes"
+	"sync"
+
+	"oakmap/internal/arena"
+	"oakmap/internal/core"
+)
+
+// Comparator orders serialized keys. It must be consistent with the key
+// serializer: cmp(ser(a), ser(b)) must order a and b.
+type Comparator = func(a, b []byte) int
+
+// ErrConcurrentModification is returned by OakRBuffer accessors when the
+// underlying mapping was concurrently deleted — the analogue of the
+// ConcurrentModificationException described in §2.2.
+var ErrConcurrentModification = core.ErrConcurrentModification
+
+// Options configures a Map. The zero value (or nil) gives the paper's
+// defaults: 4096-entry chunks, rebalance at 50% unsorted, 100MB blocks
+// from the process-wide shared pool.
+type Options struct {
+	// ChunkCapacity is the number of entry slots per chunk.
+	ChunkCapacity int
+	// RebalanceRatio controls when a chunk reorganizes (see DESIGN.md).
+	RebalanceRatio float64
+	// BlockSize, when non-zero, gives this map a private block pool with
+	// the given block size instead of the shared 100MB-block pool.
+	BlockSize int
+	// PoolMaxBytes bounds the private pool (requires BlockSize).
+	PoolMaxBytes int64
+	// Comparator overrides the default bytes.Compare key order.
+	Comparator Comparator
+	// DisableFirstFit disables free-space reuse (ablation studies).
+	DisableFirstFit bool
+	// ReclaimKeys enables off-heap key reclamation during rebalance; see
+	// core.Options.ReclaimKeys for the safety contract.
+	ReclaimKeys bool
+	// ReclaimHeaders enables the generation-based header reclamation
+	// extension (bounds header space under delete-heavy workloads).
+	ReclaimHeaders bool
+}
+
+// Map is an Oak map from K to V. Create instances with New; the zero
+// value is not usable. All methods are safe for concurrent use.
+type Map[K, V any] struct {
+	core   *core.Map
+	keySer Serializer[K]
+	valSer Serializer[V]
+
+	keyBufs sync.Pool // scratch buffers for serialized keys
+}
+
+// New creates an Oak map with the given key/value serializers.
+func New[K, V any](keySer Serializer[K], valSer Serializer[V], opts *Options) *Map[K, V] {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	cmp := o.Comparator
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	var pool *arena.Pool
+	if o.BlockSize > 0 {
+		pool = arena.NewPool(o.BlockSize, o.PoolMaxBytes)
+	}
+	m := &Map[K, V]{
+		core: core.New(&core.Options{
+			ChunkCapacity:   o.ChunkCapacity,
+			RebalanceRatio:  o.RebalanceRatio,
+			Pool:            pool,
+			Comparator:      cmp,
+			DisableFirstFit: o.DisableFirstFit,
+			ReclaimKeys:     o.ReclaimKeys,
+			ReclaimHeaders:  o.ReclaimHeaders,
+		}),
+		keySer: keySer,
+		valSer: valSer,
+	}
+	m.keyBufs.New = func() any { b := make([]byte, 0, 64); return &b }
+	return m
+}
+
+// serializeKey writes k into a pooled scratch buffer. Callers must call
+// releaseKey when done (the core copies key bytes it needs to retain).
+func (m *Map[K, V]) serializeKey(k K) *[]byte {
+	bp := m.keyBufs.Get().(*[]byte)
+	n := m.keySer.SizeOf(k)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	m.keySer.Serialize(k, *bp)
+	return bp
+}
+
+func (m *Map[K, V]) releaseKey(bp *[]byte) { m.keyBufs.Put(bp) }
+
+func (m *Map[K, V]) serializeVal(v V) []byte {
+	buf := make([]byte, m.valSer.SizeOf(v))
+	m.valSer.Serialize(v, buf)
+	return buf
+}
+
+// valueWriter serializes v lazily, directly into Oak's off-heap buffer —
+// the paper's zero-intermediate-copy insertion path (§2.1).
+func (m *Map[K, V]) valueWriter(v V) core.ValueWriter {
+	return core.ValueWriter{
+		N:     m.valSer.SizeOf(v),
+		Write: func(dst []byte) { m.valSer.Serialize(v, dst) },
+	}
+}
+
+// Len returns the number of mappings.
+func (m *Map[K, V]) Len() int { return m.core.Len() }
+
+// Footprint returns the map's total off-heap memory in bytes — the fast
+// RAM-footprint estimate the paper calls out as a first-class feature.
+func (m *Map[K, V]) Footprint() int64 { return m.core.Footprint() }
+
+// LiveBytes returns the off-heap bytes currently holding keys and values.
+func (m *Map[K, V]) LiveBytes() int64 { return m.core.LiveBytes() }
+
+// Close releases the map's off-heap blocks back to their pool. The map
+// and any outstanding buffer views become invalid.
+func (m *Map[K, V]) Close() { m.core.Close() }
+
+// ZC returns the map's zero-copy view (the paper's map.zc()).
+func (m *Map[K, V]) ZC() ZeroCopyMap[K, V] { return ZeroCopyMap[K, V]{m} }
+
+// --- Legacy (ConcurrentNavigableMap-style) API: copies on the boundary ---
+
+// Get returns a copy of the value mapped to k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	var out V
+	found := false
+	h, ok := m.core.Get(*kb)
+	if ok {
+		err := m.core.ReadValue(h, func(b []byte) error {
+			out = m.valSer.Deserialize(b)
+			found = true
+			return nil
+		})
+		if err != nil {
+			found = false // deleted between Get and read: treat as absent
+		}
+	}
+	return out, found
+}
+
+// Put maps k to v and returns the previous value, if any. Unlike the
+// zero-copy put, this copies the old value out first (atomically).
+func (m *Map[K, V]) Put(k K, v V) (prev V, replaced bool, err error) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	vb := m.serializeVal(v)
+	for {
+		var old V
+		got := false
+		ok, cerr := m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+			old = m.valSer.Deserialize(w.Bytes())
+			got = true
+			return w.Set(vb)
+		})
+		if cerr != nil {
+			return prev, false, cerr
+		}
+		if ok && got {
+			return old, true, nil
+		}
+		ins, perr := m.core.PutIfAbsent(*kb, vb)
+		if perr != nil {
+			return prev, false, perr
+		}
+		if ins {
+			return prev, false, nil
+		}
+		// Lost a race with a concurrent insert; retry the swap.
+	}
+}
+
+// PutIfAbsent inserts k→v if k is absent. When the key is present, the
+// current value is returned (copied), like Java's putIfAbsent.
+func (m *Map[K, V]) PutIfAbsent(k K, v V) (existing V, inserted bool, err error) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	vb := m.serializeVal(v)
+	for {
+		ins, perr := m.core.PutIfAbsent(*kb, vb)
+		if perr != nil {
+			return existing, false, perr
+		}
+		if ins {
+			return existing, true, nil
+		}
+		h, ok := m.core.Get(*kb)
+		if !ok {
+			continue // removed in between; retry
+		}
+		var out V
+		rerr := m.core.ReadValue(h, func(b []byte) error {
+			out = m.valSer.Deserialize(b)
+			return nil
+		})
+		if rerr != nil {
+			continue
+		}
+		return out, false, nil
+	}
+}
+
+// Remove deletes the mapping for k, returning the removed value.
+func (m *Map[K, V]) Remove(k K) (prev V, removed bool, err error) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	// Copy the value atomically at the removal point: computeIfPresent's
+	// lambda snapshots the value, then the remove races; to keep it
+	// one-shot we snapshot under the compute lock and remove after. If a
+	// concurrent writer replaces the value in between, the legacy API's
+	// "returned value was the mapped value at some point" contract holds.
+	var snap V
+	got := false
+	_, cerr := m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+		snap = m.valSer.Deserialize(w.Bytes())
+		got = true
+		return nil
+	})
+	if cerr != nil {
+		return prev, false, cerr
+	}
+	ok, rerr := m.core.Remove(*kb)
+	if rerr != nil {
+		return prev, false, rerr
+	}
+	if ok && got {
+		return snap, true, nil
+	}
+	return prev, ok, nil
+}
+
+// ComputeIfPresent atomically replaces k's value with f(current value).
+// Unlike Java's non-atomic computeIfPresent, the update is atomic: f is
+// applied exactly once, under the value's write lock.
+func (m *Map[K, V]) ComputeIfPresent(k K, f func(V) V) (bool, error) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	return m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+		nv := f(m.valSer.Deserialize(w.Bytes()))
+		return w.Set(m.serializeVal(nv))
+	})
+}
+
+// Merge inserts v if k is absent, else atomically replaces the value
+// with f(current) — Java's merge, with Oak's stronger atomicity.
+func (m *Map[K, V]) Merge(k K, v V, f func(V) V) error {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	vb := m.serializeVal(v)
+	return m.core.PutIfAbsentComputeIfPresent(*kb, vb, func(w *core.WBuffer) error {
+		nv := f(m.valSer.Deserialize(w.Bytes()))
+		return w.Set(m.serializeVal(nv))
+	})
+}
+
+// Range calls f for each mapping with from ≤ k < to in ascending order,
+// deserializing both key and value (the legacy scan). Nil bounds are
+// open. Returning false stops the scan.
+func (m *Map[K, V]) Range(from, to *K, f func(k K, v V) bool) {
+	lo, hi := m.boundBytes(from), m.boundBytes(to)
+	m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		k := m.keySer.Deserialize(m.core.KeyBytes(keyRef))
+		var v V
+		ok := false
+		m.core.ReadValue(h, func(b []byte) error {
+			v = m.valSer.Deserialize(b)
+			ok = true
+			return nil
+		})
+		if !ok {
+			return true // deleted mid-scan: skip
+		}
+		return f(k, v)
+	})
+}
+
+// RangeDescending is Range in descending key order.
+func (m *Map[K, V]) RangeDescending(from, to *K, f func(k K, v V) bool) {
+	lo, hi := m.boundBytes(from), m.boundBytes(to)
+	m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		k := m.keySer.Deserialize(m.core.KeyBytes(keyRef))
+		var v V
+		ok := false
+		m.core.ReadValue(h, func(b []byte) error {
+			v = m.valSer.Deserialize(b)
+			ok = true
+			return nil
+		})
+		if !ok {
+			return true
+		}
+		return f(k, v)
+	})
+}
+
+func (m *Map[K, V]) boundBytes(k *K) []byte {
+	if k == nil {
+		return nil
+	}
+	buf := make([]byte, m.keySer.SizeOf(*k))
+	m.keySer.Serialize(*k, buf)
+	return buf
+}
+
+// --- Navigation queries ---
+
+// FirstKey returns the smallest key.
+func (m *Map[K, V]) FirstKey() (K, bool) { return m.keyOf(m.core.First()) }
+
+// LastKey returns the greatest key.
+func (m *Map[K, V]) LastKey() (K, bool) { return m.keyOf(m.core.Last()) }
+
+// FloorKey returns the greatest key ≤ k.
+func (m *Map[K, V]) FloorKey(k K) (K, bool) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	return m.keyOf(m.core.Floor(*kb))
+}
+
+// CeilingKey returns the smallest key ≥ k.
+func (m *Map[K, V]) CeilingKey(k K) (K, bool) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	return m.keyOf(m.core.Ceiling(*kb))
+}
+
+// LowerKey returns the greatest key < k.
+func (m *Map[K, V]) LowerKey(k K) (K, bool) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	return m.keyOf(m.core.Lower(*kb))
+}
+
+// HigherKey returns the smallest key > k.
+func (m *Map[K, V]) HigherKey(k K) (K, bool) {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	return m.keyOf(m.core.Higher(*kb))
+}
+
+func (m *Map[K, V]) keyOf(keyRef uint64, _ core.ValueHandle, ok bool) (K, bool) {
+	var zero K
+	if !ok {
+		return zero, false
+	}
+	return m.keySer.Deserialize(m.core.KeyBytes(keyRef)), true
+}
+
+// Stats exposes internal counters for observability and experiments.
+type Stats struct {
+	Len          int
+	Footprint    int64
+	LiveBytes    int64
+	Rebalances   int64
+	Chunks       int
+	KeyLeakBytes int64
+	HeaderCount  uint64
+}
+
+// Stats returns a snapshot of the map's internals.
+func (m *Map[K, V]) Stats() Stats {
+	return Stats{
+		Len:          m.core.Len(),
+		Footprint:    m.core.Footprint(),
+		LiveBytes:    m.core.LiveBytes(),
+		Rebalances:   m.core.Rebalances(),
+		Chunks:       m.core.NumChunks(),
+		KeyLeakBytes: m.core.KeyLeakBytes(),
+		HeaderCount:  m.core.HeaderCount(),
+	}
+}
+
+// ContainsKey reports whether k is mapped.
+func (m *Map[K, V]) ContainsKey(k K) bool {
+	kb := m.serializeKey(k)
+	defer m.releaseKey(kb)
+	_, ok := m.core.Get(*kb)
+	return ok
+}
+
+// PollFirst atomically removes and returns the smallest entry — the
+// remaining ConcurrentNavigableMap surface. It loops over First/Remove
+// races, so concurrent pollers each receive distinct entries.
+func (m *Map[K, V]) PollFirst() (k K, v V, ok bool, err error) {
+	for {
+		keyRef, h, found := m.core.First()
+		if !found {
+			return k, v, false, nil
+		}
+		key := append([]byte(nil), m.core.KeyBytes(keyRef)...)
+		got := false
+		rerr := m.core.ReadValue(h, func(b []byte) error {
+			v = m.valSer.Deserialize(b)
+			got = true
+			return nil
+		})
+		if rerr != nil {
+			continue // removed under us; retry
+		}
+		removed, rmErr := m.core.Remove(key)
+		if rmErr != nil {
+			return k, v, false, rmErr
+		}
+		if removed && got {
+			return m.keySer.Deserialize(key), v, true, nil
+		}
+		// Lost the race with another poller; retry on the next first.
+	}
+}
+
+// PollLast atomically removes and returns the greatest entry.
+func (m *Map[K, V]) PollLast() (k K, v V, ok bool, err error) {
+	for {
+		keyRef, h, found := m.core.Last()
+		if !found {
+			return k, v, false, nil
+		}
+		key := append([]byte(nil), m.core.KeyBytes(keyRef)...)
+		got := false
+		rerr := m.core.ReadValue(h, func(b []byte) error {
+			v = m.valSer.Deserialize(b)
+			got = true
+			return nil
+		})
+		if rerr != nil {
+			continue
+		}
+		removed, rmErr := m.core.Remove(key)
+		if rmErr != nil {
+			return k, v, false, rmErr
+		}
+		if removed && got {
+			return m.keySer.Deserialize(key), v, true, nil
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package oakmap
+
+import "encoding/binary"
+
+// Serializer converts application objects to and from Oak's off-heap
+// buffer representation (§2.1). Users of Map[K,V] supply one serializer
+// for keys and one for values; insertions use SizeOf to reserve space,
+// then Serialize to write the object directly into Oak's internal memory,
+// avoiding intermediate copies.
+type Serializer[T any] interface {
+	// SizeOf returns the number of bytes Serialize will write for t.
+	SizeOf(t T) int
+	// Serialize writes t into buf, which has exactly SizeOf(t) bytes.
+	Serialize(t T, buf []byte)
+	// Deserialize reconstructs an object from its serialized form. It
+	// must not retain buf.
+	Deserialize(buf []byte) T
+}
+
+// BytesSerializer is the identity serializer for []byte keys or values.
+// Deserialize copies, so the result does not alias off-heap memory.
+type BytesSerializer struct{}
+
+// SizeOf implements Serializer.
+func (BytesSerializer) SizeOf(b []byte) int { return len(b) }
+
+// Serialize implements Serializer.
+func (BytesSerializer) Serialize(b []byte, buf []byte) { copy(buf, b) }
+
+// Deserialize implements Serializer.
+func (BytesSerializer) Deserialize(buf []byte) []byte {
+	return append([]byte(nil), buf...)
+}
+
+// StringSerializer serializes strings as raw bytes; the byte order of the
+// serialized form matches the natural string order, so the default
+// comparator works unchanged.
+type StringSerializer struct{}
+
+// SizeOf implements Serializer.
+func (StringSerializer) SizeOf(s string) int { return len(s) }
+
+// Serialize implements Serializer.
+func (StringSerializer) Serialize(s string, buf []byte) { copy(buf, s) }
+
+// Deserialize implements Serializer.
+func (StringSerializer) Deserialize(buf []byte) string { return string(buf) }
+
+// Uint64Serializer serializes uint64 big-endian, which preserves numeric
+// order under the default bytes comparator.
+type Uint64Serializer struct{}
+
+// SizeOf implements Serializer.
+func (Uint64Serializer) SizeOf(uint64) int { return 8 }
+
+// Serialize implements Serializer.
+func (Uint64Serializer) Serialize(v uint64, buf []byte) {
+	binary.BigEndian.PutUint64(buf, v)
+}
+
+// Deserialize implements Serializer.
+func (Uint64Serializer) Deserialize(buf []byte) uint64 {
+	return binary.BigEndian.Uint64(buf)
+}
+
+// Int64Serializer serializes int64 with a sign-bias (x ^ minInt64) so the
+// big-endian bytes sort in numeric order under the default comparator.
+type Int64Serializer struct{}
+
+// SizeOf implements Serializer.
+func (Int64Serializer) SizeOf(int64) int { return 8 }
+
+// Serialize implements Serializer.
+func (Int64Serializer) Serialize(v int64, buf []byte) {
+	binary.BigEndian.PutUint64(buf, uint64(v)^(1<<63))
+}
+
+// Deserialize implements Serializer.
+func (Int64Serializer) Deserialize(buf []byte) int64 {
+	return int64(binary.BigEndian.Uint64(buf) ^ (1 << 63))
+}

@@ -1,0 +1,124 @@
+package oakmap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Round-trip and order-preservation properties for the built-in
+// serializers. Order preservation is what lets the default bytes.Compare
+// comparator stand in for the user's natural key order.
+
+func TestBytesSerializerRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		s := BytesSerializer{}
+		buf := make([]byte, s.SizeOf(b))
+		s.Serialize(b, buf)
+		out := s.Deserialize(buf)
+		return bytes.Equal(out, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesSerializerDeserializeCopies(t *testing.T) {
+	s := BytesSerializer{}
+	src := []byte("hello")
+	out := s.Deserialize(src)
+	src[0] = 'X'
+	if out[0] != 'h' {
+		t.Fatal("Deserialize must copy, not alias")
+	}
+}
+
+func TestStringSerializerRoundTripAndOrder(t *testing.T) {
+	f := func(a, b string) bool {
+		s := StringSerializer{}
+		ab := make([]byte, s.SizeOf(a))
+		bb := make([]byte, s.SizeOf(b))
+		s.Serialize(a, ab)
+		s.Serialize(b, bb)
+		if s.Deserialize(ab) != a {
+			return false
+		}
+		// Serialized order == natural order.
+		want := 0
+		switch {
+		case a < b:
+			want = -1
+		case a > b:
+			want = 1
+		}
+		return bytes.Compare(ab, bb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64SerializerOrder(t *testing.T) {
+	f := func(a, b uint64) bool {
+		s := Uint64Serializer{}
+		ab := make([]byte, 8)
+		bb := make([]byte, 8)
+		s.Serialize(a, ab)
+		s.Serialize(b, bb)
+		if s.Deserialize(ab) != a || s.Deserialize(bb) != b {
+			return false
+		}
+		want := 0
+		switch {
+		case a < b:
+			want = -1
+		case a > b:
+			want = 1
+		}
+		return bytes.Compare(ab, bb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64SerializerOrder(t *testing.T) {
+	f := func(a, b int64) bool {
+		s := Int64Serializer{}
+		ab := make([]byte, 8)
+		bb := make([]byte, 8)
+		s.Serialize(a, ab)
+		s.Serialize(b, bb)
+		if s.Deserialize(ab) != a || s.Deserialize(bb) != b {
+			return false
+		}
+		want := 0
+		switch {
+		case a < b:
+			want = -1
+		case a > b:
+			want = 1
+		}
+		return bytes.Compare(ab, bb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit extremes.
+	for _, pair := range [][2]int64{
+		{math.MinInt64, math.MaxInt64},
+		{math.MinInt64, 0},
+		{-1, 0},
+		{-1, 1},
+	} {
+		s := Int64Serializer{}
+		lo := make([]byte, 8)
+		hi := make([]byte, 8)
+		s.Serialize(pair[0], lo)
+		s.Serialize(pair[1], hi)
+		if bytes.Compare(lo, hi) >= 0 {
+			t.Fatalf("order broken for %d < %d", pair[0], pair[1])
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package oakmap
+
+import (
+	"encoding/binary"
+
+	"oakmap/internal/core"
+)
+
+// OakRBuffer is a read-only view of an off-heap key or value (§2.1). It
+// is a lightweight on-heap facade: it holds no copy of the data. Views
+// may be retained arbitrarily long and accessed from any goroutine; each
+// accessor call is individually atomic (method-call granularity, §2.2).
+// Value views return ErrConcurrentModification once the mapping has been
+// deleted.
+type OakRBuffer struct {
+	m      *core.Map
+	h      core.ValueHandle // 0 for key buffers
+	keyRef uint64
+}
+
+// Read runs f on the buffer's current bytes, atomically with respect to
+// concurrent updates. f must not retain the slice: it aliases off-heap
+// memory that may be reused after the call.
+func (b *OakRBuffer) Read(f func([]byte) error) error {
+	if b.h == 0 {
+		return f(b.m.KeyBytes(b.keyRef))
+	}
+	return b.m.ReadValue(b.h, f)
+}
+
+// Len returns the buffer's current length in bytes.
+func (b *OakRBuffer) Len() (int, error) {
+	n := 0
+	err := b.Read(func(p []byte) error { n = len(p); return nil })
+	return n, err
+}
+
+// Bytes returns a copy of the buffer's contents.
+func (b *OakRBuffer) Bytes() ([]byte, error) {
+	var out []byte
+	err := b.Read(func(p []byte) error {
+		out = append(out, p...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendTo appends the buffer's contents to dst, avoiding an allocation
+// when dst has capacity.
+func (b *OakRBuffer) AppendTo(dst []byte) ([]byte, error) {
+	err := b.Read(func(p []byte) error {
+		dst = append(dst, p...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ByteAt returns the byte at offset off.
+func (b *OakRBuffer) ByteAt(off int) (byte, error) {
+	var v byte
+	err := b.Read(func(p []byte) error { v = p[off]; return nil })
+	return v, err
+}
+
+// Uint64At returns the big-endian uint64 at offset off.
+func (b *OakRBuffer) Uint64At(off int) (uint64, error) {
+	var v uint64
+	err := b.Read(func(p []byte) error {
+		v = binary.BigEndian.Uint64(p[off:])
+		return nil
+	})
+	return v, err
+}
+
+// OakWBuffer is a writable view of a value, valid only inside an update
+// lambda while the value's write lock is held (§2.2). It supports
+// in-place mutation and resizing; resizes transparently move the value
+// within the arena.
+type OakWBuffer struct {
+	w *core.WBuffer
+}
+
+// Bytes returns the value's writable contents. The slice is invalidated
+// by Resize/Set.
+func (b OakWBuffer) Bytes() []byte { return b.w.Bytes() }
+
+// Len returns the value's current length.
+func (b OakWBuffer) Len() int { return b.w.Len() }
+
+// Resize changes the value's length, preserving the common prefix.
+func (b OakWBuffer) Resize(n int) error { return b.w.Resize(n) }
+
+// Set replaces the value's contents.
+func (b OakWBuffer) Set(p []byte) error { return b.w.Set(p) }
+
+// PutUint64At stores v big-endian at offset off.
+func (b OakWBuffer) PutUint64At(off int, v uint64) {
+	binary.BigEndian.PutUint64(b.w.Bytes()[off:], v)
+}
+
+// Uint64At loads the big-endian uint64 at offset off.
+func (b OakWBuffer) Uint64At(off int) uint64 {
+	return binary.BigEndian.Uint64(b.w.Bytes()[off:])
+}
+
+// ZeroCopyMap is Oak's zero-copy view (the paper's
+// ZeroCopyConcurrentNavigableMap, Table 1). Obtain it with Map.ZC().
+type ZeroCopyMap[K, V any] struct {
+	m *Map[K, V]
+}
+
+// Get returns a read-only view of the value mapped to k, or nil if k is
+// absent. The view reads through to the live value: concurrent in-place
+// updates are visible, and reads of a deleted value fail with
+// ErrConcurrentModification.
+func (z ZeroCopyMap[K, V]) Get(k K) *OakRBuffer {
+	kb := z.m.serializeKey(k)
+	defer z.m.releaseKey(kb)
+	h, ok := z.m.core.Get(*kb)
+	if !ok {
+		return nil
+	}
+	return &OakRBuffer{m: z.m.core, h: h}
+}
+
+// Put maps k to v, serializing v directly into off-heap memory. Unlike
+// the legacy put it does not return the old value (avoiding a copy).
+func (z ZeroCopyMap[K, V]) Put(k K, v V) error {
+	kb := z.m.serializeKey(k)
+	defer z.m.releaseKey(kb)
+	return z.m.core.PutWriter(*kb, z.m.valueWriter(v))
+}
+
+// PutIfAbsent inserts k→v if absent, reporting whether it inserted.
+func (z ZeroCopyMap[K, V]) PutIfAbsent(k K, v V) (bool, error) {
+	kb := z.m.serializeKey(k)
+	defer z.m.releaseKey(kb)
+	return z.m.core.PutIfAbsentWriter(*kb, z.m.valueWriter(v))
+}
+
+// Remove deletes the mapping for k without returning the old value.
+func (z ZeroCopyMap[K, V]) Remove(k K) error {
+	kb := z.m.serializeKey(k)
+	defer z.m.releaseKey(kb)
+	_, err := z.m.core.Remove(*kb)
+	return err
+}
+
+// ComputeIfPresent atomically applies f to k's value in place. The
+// lambda runs exactly once, under the value's write lock, and may resize
+// the value. Returns false if k is absent.
+func (z ZeroCopyMap[K, V]) ComputeIfPresent(k K, f func(OakWBuffer) error) (bool, error) {
+	kb := z.m.serializeKey(k)
+	defer z.m.releaseKey(kb)
+	return z.m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+		return f(OakWBuffer{w})
+	})
+}
+
+// PutIfAbsentComputeIfPresent inserts v if k is absent, otherwise
+// atomically applies f to the present value in place — the paper's
+// replacement for Java's non-atomic merge, used by Druid-style in-situ
+// aggregation (§6).
+func (z ZeroCopyMap[K, V]) PutIfAbsentComputeIfPresent(k K, v V, f func(OakWBuffer) error) error {
+	kb := z.m.serializeKey(k)
+	defer z.m.releaseKey(kb)
+	return z.m.core.PutIfAbsentComputeIfPresentWriter(*kb, z.m.valueWriter(v), func(w *core.WBuffer) error {
+		return f(OakWBuffer{w})
+	})
+}
