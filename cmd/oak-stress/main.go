@@ -1,44 +1,86 @@
 // Command oak-stress soak-tests the map: concurrent workers apply a
 // configurable operation mix against tracked "resident" keys while a
 // validator repeatedly checks ordering, uniqueness, reachability, and
-// the atomicity of in-place computes. It exits non-zero on the first
-// violation. Use it to gain confidence on new hardware or after
-// modifying the concurrency core.
+// the atomicity of in-place computes. Violations are collected with
+// context and reported at shutdown; the process exits non-zero if any
+// occurred. Use it to gain confidence on new hardware or after modifying
+// the concurrency core.
 //
 //	oak-stress -duration 30s -workers 8 -keys 100000
 //	oak-stress -reclaim-headers -chunk 128   # stress the epoch extension
+//	oak-stress -faults -seed 7               # with fault injection armed
+//
+// With -faults, the named fault-injection points (internal/faultpoint)
+// fire with seeded probability: allocation failures surface as tolerated
+// errors, entry-link CAS and publish losses force the retry paths, and
+// the rebalance/value pause points jitter goroutine scheduling. The
+// per-point hit/fire counters are printed at shutdown.
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"oakmap"
+	"oakmap/internal/arena"
+	"oakmap/internal/faultpoint"
 )
 
 type stats struct {
 	puts, gets, removes, computes, scans, validations atomic.Int64
-	violations                                        atomic.Int64
+	injected                                          atomic.Int64
+}
+
+// violations collects invariant failures with context instead of
+// aborting on the first one: the run continues (surfacing cascades and
+// later, different failures) and everything is reported at shutdown.
+type violations struct {
+	mu    sync.Mutex
+	count int64
+	msgs  []string // first maxMsgs, with context
+}
+
+const maxMsgs = 50
+
+func (v *violations) reportf(format string, args ...any) {
+	v.mu.Lock()
+	v.count++
+	if len(v.msgs) < maxMsgs {
+		v.msgs = append(v.msgs, fmt.Sprintf(format, args...))
+	}
+	v.mu.Unlock()
+}
+
+func (v *violations) total() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.count
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oak-stress: ")
 	var (
-		duration = flag.Duration("duration", 10*time.Second, "total run time")
-		workers  = flag.Int("workers", 8, "concurrent worker goroutines")
-		keys     = flag.Int("keys", 50000, "key range")
-		valSize  = flag.Int("valsize", 128, "value size in bytes")
-		chunkCap = flag.Int("chunk", 512, "chunk capacity (small values stress rebalance)")
-		reclaimH = flag.Bool("reclaim-headers", false, "enable the epoch header-reclamation extension")
-		reclaimK = flag.Bool("reclaim-keys", false, "enable off-heap key reclamation (requires no retained key views)")
+		duration  = flag.Duration("duration", 10*time.Second, "total run time")
+		workers   = flag.Int("workers", 8, "concurrent worker goroutines")
+		keys      = flag.Int("keys", 50000, "key range")
+		valSize   = flag.Int("valsize", 128, "value size in bytes")
+		chunkCap  = flag.Int("chunk", 512, "chunk capacity (small values stress rebalance)")
+		reclaimH  = flag.Bool("reclaim-headers", false, "enable the epoch header-reclamation extension")
+		reclaimK  = flag.Bool("reclaim-keys", false, "enable off-heap key reclamation (requires no retained key views)")
+		faults    = flag.Bool("faults", false, "arm the fault-injection points")
+		faultProb = flag.Float64("fault-prob", 0.005, "per-hit firing probability for branch faults")
+		seed      = flag.Uint64("seed", 1, "PRNG seed for fault firing (reproducibility)")
 	)
 	flag.Parse()
 
@@ -61,7 +103,7 @@ func main() {
 	residents := *keys / 10
 	for i := 0; i < residents; i++ {
 		if err := zc.Put(uint64(i*10), make([]byte, *valSize)); err != nil {
-			log.Fatalf("seed resident: %v", err)
+			log.Fatalf("seed resident: %v", err) // setup failure, not a violation
 		}
 	}
 	for i := 0; i < counters; i++ {
@@ -70,16 +112,32 @@ func main() {
 		}
 	}
 
+	if *faults {
+		armFaults(*faultProb, *seed)
+		defer faultpoint.DisarmAll()
+	}
+
 	var st stats
+	var viol violations
 	var computeTotal atomic.Int64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
+	// tolerate reports whether err is an expected consequence of armed
+	// faults rather than a violation.
+	tolerate := func(err error) bool {
+		if err != nil && *faults && errors.Is(err, arena.ErrInjected) {
+			st.injected.Add(1)
+			return true
+		}
+		return false
+	}
+
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
-		go func(seed uint64) {
+		go func(wseed uint64) {
 			defer wg.Done()
-			rng := rand.New(rand.NewPCG(seed, 0x57e55))
+			rng := rand.New(rand.NewPCG(wseed, 0x57e55))
 			val := make([]byte, *valSize)
 			for {
 				select {
@@ -93,13 +151,13 @@ func main() {
 				}
 				switch rng.Uint64() % 10 {
 				case 0, 1, 2:
-					if err := zc.Put(k, val); err != nil {
-						log.Fatalf("put: %v", err)
+					if err := zc.Put(k, val); err != nil && !tolerate(err) {
+						viol.reportf("put(%d): %v", k, err)
 					}
 					st.puts.Add(1)
 				case 3:
-					if err := zc.Remove(k); err != nil {
-						log.Fatalf("remove: %v", err)
+					if err := zc.Remove(k); err != nil && !tolerate(err) {
+						viol.reportf("remove(%d): %v", k, err)
 					}
 					st.removes.Add(1)
 				case 4:
@@ -108,14 +166,14 @@ func main() {
 						wb.PutUint64At(0, wb.Uint64At(0)+1)
 						return nil
 					})
-					if err != nil {
-						log.Fatalf("compute: %v", err)
+					switch {
+					case err != nil && !tolerate(err):
+						viol.reportf("compute(%d): %v", c, err)
+					case err == nil && !ok:
+						viol.reportf("counter %d vanished (compute found no mapping)", c)
+					case err == nil:
+						computeTotal.Add(1)
 					}
-					if !ok {
-						st.violations.Add(1)
-						log.Fatalf("counter %d vanished", c)
-					}
-					computeTotal.Add(1)
 					st.computes.Add(1)
 				case 5:
 					n := 0
@@ -151,7 +209,7 @@ func main() {
 				return
 			default:
 			}
-			validate(m, zc, residents, &st)
+			validate(zc, residents, &viol)
 			st.validations.Add(1)
 		}
 	}()
@@ -161,54 +219,129 @@ func main() {
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
+	faultpoint.DisarmAll() // quiesce injection before the final checks
 
 	// Final check: the counters must hold exactly the computes applied.
 	var sum int64
 	for i := 0; i < counters; i++ {
 		buf := zc.Get(uint64(counterBase + i))
 		if buf == nil {
-			log.Fatalf("counter %d missing at shutdown", i)
+			viol.reportf("counter %d missing at shutdown", i)
+			continue
 		}
 		v, err := buf.Uint64At(0)
 		if err != nil {
-			log.Fatalf("counter read: %v", err)
+			viol.reportf("counter %d read at shutdown: %v", i, err)
+			continue
 		}
 		sum += int64(v)
 	}
 	if sum != computeTotal.Load() {
-		log.Fatalf("ATOMICITY VIOLATION: counters sum to %d, expected %d",
+		viol.reportf("ATOMICITY VIOLATION: counters sum to %d, expected %d",
 			sum, computeTotal.Load())
 	}
 
 	s := m.Stats()
 	totalOps := st.puts.Load() + st.gets.Load() + st.removes.Load() +
 		st.computes.Load() + st.scans.Load()
-	fmt.Printf("PASS: %d ops in %s (%.0f Kops/s), %d validations, 0 violations\n",
-		totalOps, elapsed.Round(time.Millisecond),
-		float64(totalOps)/elapsed.Seconds()/1000, st.validations.Load())
-	fmt.Printf("  puts=%d gets=%d removes=%d computes=%d scans=%d\n",
+	verdict := "PASS"
+	if viol.total() > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Printf("%s: %d ops in %s (%.0f Kops/s), %d validations, %d violations\n",
+		verdict, totalOps, elapsed.Round(time.Millisecond),
+		float64(totalOps)/elapsed.Seconds()/1000, st.validations.Load(), viol.total())
+	fmt.Printf("  puts=%d gets=%d removes=%d computes=%d scans=%d injected-errors=%d\n",
 		st.puts.Load(), st.gets.Load(), st.removes.Load(),
-		st.computes.Load(), st.scans.Load())
+		st.computes.Load(), st.scans.Load(), st.injected.Load())
 	fmt.Printf("  len=%d chunks=%d rebalances=%d headers=%d footprint=%.1fMB\n",
 		s.Len, s.Chunks, s.Rebalances, s.HeaderCount, float64(s.Footprint)/(1<<20))
-	if st.violations.Load() > 0 {
+	if *faults {
+		printFaultCounters()
+	}
+	if viol.total() > 0 {
+		fmt.Printf("violations (%d total, first %d with context):\n", viol.total(), len(viol.msgs))
+		for _, msg := range viol.msgs {
+			fmt.Printf("  VIOLATION: %s\n", msg)
+		}
 		os.Exit(1)
 	}
 }
 
+// armFaults installs seeded probabilistic hooks on the branch faults and
+// scheduling-jitter hooks on the pause points.
+func armFaults(prob float64, seed uint64) {
+	// link-cas and publish-fail divert retry loops: at probability 1 a
+	// put would retry forever and the run could never drain. Clamp so
+	// the loops always converge.
+	retryProb := prob
+	if retryProb > 0.9 {
+		retryProb = 0.9
+		log.Printf("clamping -fault-prob to %.2f for retry-loop faults", retryProb)
+	}
+	branch := map[string]float64{
+		"arena/alloc-fail":   prob / 5, // errors surface to callers: keep rare
+		"chunk/link-cas":     retryProb,
+		"chunk/publish-fail": retryProb,
+	}
+	i := uint64(0)
+	for name, p := range branch {
+		i++
+		if err := faultpoint.Arm(name, faultpoint.WithProb(p, seed+i)); err != nil {
+			log.Fatalf("arm %s: %v", name, err)
+		}
+	}
+	// Sparse scheduling jitter: every Gosched donates a scheduler quantum
+	// to whoever is runnable (on GOMAXPROCS=1, the whole quantum), so keep
+	// it rare enough that workers still make progress.
+	jitter := faultpoint.Hook{Decide: func(hit int64) bool {
+		if hit%64 == 0 {
+			runtime.Gosched()
+		}
+		return false
+	}}
+	for _, name := range []string{
+		"arena/freelist-scan",
+		"core/rebalance-freeze", "core/rebalance-split", "core/rebalance-index",
+		"core/header-lock", "core/deleted-bit", "core/put-race",
+	} {
+		if err := faultpoint.Arm(name, jitter); err != nil {
+			log.Fatalf("arm %s: %v", name, err)
+		}
+	}
+}
+
+func printFaultCounters() {
+	cs := faultpoint.Counters()
+	names := make([]string, 0, len(cs))
+	for n := range cs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("  fault points (hits/fires):")
+	for _, n := range names {
+		c := cs[n]
+		if c.Hits > 0 {
+			fmt.Printf(" %s=%d/%d", n, c.Hits, c.Fires)
+		}
+	}
+	fmt.Println()
+}
+
 // validate runs one full-scan invariant pass.
-func validate(m *oakmap.Map[uint64, []byte], zc oakmap.ZeroCopyMap[uint64, []byte],
-	residents int, st *stats) {
+func validate(zc oakmap.ZeroCopyMap[uint64, []byte], residents int, viol *violations) {
 	var prev uint64
 	first := true
 	seenResidents := 0
 	var kb [8]byte
+	ordered := true
 	zc.AscendStream(nil, nil, func(k, v *oakmap.OakRBuffer) bool {
 		k.Read(func(b []byte) error { copy(kb[:], b); return nil })
 		key := binary.BigEndian.Uint64(kb[:])
 		if !first && key <= prev {
-			st.violations.Add(1)
-			log.Fatalf("ORDER VIOLATION: %d after %d", key, prev)
+			viol.reportf("ORDER VIOLATION: key %d scanned after %d", key, prev)
+			ordered = false
+			return false
 		}
 		prev, first = key, false
 		if key%10 == 0 && key < uint64(residents*10) {
@@ -216,9 +349,8 @@ func validate(m *oakmap.Map[uint64, []byte], zc oakmap.ZeroCopyMap[uint64, []byt
 		}
 		return true
 	})
-	if seenResidents != residents {
-		st.violations.Add(1)
-		log.Fatalf("RESIDENT VIOLATION: saw %d of %d resident keys",
-			seenResidents, residents)
+	if ordered && seenResidents != residents {
+		viol.reportf("RESIDENT VIOLATION: saw %d of %d resident keys (last key %d)",
+			seenResidents, residents, prev)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"oakmap/internal/faultpoint"
 )
 
 // Allocation errors.
@@ -12,6 +14,21 @@ var (
 	ErrTooLarge  = errors.New("arena: allocation exceeds block size")
 	ErrClosed    = errors.New("arena: allocator closed")
 	ErrExhausted = errors.New("arena: allocator out of blocks")
+	// ErrInjected is returned by Alloc when the arena/alloc-fail fault
+	// point fires; it never occurs outside fault-injection runs.
+	ErrInjected = errors.New("arena: injected allocation failure")
+)
+
+// Fault-injection points (no-ops unless a test arms them).
+var (
+	// FpAllocFail makes Alloc fail with ErrInjected, exercising the
+	// callers' allocation-error unwind paths (key release, value
+	// discard) that real workloads reach only at memory exhaustion.
+	FpAllocFail = faultpoint.New("arena/alloc-fail")
+	// FpFreeListScan is hit at the start of every first-fit free-list
+	// scan, under the allocator lock: a pausing hook widens the lock
+	// hold to force free-list contention.
+	FpFreeListScan = faultpoint.New("arena/freelist-scan")
 )
 
 // span is a free range inside a block, kept on the allocator's free list.
@@ -101,6 +118,9 @@ func (a *Allocator) Alloc(n int) (Ref, error) {
 	if n > a.pool.blockSize || n > MaxAllocSize {
 		return NilRef, ErrTooLarge
 	}
+	if FpAllocFail.Fire() {
+		return NilRef, ErrInjected
+	}
 	rounded := align8(n)
 	a.requests.Add(1)
 
@@ -111,6 +131,9 @@ func (a *Allocator) Alloc(n int) (Ref, error) {
 	}
 	// First fit: scan the flat free list for the first span that fits.
 	if a.firstFit {
+		if len(a.freeList) > 0 {
+			FpFreeListScan.Fire()
+		}
 		for i := range a.freeList {
 			s := &a.freeList[i]
 			if s.length >= rounded {

@@ -17,6 +17,20 @@ import (
 	"sync/atomic"
 
 	"oakmap/internal/arena"
+	"oakmap/internal/faultpoint"
+)
+
+// Fault-injection points (no-ops unless a test arms them).
+var (
+	// FpLinkCAS simulates losing the entry-link CAS race in
+	// PutIfAbsentInList: when it fires, the linker re-scans as if a
+	// concurrent insert had won, exercising the retry path that natural
+	// scheduling hits only under heavy same-range contention.
+	FpLinkCAS = faultpoint.New("chunk/link-cas")
+	// FpPublishFail makes Publish fail as if the chunk had just frozen,
+	// driving callers through their relocate-and-retry (and value
+	// discard) paths without a real rebalance.
+	FpPublishFail = faultpoint.New("chunk/publish-fail")
 )
 
 // Comparator orders serialized keys (bytes.Compare semantics).
@@ -312,6 +326,9 @@ func (c *Chunk) PutIfAbsentInList(ei int32) (int32, Status) {
 		if c.frozen.Load() {
 			return none, Frozen
 		}
+		if FpLinkCAS.Fire() {
+			continue // injected lost race: re-scan from the prefix floor
+		}
 		var ok bool
 		if pred < 0 {
 			ok = c.head.CompareAndSwap(cur, ei)
@@ -329,7 +346,7 @@ func (c *Chunk) PutIfAbsentInList(ei int32) (int32, Status) {
 // rebalancer (§4.1). It fails iff the chunk is frozen.
 func (c *Chunk) Publish() bool {
 	c.published.Add(1)
-	if c.frozen.Load() {
+	if c.frozen.Load() || FpPublishFail.Fire() {
 		c.published.Add(-1)
 		return false
 	}

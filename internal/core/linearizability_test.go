@@ -10,11 +10,18 @@ import (
 
 // This file checks the paper's central correctness claim (§4.5): the
 // point operations are linearizable. We record concurrent histories of
-// operations on a single key — invocation/response ordering via a global
-// logical clock — and then search for a sequential witness (Wing & Gong
-// style): a permutation of the operations that (a) respects real-time
-// order and (b) is legal for a single register with put / putIfAbsent /
-// remove / get semantics.
+// operations — invocation/response ordering via a global logical clock —
+// and then search for a sequential witness (Wing & Gong style): a
+// permutation of the operations that (a) respects real-time order and
+// (b) is legal for a register with put / putIfAbsent / remove / get /
+// compute / upsert semantics.
+//
+// Histories may span multiple keys. Linearizability is compositional
+// (Herlihy & Wing's locality theorem): a history over a collection of
+// independent objects is linearizable iff each object's subhistory is.
+// Map keys are independent registers, so the checker partitions the
+// history by key and runs the single-register search on each part —
+// exact, and exponential only in the per-key operation count.
 
 type opKindL int
 
@@ -23,24 +30,26 @@ const (
 	lPutIfAbsent
 	lRemove
 	lGet
-	lUpsert // putIfAbsentComputeIfPresent: insert arg, or append "|"+arg
+	lUpsert  // putIfAbsentComputeIfPresent: insert arg, or append "|"+arg
+	lCompute // computeIfPresent: append "#"+arg if present
 )
 
 func (k opKindL) String() string {
-	return [...]string{"put", "putIfAbsent", "remove", "get", "upsert"}[k]
+	return [...]string{"put", "putIfAbsent", "remove", "get", "upsert", "compute"}[k]
 }
 
 type opRecord struct {
+	key  string // subject key; histories are partitioned on it
 	kind opKindL
-	arg  string // value written (put/putIfAbsent)
+	arg  string // value written (put/putIfAbsent) or appended (upsert/compute)
 	// results
-	retBool  bool   // putIfAbsent: inserted; remove: removed; get: found
+	retBool  bool   // putIfAbsent: inserted; remove: removed; get: found; compute: applied
 	retVal   string // get: observed value
 	inv, ret uint64 // logical timestamps
 }
 
 func (o opRecord) String() string {
-	return fmt.Sprintf("%s(%s)=(%v,%q)@[%d,%d]", o.kind, o.arg, o.retBool, o.retVal, o.inv, o.ret)
+	return fmt.Sprintf("%s[%x](%s)=(%v,%q)@[%d,%d]", o.kind, o.key, o.arg, o.retBool, o.retVal, o.inv, o.ret)
 }
 
 // regState applies op to a sequential register; returns the new value
@@ -69,13 +78,34 @@ func regApply(v string, present bool, o opRecord) (string, bool, bool) {
 			return v + "|" + o.arg, true, true
 		}
 		return o.arg, true, true
+	case lCompute:
+		if present {
+			return v + "#" + o.arg, true, o.retBool
+		}
+		return v, false, !o.retBool
 	}
 	return v, present, false
 }
 
-// linearizable searches for a sequential witness with memoized DFS over
-// (done-set bitmask, register value). History sizes stay ≤ 16 ops.
+// linearizable checks a (possibly multi-key) history: it partitions by
+// key and searches each per-key subhistory for a sequential witness.
 func linearizable(ops []opRecord) bool {
+	byKey := map[string][]opRecord{}
+	for _, o := range ops {
+		byKey[o.key] = append(byKey[o.key], o)
+	}
+	for _, sub := range byKey {
+		if !linearizableKey(sub) {
+			return false
+		}
+	}
+	return true
+}
+
+// linearizableKey searches for a sequential witness with memoized DFS
+// over (done-set bitmask, register value). Per-key history sizes stay
+// ≤ 16 ops.
+func linearizableKey(ops []opRecord) bool {
 	n := len(ops)
 	type memoKey struct {
 		mask    int
@@ -160,6 +190,52 @@ func TestLinearizabilityCheckerSelf(t *testing.T) {
 	})
 	if !ok {
 		t.Fatal("overlapping ops over-constrained")
+	}
+	// Legal: compute applies to the present value; get sees the result.
+	ok = linearizable([]opRecord{
+		{kind: lPut, arg: "a", inv: 1, ret: 2},
+		{kind: lCompute, arg: "x", retBool: true, inv: 3, ret: 4},
+		{kind: lGet, retBool: true, retVal: "a#x", inv: 5, ret: 6},
+	})
+	if !ok {
+		t.Fatal("legal compute history rejected")
+	}
+	// Illegal: compute claims success on an absent key.
+	ok = linearizable([]opRecord{
+		{kind: lRemove, retBool: false, inv: 1, ret: 2},
+		{kind: lCompute, arg: "x", retBool: true, inv: 3, ret: 4},
+	})
+	if ok {
+		t.Fatal("compute on absent key accepted")
+	}
+	// Illegal: compute's effect lost (get sees pre-compute value after
+	// a sequential successful compute).
+	ok = linearizable([]opRecord{
+		{kind: lPut, arg: "a", inv: 1, ret: 2},
+		{kind: lCompute, arg: "x", retBool: true, inv: 3, ret: 4},
+		{kind: lGet, retBool: true, retVal: "a", inv: 5, ret: 6},
+	})
+	if ok {
+		t.Fatal("lost compute accepted")
+	}
+	// Multi-key: keys are independent — a put on k1 must not satisfy a
+	// get on k2...
+	ok = linearizable([]opRecord{
+		{key: "k1", kind: lPut, arg: "a", inv: 1, ret: 2},
+		{key: "k2", kind: lGet, retBool: true, retVal: "a", inv: 3, ret: 4},
+	})
+	if ok {
+		t.Fatal("cross-key read accepted")
+	}
+	// ...and per-key legality composes.
+	ok = linearizable([]opRecord{
+		{key: "k1", kind: lPut, arg: "a", inv: 1, ret: 2},
+		{key: "k2", kind: lPut, arg: "b", inv: 1, ret: 2},
+		{key: "k2", kind: lGet, retBool: true, retVal: "b", inv: 3, ret: 4},
+		{key: "k1", kind: lGet, retBool: true, retVal: "a", inv: 3, ret: 4},
+	})
+	if !ok {
+		t.Fatal("legal multi-key history rejected")
 	}
 }
 
@@ -256,6 +332,115 @@ func TestSingleKeyLinearizability(t *testing.T) {
 				t.Logf("  %v", o)
 			}
 			t.Fatalf("history %d is not linearizable", h)
+		}
+		m.Close()
+	}
+}
+
+// runRecordedOp executes one operation against m and returns its record
+// with invocation/response timestamps from clock. Operation errors are
+// reported through t (none of the recorded kinds should fail unless an
+// error-injecting fault point is armed, which recorded histories avoid).
+func runRecordedOp(t testing.TB, m *Map, clock *atomic.Uint64, kind opKindL, key []byte, arg string) opRecord {
+	r := opRecord{key: string(key), kind: kind, arg: arg}
+	r.inv = clock.Add(1)
+	switch kind {
+	case lPut:
+		if err := m.Put(key, []byte(arg)); err != nil {
+			t.Errorf("put: %v", err)
+		}
+	case lPutIfAbsent:
+		ok, err := m.PutIfAbsent(key, []byte(arg))
+		if err != nil {
+			t.Errorf("putIfAbsent: %v", err)
+		}
+		r.retBool = ok
+	case lRemove:
+		ok, err := m.Remove(key)
+		if err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		r.retBool = ok
+	case lGet:
+		if hd, ok := m.Get(key); ok {
+			b, err := m.CopyValue(hd, nil)
+			if err == nil {
+				r.retBool = true
+				r.retVal = string(b)
+			}
+			// A read racing a remove between Get and CopyValue observes
+			// "absent": its linearization point is the failed read lock,
+			// still within [inv, ret].
+		}
+	case lUpsert:
+		err := m.PutIfAbsentComputeIfPresent(key, []byte(arg),
+			func(w *WBuffer) error {
+				cur := append([]byte(nil), w.Bytes()...)
+				return w.Set(append(append(cur, '|'), arg...))
+			})
+		if err != nil {
+			t.Errorf("upsert: %v", err)
+		}
+	case lCompute:
+		ok, err := m.ComputeIfPresent(key, func(w *WBuffer) error {
+			cur := append([]byte(nil), w.Bytes()...)
+			return w.Set(append(append(cur, '#'), arg...))
+		})
+		if err != nil {
+			t.Errorf("compute: %v", err)
+		}
+		r.retBool = ok
+	}
+	r.ret = clock.Add(1)
+	return r
+}
+
+// TestMultiKeyLinearizability exercises the generalized checker: many
+// small concurrent histories over a handful of keys, with every modeled
+// operation kind including ComputeIfPresent, on a map with tiny chunks
+// so the keys' chunks split and merge under neighbour churn.
+func TestMultiKeyLinearizability(t *testing.T) {
+	const histories = 120
+	const threads = 4
+	const opsPerThread = 4
+	keys := [][]byte{ik(10), ik(42), ik(55)}
+
+	for h := 0; h < histories; h++ {
+		m := New(&Options{ChunkCapacity: 16, Pool: testPool(t)})
+		// Neighbour churn so the watched keys' chunks rebalance; watched
+		// keys start absent (the checker's initial state).
+		for i := 0; i < 64; i++ {
+			if i == 10 || i == 42 || i == 55 {
+				continue
+			}
+			m.Put(ik(i), iv(i))
+		}
+		var clock atomic.Uint64
+		recs := make([][]opRecord, threads)
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(h*threads+g), 99))
+				for i := 0; i < opsPerThread; i++ {
+					kind := opKindL(rng.Uint64() % 6)
+					key := keys[rng.Uint64()%uint64(len(keys))]
+					arg := fmt.Sprintf("g%d-%d", g, i)
+					recs[g] = append(recs[g], runRecordedOp(t, m, &clock, kind, key, arg))
+				}
+			}(g)
+		}
+		wg.Wait()
+		var all []opRecord
+		for _, rs := range recs {
+			all = append(all, rs...)
+		}
+		if !linearizable(all) {
+			for _, o := range all {
+				t.Logf("  %v", o)
+			}
+			t.Fatalf("multi-key history %d is not linearizable", h)
 		}
 		m.Close()
 	}

@@ -1,6 +1,15 @@
 package core
 
-import "oakmap/internal/chunk"
+import (
+	"oakmap/internal/chunk"
+	"oakmap/internal/faultpoint"
+)
+
+// fpPutRace is hit after doPut observes a live value and before it acts
+// on it (no-op unless a test arms it): a pausing hook holds the put in
+// the window where a concurrent remove can set the deleted bit, forcing
+// the "value was deleted concurrently: retry" path of Algorithm 2.
+var fpPutRace = faultpoint.New("core/put-race")
 
 // Get implements Algorithm 1: locate the chunk, look the key up, and
 // return the value's handle if a non-deleted value is present. The
@@ -89,6 +98,7 @@ func (m *Map) doPut(key []byte, vw ValueWriter, f func(*WBuffer) error, op opKin
 
 		if h != 0 && !m.IsDeleted(h) {
 			// Case 1: the key is present (lines 19–26).
+			fpPutRace.Fire()
 			switch op {
 			case opPutIfAbsent:
 				return false, nil

@@ -3,6 +3,24 @@ package core
 import (
 	"oakmap/internal/arena"
 	"oakmap/internal/chunk"
+	"oakmap/internal/faultpoint"
+)
+
+// Fault-injection pause points marking the rebalance danger windows
+// (no-ops unless a test arms them). All three are hit with the chunk
+// locks held, so a gate hook parks the rebalancer mid-operation while
+// readers — which never block on rebalances — are let loose on it.
+var (
+	// fpRebalanceFreeze: the chunk is frozen (updates bounce) but still
+	// the only copy of its range — readers must serve from frozen data.
+	fpRebalanceFreeze = faultpoint.New("core/rebalance-freeze")
+	// fpRebalanceSplit: replacement chunks are built and chained but not
+	// yet published — the retired chunk is still the visible one.
+	fpRebalanceSplit = faultpoint.New("core/rebalance-split")
+	// fpRebalanceIndex: the new chain is spliced and forwarding is up,
+	// but the minKey index still points at retired chunks — lookups must
+	// recover via ReplacedBy forwarding.
+	fpRebalanceIndex = faultpoint.New("core/rebalance-index")
 )
 
 // maybeRebalance applies the paper's trigger policy after an insertion:
@@ -121,6 +139,7 @@ func (m *Map) rebalanceLocked(pred, c *chunk.Chunk) {
 	m.rebalances.Add(1)
 
 	c.Freeze()
+	fpRebalanceFreeze.Fire()
 	live, deadKeys := c.Gather()
 
 	// Merge policy: when c is under-utilized, absorb the successor.
@@ -181,6 +200,8 @@ func (m *Map) rebalanceLocked(pred, c *chunk.Chunk) {
 	}
 	outs[len(outs)-1].SetNext(tail)
 
+	fpRebalanceSplit.Fire()
+
 	// Publish forwarding, then splice. Readers holding retired chunks
 	// keep reading their frozen data; re-located operations forward.
 	c.SetReplacedBy(outs[0])
@@ -192,6 +213,8 @@ func (m *Map) rebalanceLocked(pred, c *chunk.Chunk) {
 	} else {
 		pred.SetNext(outs[0])
 	}
+
+	fpRebalanceIndex.Fire()
 
 	// Index maintenance (lazy, but done eagerly here): re-point c's
 	// minKey, add the new split keys, drop a merged successor's key.

@@ -2,6 +2,20 @@ package core
 
 import (
 	"oakmap/internal/arena"
+	"oakmap/internal/faultpoint"
+)
+
+// Fault-injection points on the value-header protocol (no-ops unless a
+// test arms them).
+var (
+	// fpHeaderLock is hit with the value's write lock held (valuePut /
+	// valueCompute): a pausing hook stretches the critical section so
+	// concurrent readers and writers pile up on the header spinlock.
+	fpHeaderLock = faultpoint.New("core/header-lock")
+	// fpDeletedBit is hit between setting a value's deleted bit and
+	// releasing its data space: in this window the handle must read as
+	// deleted everywhere while the entry still references it.
+	fpDeletedBit = faultpoint.New("core/deleted-bit")
 )
 
 // ValueHandle identifies a value: an index into the map's header table.
@@ -63,6 +77,7 @@ func (m *Map) valuePut(h ValueHandle, vw ValueWriter) (bool, error) {
 		return false, nil
 	}
 	defer m.headers.WriteUnlock(uint64(h))
+	fpHeaderLock.Fire()
 	old := arena.Ref(m.headers.LoadData(uint64(h)))
 	if old.Len() == vw.N {
 		vw.Write(m.alloc.Bytes(old))
@@ -86,6 +101,7 @@ func (m *Map) valueCompute(h ValueHandle, f func(*WBuffer) error) (bool, error) 
 		return false, nil
 	}
 	defer m.headers.WriteUnlock(uint64(h))
+	fpHeaderLock.Fire()
 	w := WBuffer{m: m, h: h}
 	if err := f(&w); err != nil {
 		return false, err
@@ -96,15 +112,23 @@ func (m *Map) valueCompute(h ValueHandle, f func(*WBuffer) error) (bool, error) 
 // valueRemove implements v.remove() (§3.3): atomically mark the value
 // deleted. Returns false iff it was already deleted. On success the data
 // space returns to the free list; the header is retained (default
-// reclamation policy, §3.3).
+// reclamation policy, §3.3) or recycled later via Release.
 func (m *Map) valueRemove(h ValueHandle) bool {
-	if !m.headers.TryDelete(uint64(h)) {
+	if !m.headers.TryWriteLock(uint64(h)) {
 		return false
 	}
-	// The deleted bit is set: no reader can acquire the lock anymore and
-	// no writer can resurrect the value, so the data space is private.
+	// Privatize the data reference while still holding the write lock,
+	// and only then set the deleted bit (which releases the lock). The
+	// order is load-bearing under header reclamation: the moment the
+	// deleted bit is visible, a concurrent insert over the same entry may
+	// Release this header and recycle its slot, so the header must not be
+	// touched after DeleteLocked. (Found by the deleted-bit fault window:
+	// the previous set-bit-then-privatize order let the remover clobber a
+	// recycled slot's data word and free another value's space.)
 	ref := arena.Ref(m.headers.LoadData(uint64(h)))
 	m.headers.StoreData(uint64(h), 0)
+	m.headers.DeleteLocked(uint64(h))
+	fpDeletedBit.Fire()
 	m.alloc.Free(ref)
 	return true
 }

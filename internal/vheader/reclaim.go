@@ -27,6 +27,9 @@ type HeaderTable interface {
 	TryWriteLock(h uint64) bool
 	WriteUnlock(h uint64)
 	TryDelete(h uint64) bool
+	// DeleteLocked marks a write-locked header deleted (releasing the
+	// lock); the caller must hold the write lock via TryWriteLock.
+	DeleteLocked(h uint64)
 	LoadData(h uint64) uint64
 	StoreData(h uint64, ref uint64)
 	// Count returns the number of header slots ever materialized.
@@ -222,6 +225,11 @@ func (t *ReclaimingTable) TryDelete(h uint64) bool {
 	}
 	t.lockWord(slotOf(h)).Store(deletedBit)
 	return true
+}
+
+// DeleteLocked implements HeaderTable.
+func (t *ReclaimingTable) DeleteLocked(h uint64) {
+	t.lockWord(slotOf(h)).Store(deletedBit)
 }
 
 // LoadData implements HeaderTable.

@@ -161,6 +161,15 @@ func (t *Table) TryDelete(idx uint64) bool {
 	return true
 }
 
+// DeleteLocked transitions a write-locked header to deleted, releasing
+// the lock. It lets a remover privatize the value's data reference under
+// the lock before the deleted bit becomes visible — required under
+// header reclamation, where a concurrent insert may Release (and
+// recycle) the header as soon as it observes the deleted bit.
+func (t *Table) DeleteLocked(idx uint64) {
+	t.word(idx).Store(deletedBit)
+}
+
 // backoff yields the processor with increasing insistence.
 func backoff(spins int) {
 	if spins > 16 {
