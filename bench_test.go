@@ -336,16 +336,24 @@ func BenchmarkAblationDescend(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationAllocator compares first-fit reuse with bump-only
-// allocation under a churn (put+remove) workload.
+// BenchmarkAblationAllocator compares the three allocator modes under a
+// churn (put+remove) workload: the default segregated size-class free
+// lists, the paper-faithful flat first-fit list (§3.2), and bump-only
+// allocation (no reuse).
 func BenchmarkAblationAllocator(b *testing.B) {
-	for _, firstFit := range []bool{true, false} {
-		name := "first-fit"
-		if !firstFit {
-			name = "bump-only"
-		}
-		b.Run(name, func(b *testing.B) {
-			t := bench.NewOak(&oakmap.Options{BlockSize: 8 << 20, DisableFirstFit: !firstFit}, false)
+	modes := []struct {
+		name string
+		opts oakmap.Options
+	}{
+		{"size-class", oakmap.Options{}},
+		{"first-fit", oakmap.Options{FlatFreeList: true}},
+		{"bump-only", oakmap.Options{DisableFirstFit: true}},
+	}
+	for _, m := range modes {
+		opts := m.opts
+		opts.BlockSize = 8 << 20
+		b.Run(m.name, func(b *testing.B) {
+			t := bench.NewOak(&opts, false)
 			defer t.Close()
 			cfg := benchConfig(1)
 			bench.Warm(t, cfg)

@@ -254,8 +254,9 @@ func main() {
 	fmt.Printf("  puts=%d gets=%d removes=%d computes=%d scans=%d injected-errors=%d\n",
 		st.puts.Load(), st.gets.Load(), st.removes.Load(),
 		st.computes.Load(), st.scans.Load(), st.injected.Load())
-	fmt.Printf("  len=%d chunks=%d rebalances=%d headers=%d footprint=%.1fMB\n",
-		s.Len, s.Chunks, s.Rebalances, s.HeaderCount, float64(s.Footprint)/(1<<20))
+	fmt.Printf("  len=%d chunks=%d rebalances=%d headers=%d footprint=%.1fMB free-spans=%d frag=%.3f\n",
+		s.Len, s.Chunks, s.Rebalances, s.HeaderCount, float64(s.Footprint)/(1<<20),
+		s.FreeSpans, s.Fragmentation)
 	if *faults {
 		printFaultCounters()
 	}
@@ -301,7 +302,7 @@ func armFaults(prob float64, seed uint64) {
 		return false
 	}}
 	for _, name := range []string{
-		"arena/freelist-scan",
+		"arena/freelist-scan", "arena/coalesce", "arena/class-migrate",
 		"core/rebalance-freeze", "core/rebalance-split", "core/rebalance-index",
 		"core/header-lock", "core/deleted-bit", "core/put-race",
 	} {

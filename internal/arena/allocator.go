@@ -25,27 +25,76 @@ var (
 	// callers' allocation-error unwind paths (key release, value
 	// discard) that real workloads reach only at memory exhaustion.
 	FpAllocFail = faultpoint.New("arena/alloc-fail")
-	// FpFreeListScan is hit at the start of every first-fit free-list
-	// scan, under the allocator lock: a pausing hook widens the lock
-	// hold to force free-list contention.
+	// FpFreeListScan is hit at the start of every linear free-list scan
+	// (the flat first-fit list in ModeFirstFit, the large-span list in
+	// ModeSizeClass), under that list's lock: a pausing hook widens the
+	// lock hold to force free-list contention.
 	FpFreeListScan = faultpoint.New("arena/freelist-scan")
+	// FpCoalesce is hit each time two adjacent free spans merge (large-
+	// list insert and Compact), under the owning lock: pausing here
+	// stretches the coalescing window against concurrent alloc/free.
+	FpCoalesce = faultpoint.New("arena/coalesce")
+	// FpClassMigrate is hit when a span changes lists: a split remainder
+	// re-parked after a pop, or a large span carved below largeMin moving
+	// to a size class. The span is privately held at that instant, so a
+	// pause here strands it from every allocation path — the window where
+	// concurrent allocs must fall through to other spans or the bump
+	// pointer rather than spin.
+	FpClassMigrate = faultpoint.New("arena/class-migrate")
 )
 
-// span is a free range inside a block, kept on the allocator's free list.
+// Mode selects the allocator's free-space management strategy.
+type Mode int32
+
+const (
+	// ModeSizeClass (the default) parks freed spans on segregated
+	// power-of-two size-class LIFOs with per-class locks, plus one
+	// address-ordered coalescing list for spans ≥ largeMin. Alloc and
+	// Free are O(1) off the hot path and traffic in different classes
+	// never shares a lock.
+	ModeSizeClass Mode = iota
+	// ModeFirstFit is the paper-faithful flat first-fit free list under
+	// a single lock (§3.2), kept for ablation comparisons.
+	ModeFirstFit
+	// ModeBump disables reuse entirely: freed spans are dropped and only
+	// accounting is updated.
+	ModeBump
+)
+
+// String renders the mode for benchmarks and logs.
+func (m Mode) String() string {
+	switch m {
+	case ModeSizeClass:
+		return "size-class"
+	case ModeFirstFit:
+		return "first-fit"
+	case ModeBump:
+		return "bump-only"
+	default:
+		return "unknown"
+	}
+}
+
+// span is a free range inside a block, kept on one of the allocator's
+// free structures.
 type span struct {
 	block  int
 	offset int
 	length int
 }
 
-// Allocator carves variable-size ranges out of pool blocks on behalf of a
-// single map instance. It is the paper's per-instance memory manager:
-// fresh space comes from a bump pointer in the current block, freed space
-// goes onto a flat free list that is searched first-fit (§3.2).
+// Allocator carves variable-size ranges out of pool blocks on behalf of
+// a single map instance. It is the paper's per-instance memory manager,
+// rebuilt around segregated size-class free lists: fresh space comes
+// from a bump pointer in the current block, freed space is parked per
+// size class (or on the flat first-fit list of §3.2 in the ablation
+// mode) and reused on the next fitting allocation.
 //
 // All methods are safe for concurrent use. Reads through Bytes take no
 // locks: the block table is a fixed-size array of atomic pointers, so a
-// Ref obtained from Alloc can be dereferenced by any goroutine.
+// Ref obtained from Alloc can be dereferenced by any goroutine. Close
+// requires the same quiescence the Ref contract already imposes: any
+// operation in flight at Close may produce a ref into a released block.
 type Allocator struct {
 	pool *Pool
 
@@ -55,34 +104,83 @@ type Allocator struct {
 	blocks    [MaxBlocks]atomic.Pointer[block]
 	numBlocks atomic.Int32
 
-	mu       sync.Mutex
-	cur      int // index of the block being bump-allocated
-	top      int // bump offset in the current block
-	closed   bool
-	freeList []span // first-fit free list, unordered
-	firstFit bool   // when false, freed spans are dropped (ablation mode)
+	modeWord atomic.Int32
+	closed   atomic.Bool
+
+	// Bump state: the current block and its bump offset.
+	bumpMu sync.Mutex
+	cur    int // index of the block being bump-allocated
+	top    int // bump offset in the current block
+
+	// Size-class free lists (ModeSizeClass). classBits is the occupancy
+	// bitmap: bit c set iff classes[c] is non-empty.
+	classes   [numClasses]classList
+	classBits atomic.Uint32
+
+	// Large-span list (ModeSizeClass): sorted by address, coalescing.
+	largeMu    sync.Mutex
+	large      []span
+	largeBytes int64
+
+	// Flat first-fit list (ModeFirstFit), unordered.
+	flatMu sync.Mutex
+	flat   []span
+
+	// migrateMu serializes whole-structure reshuffles (SetMode, Compact,
+	// Close) against each other; Alloc/Free never take it.
+	migrateMu sync.Mutex
+
+	// dbg is the arenadebug double-free detector; a no-op without the
+	// build tag.
+	dbg debugTracker
 
 	allocated atomic.Int64 // live bytes handed out
 	freed     atomic.Int64 // bytes returned via Free
 	requests  atomic.Int64 // number of Alloc calls
 }
 
-// NewAllocator creates an allocator drawing from pool. The free list is
-// enabled by default; SetFirstFit(false) turns the allocator into a pure
-// bump allocator (used by the allocator ablation benchmark).
+// NewAllocator creates an allocator drawing from pool, in ModeSizeClass.
 func NewAllocator(pool *Pool) *Allocator {
-	return &Allocator{pool: pool, cur: -1, firstFit: true}
+	return &Allocator{pool: pool, cur: -1}
 }
 
-// SetFirstFit toggles reuse of freed spans. With reuse disabled, Free
-// only updates accounting.
-func (a *Allocator) SetFirstFit(on bool) {
-	a.mu.Lock()
-	a.firstFit = on
-	if !on {
-		a.freeList = nil
+// loadMode returns the current strategy.
+func (a *Allocator) loadMode() Mode { return Mode(a.modeWord.Load()) }
+
+// SetMode switches the free-space strategy, migrating any parked spans
+// into the new structure (dropping them for ModeBump). Intended for
+// setup and ablation runs, not hot-path flipping.
+func (a *Allocator) SetMode(m Mode) {
+	a.migrateMu.Lock()
+	defer a.migrateMu.Unlock()
+	if Mode(a.modeWord.Swap(int32(m))) == m {
+		return
 	}
-	a.mu.Unlock()
+	spans := a.drainAll()
+	switch m {
+	case ModeSizeClass:
+		for _, s := range spans {
+			a.reinsert(s)
+		}
+	case ModeFirstFit:
+		for _, s := range spans {
+			a.flatPush(s)
+		}
+	case ModeBump:
+		// Reuse disabled: parked spans are dropped (they are already
+		// counted as freed).
+	}
+}
+
+// SetFirstFit is the legacy ablation switch: on selects the paper's flat
+// first-fit list, off disables reuse (pure bump allocation). New code
+// should use SetMode.
+func (a *Allocator) SetFirstFit(on bool) {
+	if on {
+		a.SetMode(ModeFirstFit)
+	} else {
+		a.SetMode(ModeBump)
+	}
 }
 
 // align8 rounds n up to a multiple of 8. Allocations are 8-byte aligned
@@ -100,19 +198,19 @@ func (a *Allocator) Alloc(n int) (Ref, error) {
 	if n == 0 {
 		// Zero-length objects (empty keys/values) occupy no space but
 		// need a valid, non-nil reference.
-		a.mu.Lock()
-		if a.closed {
-			a.mu.Unlock()
+		a.bumpMu.Lock()
+		if a.closed.Load() {
+			a.bumpMu.Unlock()
 			return NilRef, ErrClosed
 		}
 		if a.cur < 0 {
 			if err := a.growLocked(); err != nil {
-				a.mu.Unlock()
+				a.bumpMu.Unlock()
 				return NilRef, err
 			}
 		}
 		ref := MakeRef(a.cur, a.top, 0)
-		a.mu.Unlock()
+		a.bumpMu.Unlock()
 		return ref, nil
 	}
 	if n > a.pool.blockSize || n > MaxAllocSize {
@@ -123,59 +221,82 @@ func (a *Allocator) Alloc(n int) (Ref, error) {
 	}
 	rounded := align8(n)
 	a.requests.Add(1)
-
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	if a.closed.Load() {
 		return NilRef, ErrClosed
 	}
-	// First fit: scan the flat free list for the first span that fits.
-	if a.firstFit {
-		if len(a.freeList) > 0 {
-			FpFreeListScan.Fire()
-		}
-		for i := range a.freeList {
-			s := &a.freeList[i]
-			if s.length >= rounded {
-				ref := MakeRef(s.block, s.offset, n)
-				s.offset += rounded
-				s.length -= rounded
-				if s.length == 0 {
-					last := len(a.freeList) - 1
-					a.freeList[i] = a.freeList[last]
-					a.freeList = a.freeList[:last]
-				}
-				a.mu.Unlock()
+	switch a.loadMode() {
+	case ModeSizeClass:
+		if rounded <= maxClassSize {
+			if ref, ok := a.classAlloc(n, rounded); ok {
 				a.allocated.Add(int64(rounded))
 				return ref, nil
 			}
 		}
-	}
-	// Bump path.
-	if a.cur < 0 || a.top+rounded > a.pool.blockSize {
-		if err := a.growLocked(); err != nil {
-			a.mu.Unlock()
-			return NilRef, err
+		if ref, ok := a.largeAlloc(n, rounded); ok {
+			a.allocated.Add(int64(rounded))
+			return ref, nil
+		}
+	case ModeFirstFit:
+		if ref, ok := a.flatAlloc(n, rounded); ok {
+			a.allocated.Add(int64(rounded))
+			return ref, nil
 		}
 	}
-	ref := MakeRef(a.cur, a.top, n)
-	a.top += rounded
-	a.mu.Unlock()
-	a.allocated.Add(int64(rounded))
-	return ref, nil
+	// Bump path. Before a growth would acquire a fresh block, the
+	// size-class mode gets one rescue pass (floor-class scan, then
+	// coalesce-and-retry): exact-fit spans hiding below their ceil class
+	// and coalescible fragments must be reused before the footprint
+	// grows — and before exhaustion is declared.
+	rescued := false
+	for {
+		a.bumpMu.Lock()
+		if a.closed.Load() {
+			a.bumpMu.Unlock()
+			return NilRef, ErrClosed
+		}
+		if a.cur < 0 || a.top+rounded > a.pool.blockSize {
+			if !rescued && a.loadMode() == ModeSizeClass {
+				rescued = true
+				a.bumpMu.Unlock()
+				if ref, ok := a.rescueAlloc(n, rounded); ok {
+					a.allocated.Add(int64(rounded))
+					return ref, nil
+				}
+				continue
+			}
+			if err := a.growLocked(); err != nil {
+				a.bumpMu.Unlock()
+				return NilRef, err
+			}
+		}
+		ref := MakeRef(a.cur, a.top, n)
+		a.top += rounded
+		a.bumpMu.Unlock()
+		a.allocated.Add(int64(rounded))
+		return ref, nil
+	}
 }
 
-// growLocked acquires a fresh block from the pool. Caller holds a.mu.
+// growLocked acquires a fresh block from the pool. Caller holds a.bumpMu
+// (never any list lock, so the leftover insert below cannot deadlock).
 func (a *Allocator) growLocked() error {
 	idx := int(a.numBlocks.Load())
 	if idx >= MaxBlocks {
 		return ErrExhausted
 	}
-	// The remainder of the current block, if any, joins the free list so
-	// it is not stranded.
-	if a.cur >= 0 && a.firstFit {
+	// The remainder of the current block, if any, joins the free
+	// structures so it is not stranded.
+	if a.cur >= 0 {
 		if rest := a.pool.blockSize - a.top; rest >= 8 {
-			a.freeList = append(a.freeList, span{block: a.cur, offset: a.top, length: rest})
+			leftover := span{block: a.cur, offset: a.top, length: rest}
+			switch a.loadMode() {
+			case ModeSizeClass:
+				a.dbg.noteFree(leftover.block, leftover.offset, leftover.length)
+				a.reinsert(leftover)
+			case ModeFirstFit:
+				a.dbg.noteFree(leftover.block, leftover.offset, leftover.length)
+				a.flatPush(leftover)
+			}
 		}
 	}
 	b, err := a.pool.acquire()
@@ -189,9 +310,9 @@ func (a *Allocator) growLocked() error {
 	return nil
 }
 
-// Free returns the range behind ref to the free list. The caller must
-// guarantee no live reader can still dereference ref (in Oak this is
-// established by the value-header locking protocol).
+// Free returns the range behind ref to the free structures. The caller
+// must guarantee no live reader can still dereference ref (in Oak this
+// is established by the value-header locking protocol).
 func (a *Allocator) Free(ref Ref) {
 	if ref.IsNil() {
 		return
@@ -199,11 +320,22 @@ func (a *Allocator) Free(ref Ref) {
 	rounded := align8(ref.Len())
 	a.freed.Add(int64(rounded))
 	a.allocated.Add(int64(-rounded))
-	a.mu.Lock()
-	if !a.closed && a.firstFit {
-		a.freeList = append(a.freeList, span{block: ref.Block(), offset: ref.Offset(), length: rounded})
+	// A zero-length ref owns no bytes: parking it would add a degenerate
+	// span that no allocation can ever pop (it used to leak one free-list
+	// slot per empty-value free). Mirrors growLocked's rest >= 8 guard.
+	if rounded == 0 || a.closed.Load() {
+		return
 	}
-	a.mu.Unlock()
+	a.dbg.noteFree(ref.Block(), ref.Offset(), rounded)
+	s := span{block: ref.Block(), offset: ref.Offset(), length: rounded}
+	switch a.loadMode() {
+	case ModeSizeClass:
+		a.reinsert(s)
+	case ModeFirstFit:
+		a.flatPush(s)
+	case ModeBump:
+		// Reuse disabled: accounting only.
+	}
 }
 
 // Bytes returns the byte range behind ref. The slice aliases the block's
@@ -224,6 +356,13 @@ func (a *Allocator) Write(data []byte) (Ref, error) {
 	return ref, nil
 }
 
+// ClassStats is one size class's occupancy snapshot.
+type ClassStats struct {
+	Size  int   // class lower-bound span length in bytes
+	Spans int   // spans parked on this class
+	Bytes int64 // bytes parked on this class
+}
+
 // Stats is a snapshot of the allocator's accounting.
 type Stats struct {
 	LiveBytes    int64 // currently allocated (rounded) bytes
@@ -231,32 +370,62 @@ type Stats struct {
 	Footprint    int64 // bytes of blocks held from the pool
 	Blocks       int
 	AllocCalls   int64
-	FreeSpans    int
-	FreeCapacity int64 // bytes available on the free list
+	FreeSpans    int   // spans across every free structure
+	FreeCapacity int64 // bytes reusable: free structures + bump tail
+
+	Mode       Mode
+	Classes    [numClasses]ClassStats // per-class occupancy (ModeSizeClass)
+	LargeSpans int                    // spans on the large coalescing list
+	LargeBytes int64
+	// Fragmentation is the fraction of the footprint parked on free
+	// structures: bytes that are held from the pool and freed but only
+	// reusable for fitting sizes. 0 means every held byte is either live
+	// or in the contiguous bump tail.
+	Fragmentation float64
 }
 
 // Stats returns a snapshot of the allocator state. The paper highlights
 // cheap RAM-footprint estimation (§1.1); Footprint is that estimate.
 func (a *Allocator) Stats() Stats {
-	a.mu.Lock()
-	spans := len(a.freeList)
-	var freeCap int64
-	for _, s := range a.freeList {
-		freeCap += int64(s.length)
+	st := Stats{
+		LiveBytes:  a.allocated.Load(),
+		FreedBytes: a.freed.Load(),
+		Footprint:  int64(a.numBlocks.Load()) * int64(a.pool.blockSize),
+		Blocks:     int(a.numBlocks.Load()),
+		AllocCalls: a.requests.Load(),
+		Mode:       a.loadMode(),
 	}
+	var listBytes int64
+	for c := range a.classes {
+		cl := &a.classes[c]
+		cl.mu.Lock()
+		st.Classes[c] = ClassStats{Size: classSize(c), Spans: len(cl.spans), Bytes: cl.bytes}
+		st.FreeSpans += len(cl.spans)
+		listBytes += cl.bytes
+		cl.mu.Unlock()
+	}
+	a.largeMu.Lock()
+	st.LargeSpans = len(a.large)
+	st.LargeBytes = a.largeBytes
+	st.FreeSpans += len(a.large)
+	listBytes += a.largeBytes
+	a.largeMu.Unlock()
+	a.flatMu.Lock()
+	st.FreeSpans += len(a.flat)
+	for _, s := range a.flat {
+		listBytes += int64(s.length)
+	}
+	a.flatMu.Unlock()
+	st.FreeCapacity = listBytes
+	a.bumpMu.Lock()
 	if a.cur >= 0 {
-		freeCap += int64(a.pool.blockSize - a.top)
+		st.FreeCapacity += int64(a.pool.blockSize - a.top)
 	}
-	a.mu.Unlock()
-	return Stats{
-		LiveBytes:    a.allocated.Load(),
-		FreedBytes:   a.freed.Load(),
-		Footprint:    int64(a.numBlocks.Load()) * int64(a.pool.blockSize),
-		Blocks:       int(a.numBlocks.Load()),
-		AllocCalls:   a.requests.Load(),
-		FreeSpans:    spans,
-		FreeCapacity: freeCap,
+	a.bumpMu.Unlock()
+	if st.Footprint > 0 {
+		st.Fragmentation = float64(listBytes) / float64(st.Footprint)
 	}
+	return st
 }
 
 // Footprint returns the total off-heap bytes held from the pool.
@@ -267,44 +436,57 @@ func (a *Allocator) Footprint() int64 {
 // LiveBytes returns the number of live allocated bytes.
 func (a *Allocator) LiveBytes() int64 { return a.allocated.Load() }
 
-// Compact coalesces adjacent spans on the free list. Oak calls this
-// opportunistically after rebalances; it is also exercised directly by
-// tests. Returns the number of spans after coalescing.
+// Compact drains every free structure, coalesces adjacent spans in
+// address order, and re-parks the result. Oak calls this
+// opportunistically after rebalances (which free many adjacent keys and
+// values); it is also exercised directly by tests. Returns the number of
+// spans after coalescing.
 func (a *Allocator) Compact() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if len(a.freeList) < 2 {
-		return len(a.freeList)
+	a.migrateMu.Lock()
+	defer a.migrateMu.Unlock()
+	mode := a.loadMode()
+	if mode == ModeBump || a.closed.Load() {
+		return 0
 	}
-	sort.Slice(a.freeList, func(i, j int) bool {
-		if a.freeList[i].block != a.freeList[j].block {
-			return a.freeList[i].block < a.freeList[j].block
-		}
-		return a.freeList[i].offset < a.freeList[j].offset
-	})
-	out := a.freeList[:1]
-	for _, s := range a.freeList[1:] {
+	spans := a.drainAll()
+	if len(spans) == 0 {
+		return 0
+	}
+	sort.Slice(spans, func(i, j int) bool { return spanBefore(spans[i], spans[j]) })
+	out := spans[:1]
+	for _, s := range spans[1:] {
 		last := &out[len(out)-1]
 		if s.block == last.block && s.offset == last.offset+last.length {
+			FpCoalesce.Fire()
 			last.length += s.length
 		} else {
 			out = append(out, s)
 		}
 	}
-	a.freeList = out
-	return len(a.freeList)
+	for _, s := range out {
+		if mode == ModeSizeClass {
+			a.reinsert(s)
+		} else {
+			a.flatPush(s)
+		}
+	}
+	return len(out)
 }
 
 // Close releases every block back to the pool. Any Ref obtained from this
 // allocator is invalid afterwards; subsequent Allocs fail with ErrClosed.
 func (a *Allocator) Close() {
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	a.migrateMu.Lock()
+	if a.closed.Swap(true) {
+		a.migrateMu.Unlock()
 		return
 	}
-	a.closed = true
-	a.freeList = nil
+	a.drainAll()
+	a.dbg.reset()
+	a.bumpMu.Lock()
+	a.cur = -1
+	a.top = 0
+	a.bumpMu.Unlock()
 	n := int(a.numBlocks.Load())
 	blocks := make([]*block, 0, n)
 	for i := 0; i < n; i++ {
@@ -312,7 +494,7 @@ func (a *Allocator) Close() {
 			blocks = append(blocks, b)
 		}
 	}
-	a.mu.Unlock()
+	a.migrateMu.Unlock()
 	for _, b := range blocks {
 		a.pool.release(b)
 	}

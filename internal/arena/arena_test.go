@@ -2,9 +2,12 @@ package arena
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"oakmap/internal/faultpoint"
 )
 
 func TestRefPackRoundTrip(t *testing.T) {
@@ -331,6 +334,372 @@ func TestDefaultPoolSingleton(t *testing.T) {
 	}
 	if DefaultPool().BlockSize() != DefaultBlockSize {
 		t.Fatal("DefaultPool block size mismatch")
+	}
+}
+
+// TestZeroLengthFreeNoLeak pins the free-list span leak: Free of a
+// zero-length ref used to append a span{length: 0} that no allocation
+// could ever pop, growing the free list without bound under empty-value
+// churn. The old allocator fails this with FreeSpans == 10000.
+func TestZeroLengthFreeNoLeak(t *testing.T) {
+	for _, mode := range []Mode{ModeSizeClass, ModeFirstFit} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a := NewAllocator(NewPool(4096, 0))
+			defer a.Close()
+			a.SetMode(mode)
+			base := a.Stats().FreeSpans
+			for i := 0; i < 10000; i++ {
+				r, err := a.Alloc(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Free(r)
+			}
+			if spans := a.Stats().FreeSpans; spans > base {
+				t.Fatalf("free list grew by %d degenerate spans freeing empty values", spans-base)
+			}
+			if a.LiveBytes() != 0 {
+				t.Fatalf("LiveBytes = %d", a.LiveBytes())
+			}
+		})
+	}
+}
+
+func TestClassMath(t *testing.T) {
+	for _, tc := range []struct{ n, floor, ceil int }{
+		{8, 0, 0},
+		{16, 1, 1},
+		{24, 1, 2},
+		{64, 3, 3},
+		{104, 3, 4},
+		{4096, 9, 9},
+		{4104, 9, -1}, // above maxClassSize: no ceil class
+		{8191, 9, -1},
+	} {
+		if got := floorClass(tc.n); got != tc.floor {
+			t.Errorf("floorClass(%d) = %d, want %d", tc.n, got, tc.floor)
+		}
+		if tc.ceil >= 0 {
+			if got := ceilClass(tc.n); got != tc.ceil {
+				t.Errorf("ceilClass(%d) = %d, want %d", tc.n, got, tc.ceil)
+			}
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if classSize(c) != 8<<c {
+			t.Fatalf("classSize(%d) = %d", c, classSize(c))
+		}
+	}
+}
+
+// TestFragmentationReuse: interleaved small frees followed by a larger
+// allocation must reuse the coalesced space instead of growing a new
+// block. The rescue path (Compact-and-retry before growth) makes this
+// automatic — Footprint stays flat.
+func TestFragmentationReuse(t *testing.T) {
+	a := NewAllocator(NewPool(4096, 0))
+	defer a.Close()
+	var refs []Ref
+	for i := 0; i < 64; i++ { // fills the 4096B block exactly
+		r, err := a.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	// Free in an interleaved order so no two consecutive frees coalesce
+	// trivially on insert.
+	for i := 0; i < 64; i += 2 {
+		a.Free(refs[i])
+	}
+	for i := 1; i < 64; i += 2 {
+		a.Free(refs[i])
+	}
+	before := a.Stats().Footprint
+	r, err := a.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Footprint; got != before {
+		t.Fatalf("footprint grew %d → %d: large alloc did not reuse coalesced space", before, got)
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+// TestLargeSpanCoalescing: adjacent large frees must merge on insert
+// (address-ordered coalescing), firing the arena/coalesce point.
+func TestLargeSpanCoalescing(t *testing.T) {
+	a := NewAllocator(NewPool(1<<16, 0))
+	defer a.Close()
+	FpCoalesce.Arm(faultpoint.Never()) // count hits without firing
+	defer FpCoalesce.Disarm()
+	r1, _ := a.Alloc(8192)
+	r2, _ := a.Alloc(8192)
+	r3, _ := a.Alloc(8192)
+	a.Free(r1)
+	a.Free(r3) // not adjacent to r1: no merge yet
+	st := a.Stats()
+	if st.LargeSpans != 2 {
+		t.Fatalf("LargeSpans = %d, want 2 before middle free", st.LargeSpans)
+	}
+	a.Free(r2) // bridges r1 and r3: both merges happen
+	st = a.Stats()
+	if st.LargeSpans != 1 {
+		t.Fatalf("LargeSpans = %d, want 1 after coalescing", st.LargeSpans)
+	}
+	if st.LargeBytes != 3*8192 {
+		t.Fatalf("LargeBytes = %d", st.LargeBytes)
+	}
+	if FpCoalesce.Hits() < 2 {
+		t.Fatalf("coalesce point hit %d times, want ≥2", FpCoalesce.Hits())
+	}
+	// The merged span serves one big allocation.
+	r, err := a.Alloc(3 * 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offset() != r1.Offset() {
+		t.Fatalf("merged span not reused: %v vs %v", r, r1)
+	}
+}
+
+// TestLargeCarveMigratesToClass: carving a large span below largeMin
+// must move the remainder onto a size class (arena/class-migrate).
+func TestLargeCarveMigratesToClass(t *testing.T) {
+	a := NewAllocator(NewPool(1<<16, 0))
+	defer a.Close()
+	FpClassMigrate.Arm(faultpoint.Never())
+	defer FpClassMigrate.Disarm()
+	r, _ := a.Alloc(8192)
+	a.Alloc(8) // keep the bump pointer off the freed range
+	a.Free(r)
+	// 8192 - 4104 = 4088 < largeMin: the remainder must leave the list.
+	if _, err := a.Alloc(4104); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.LargeSpans != 0 {
+		t.Fatalf("LargeSpans = %d, want 0 after carve-below-largeMin", st.LargeSpans)
+	}
+	if st.Classes[floorClass(4088)].Spans != 1 {
+		t.Fatalf("remainder not migrated to class: %+v", st.Classes)
+	}
+	if FpClassMigrate.Hits() != 1 {
+		t.Fatalf("class-migrate hits = %d", FpClassMigrate.Hits())
+	}
+}
+
+func TestSizeClassStats(t *testing.T) {
+	a := NewAllocator(NewPool(1<<16, 0))
+	defer a.Close()
+	r1, _ := a.Alloc(64)
+	r2, _ := a.Alloc(64)
+	r3, _ := a.Alloc(200)
+	a.Free(r1)
+	a.Free(r2)
+	a.Free(r3)
+	st := a.Stats()
+	if st.Mode != ModeSizeClass {
+		t.Fatalf("mode = %v", st.Mode)
+	}
+	if c := st.Classes[floorClass(64)]; c.Spans != 2 || c.Bytes != 128 || c.Size != 64 {
+		t.Fatalf("64B class stats: %+v", c)
+	}
+	if c := st.Classes[floorClass(align8(200))]; c.Spans != 1 || c.Bytes != int64(align8(200)) {
+		t.Fatalf("200B class stats: %+v", c)
+	}
+	if st.FreeSpans != 3 {
+		t.Fatalf("FreeSpans = %d", st.FreeSpans)
+	}
+	wantFree := int64(128 + align8(200))
+	if st.Fragmentation <= 0 || st.Fragmentation != float64(wantFree)/float64(st.Footprint) {
+		t.Fatalf("Fragmentation = %v (free %d, footprint %d)", st.Fragmentation, wantFree, st.Footprint)
+	}
+}
+
+// TestModeSwitchMigratesSpans: spans parked under one strategy must
+// remain reusable after switching strategies.
+func TestModeSwitchMigratesSpans(t *testing.T) {
+	a := NewAllocator(NewPool(1<<16, 0))
+	defer a.Close()
+	r1, _ := a.Alloc(64)
+	a.Alloc(64)
+	a.Free(r1)
+	a.SetMode(ModeFirstFit)
+	r2, _ := a.Alloc(64)
+	if r2.Offset() != r1.Offset() || r2.Block() != r1.Block() {
+		t.Fatalf("span lost switching to first-fit: %v vs %v", r2, r1)
+	}
+	a.Free(r2)
+	a.SetMode(ModeSizeClass)
+	r3, _ := a.Alloc(64)
+	if r3.Offset() != r1.Offset() || r3.Block() != r1.Block() {
+		t.Fatalf("span lost switching back to size-class: %v vs %v", r3, r1)
+	}
+}
+
+// TestRescueExactFit: a freed span whose length is not a power of two
+// parks below its ceil class; when the pool is exhausted, the rescue
+// scan must still find and reuse it (regression for segregated-fit
+// missing exact fits the flat scan would have found).
+func TestRescueExactFit(t *testing.T) {
+	p := NewPool(1024, 1024) // a single block, ever
+	a := NewAllocator(p)
+	defer a.Close()
+	var refs []Ref
+	for i := 0; i < 9; i++ { // 9 × 104 rounded bytes fill the block
+		r, err := a.Alloc(100) // rounded to 104: floor class 64, ceil 128
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	// Free alternating refs: non-adjacent, so coalescing cannot build a
+	// ≥128B span — only the floor-class scan can find these exact fits.
+	for i := 0; i < len(refs); i += 2 {
+		a.Free(refs[i])
+	}
+	r, err := a.Alloc(100)
+	if err != nil {
+		t.Fatalf("alloc after freeing exact-fit spans: %v", err)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestPoolRetentionCap(t *testing.T) {
+	p := NewPool(1024, 0)
+	p.SetMaxRetainedBlocks(2)
+	a := NewAllocator(p)
+	for i := 0; i < 5; i++ {
+		if _, err := a.Alloc(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	st := p.Stats()
+	if st.BlocksRetained != 2 {
+		t.Fatalf("BlocksRetained = %d, want 2", st.BlocksRetained)
+	}
+	if st.BytesRetained != 2048 {
+		t.Fatalf("BytesRetained = %d", st.BytesRetained)
+	}
+	if st.BlocksDropped != 3 {
+		t.Fatalf("BlocksDropped = %d, want 3", st.BlocksDropped)
+	}
+	if st.BytesCapacity != 2048 {
+		t.Fatalf("BytesCapacity = %d: dropped blocks must leave the budget", st.BytesCapacity)
+	}
+	// The freed budget is available again under a maxBytes cap.
+	p2 := NewPool(1024, 3072)
+	p2.SetMaxRetainedBlocks(1)
+	a2 := NewAllocator(p2)
+	a2.Alloc(1024)
+	a2.Alloc(1024)
+	a2.Alloc(1024)
+	a2.Close() // retains 1, drops 2
+	a3 := NewAllocator(p2)
+	defer a3.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := a3.Alloc(1024); err != nil {
+			t.Fatalf("alloc %d after drop: %v", i, err)
+		}
+	}
+	// Shrinking the cap trims the retained list immediately.
+	p3 := NewPool(1024, 0)
+	a4 := NewAllocator(p3)
+	for i := 0; i < 4; i++ {
+		a4.Alloc(1024)
+	}
+	a4.Close()
+	p3.SetMaxRetainedBlocks(1)
+	if st := p3.Stats(); st.BlocksRetained != 1 || st.BlocksDropped != 3 {
+		t.Fatalf("after trim: %+v", st)
+	}
+}
+
+// TestConcurrentClassChurn is the seeded alloc/free stress over every
+// size class (8B through large spans), with scheduling jitter on the
+// new coalesce/class-migrate fault points so the windows they guard are
+// exercised; region stamps verify no two live allocations ever overlap.
+func TestConcurrentClassChurn(t *testing.T) {
+	for _, name := range []string{"arena/coalesce", "arena/class-migrate"} {
+		jitter := faultpoint.Hook{Decide: func(hit int64) bool {
+			if hit%16 == 0 {
+				runtime.Gosched()
+			}
+			return false
+		}}
+		if err := faultpoint.Arm(name, jitter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer faultpoint.DisarmAll()
+	a := NewAllocator(NewPool(1<<20, 0))
+	defer a.Close()
+	sizes := []int{1, 8, 17, 64, 100, 500, 1000, 4000, 5000, 9000, 20000}
+	const goroutines = 8
+	const perG = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 0xc0ffee))
+			type live struct {
+				ref   Ref
+				stamp byte
+			}
+			var locals []live
+			for i := 0; i < perG; i++ {
+				n := sizes[rng.Uint64()%uint64(len(sizes))]
+				r, err := a.Alloc(n)
+				if err != nil {
+					t.Errorf("alloc(%d): %v", n, err)
+					return
+				}
+				stamp := byte(g)<<4 | byte(i&0xf)
+				b := a.Bytes(r)
+				for j := range b {
+					b[j] = stamp
+				}
+				locals = append(locals, live{r, stamp})
+				if rng.Uint64()%3 == 0 && len(locals) > 0 {
+					v := int(rng.Uint64() % uint64(len(locals)))
+					for j, x := range a.Bytes(locals[v].ref) {
+						if x != locals[v].stamp {
+							t.Errorf("g%d: stamp clobbered at +%d: %x != %x", g, j, x, locals[v].stamp)
+							return
+						}
+					}
+					a.Free(locals[v].ref)
+					locals[v] = locals[len(locals)-1]
+					locals = locals[:len(locals)-1]
+				}
+			}
+			for _, l := range locals {
+				for j, x := range a.Bytes(l.ref) {
+					if x != l.stamp {
+						t.Errorf("g%d: final stamp clobbered at +%d", g, j)
+						return
+					}
+				}
+				a.Free(l.ref)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d after freeing everything", a.LiveBytes())
+	}
+	// And the freed space coalesces back down.
+	spans := a.Compact()
+	st := a.Stats()
+	if spans != st.FreeSpans {
+		t.Fatalf("Compact reported %d spans, stats say %d", spans, st.FreeSpans)
 	}
 }
 

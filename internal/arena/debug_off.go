@@ -1,0 +1,16 @@
+//go:build !arenadebug
+
+package arena
+
+// DebugChecks reports whether the arenadebug double-free detector is
+// compiled in. Build with -tags arenadebug to enable it.
+const DebugChecks = false
+
+// debugTracker is compiled out without the arenadebug build tag; see
+// debug_on.go for the real detector. The methods are empty so the
+// compiler erases the call sites from the hot paths.
+type debugTracker struct{}
+
+func (debugTracker) noteFree(block, offset, length int)  {}
+func (debugTracker) noteAlloc(block, offset, length int) {}
+func (debugTracker) reset()                              {}

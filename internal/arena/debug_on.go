@@ -1,0 +1,92 @@
+//go:build arenadebug
+
+package arena
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DebugChecks reports whether the arenadebug double-free detector is
+// compiled in.
+const DebugChecks = true
+
+// debugTracker is the arenadebug double-free / overlapping-free
+// detector. It mirrors the allocator's free set as sorted, disjoint
+// per-block interval lists: noteFree records a range and panics if it
+// overlaps a range that is already free (a double free, or a free of a
+// ref overlapping another freed ref); noteAlloc removes the carved
+// range when free space is reused. Split remainders privately held
+// between a pop and their re-park stay recorded — a Free overlapping
+// them overlapped parked free space an instant earlier, so the panic is
+// still a true positive.
+//
+// The tracker costs O(log spans) per operation plus a global lock, so
+// it is compiled in only under the arenadebug build tag (used by the
+// race CI leg and the chaos suite).
+type debugTracker struct {
+	mu      sync.Mutex
+	byBlock map[int][]debugSpan
+}
+
+// debugSpan is a free interval [off, end) within one block.
+type debugSpan struct{ off, end int }
+
+func (t *debugTracker) noteFree(block, offset, length int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byBlock == nil {
+		t.byBlock = make(map[int][]debugSpan)
+	}
+	spans := t.byBlock[block]
+	end := offset + length
+	// First recorded interval ending after offset; intervals are
+	// disjoint and sorted, so it is the only overlap candidate besides
+	// being the insertion point.
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].end > offset })
+	if i < len(spans) && spans[i].off < end {
+		panic(fmt.Sprintf(
+			"arena: double/overlapping free of b%d+%d:%d — range overlaps free span b%d+%d:%d",
+			block, offset, length, block, spans[i].off, spans[i].end-spans[i].off))
+	}
+	spans = append(spans, debugSpan{})
+	copy(spans[i+1:], spans[i:])
+	spans[i] = debugSpan{off: offset, end: end}
+	t.byBlock[block] = spans
+}
+
+func (t *debugTracker) noteAlloc(block, offset, length int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := t.byBlock[block]
+	end := offset + length
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].end > offset })
+	if i == len(spans) || spans[i].off >= end {
+		return // nothing recorded for this range
+	}
+	// Remove or trim every recorded interval overlapping [offset, end).
+	// (A coalesced span may cover several recorded fragments.)
+	out := make([]debugSpan, 0, len(spans)+1)
+	out = append(out, spans[:i]...)
+	for ; i < len(spans); i++ {
+		s := spans[i]
+		if s.off >= end {
+			out = append(out, spans[i:]...)
+			break
+		}
+		if s.off < offset {
+			out = append(out, debugSpan{off: s.off, end: offset})
+		}
+		if s.end > end {
+			out = append(out, debugSpan{off: end, end: s.end})
+		}
+	}
+	t.byBlock[block] = out
+}
+
+func (t *debugTracker) reset() {
+	t.mu.Lock()
+	t.byBlock = nil
+	t.mu.Unlock()
+}

@@ -47,8 +47,13 @@ type Options struct {
 	Pool *arena.Pool
 	// Comparator orders keys; nil means bytes.Compare.
 	Comparator Comparator
-	// DisableFirstFit turns off free-list reuse (allocator ablation).
+	// DisableFirstFit turns off free-space reuse entirely (allocator
+	// ablation: pure bump allocation).
 	DisableFirstFit bool
+	// FlatFreeList selects the paper-faithful flat first-fit free list
+	// (§3.2) instead of the default segregated size-class allocator
+	// (allocator ablation). Ignored when DisableFirstFit is set.
+	FlatFreeList bool
 	// ReclaimHeaders selects the generation-based reclaiming header
 	// table (the paper's epoch extension, §3.3) instead of the default
 	// append-only table: value headers are recycled once their mapping
@@ -118,7 +123,9 @@ func New(o *Options) *Map {
 		index:   skiplist.New[*chunk.Chunk](skiplist.Comparator(opts.Comparator)),
 	}
 	if opts.DisableFirstFit {
-		m.alloc.SetFirstFit(false)
+		m.alloc.SetMode(arena.ModeBump)
+	} else if opts.FlatFreeList {
+		m.alloc.SetMode(arena.ModeFirstFit)
 	}
 	// The head sentinel chunk has minKey nil (-infinity) and is a real
 	// data chunk; it is replaced, never removed, by rebalances.

@@ -1,7 +1,6 @@
 package vheader
 
 import (
-	"sync"
 	"sync/atomic"
 )
 
@@ -65,15 +64,33 @@ type rsegment [3 * segmentSize]atomic.Uint64
 // ReclaimingTable is a header table whose slots are recycled with
 // generation validation. All operations on stale handles fail exactly
 // like operations on deleted values.
+//
+// Recycled slots are kept on a lock-free Treiber stack threaded through
+// the data words of the free slots themselves (a free slot has no data,
+// and stale handles are fenced off by generation validation before any
+// data read), so Release and the recycled-slot Alloc path are a few CAS
+// operations with no mutex — Oak's delete-heavy workloads hit both from
+// every worker.
 type ReclaimingTable struct {
 	segments [maxSegments]atomic.Pointer[rsegment]
 	next     atomic.Uint64
 
-	mu   sync.Mutex
-	free []uint64 // released slot indexes
+	// freeHead packs the free stack's top slot index in the low slotBits
+	// and a version counter above it; every successful CAS bumps the
+	// version, so a head observed before an intervening pop/push cannot
+	// be reinstalled (the classic Treiber ABA). The version wraps after
+	// 2^24 operations; an ABA would additionally require the head slot
+	// and its next link to repeat at exactly that distance, unreachable
+	// under the surrounding retry structure.
+	freeHead atomic.Uint64
 
 	released atomic.Int64 // successful releases (observability)
 	reused   atomic.Int64 // allocations served from the free list
+}
+
+// headWith installs slot as the new top, bumping the version.
+func headWith(old, slot uint64) uint64 {
+	return (old>>slotBits+1)<<slotBits | slot
 }
 
 // NewReclaimingTable creates an empty reclaiming header table.
@@ -99,20 +116,27 @@ func (t *ReclaimingTable) genWord(slot uint64) *atomic.Uint64 {
 
 // Alloc implements HeaderTable, preferring recycled slots.
 func (t *ReclaimingTable) Alloc() uint64 {
-	t.mu.Lock()
-	if n := len(t.free); n > 0 {
-		slot := t.free[n-1]
-		t.free = t.free[:n-1]
-		t.mu.Unlock()
-		t.reused.Add(1)
-		gen := t.genWord(slot).Load()
-		t.dataWord(slot).Store(0)
-		// Making the lock word live publishes the recycled slot; stale
-		// handles are fenced off by the already-incremented generation.
-		t.lockWord(slot).Store(0)
-		return handleOf(slot, gen)
+	for {
+		h := t.freeHead.Load()
+		slot := h & slotMask
+		if slot == 0 {
+			break // stack empty: materialize a fresh slot
+		}
+		// The next link lives in the free slot's data word. If the slot
+		// is popped and recycled between the loads, the value read here
+		// is garbage — and the version bump makes the CAS fail.
+		next := t.dataWord(slot).Load() & slotMask
+		if t.freeHead.CompareAndSwap(h, headWith(h, next)) {
+			t.reused.Add(1)
+			gen := t.genWord(slot).Load()
+			t.dataWord(slot).Store(0)
+			// Making the lock word live publishes the recycled slot;
+			// stale handles are fenced off by the already-incremented
+			// generation.
+			t.lockWord(slot).Store(0)
+			return handleOf(slot, gen)
+		}
 	}
-	t.mu.Unlock()
 	slot := t.next.Add(1) - 1
 	seg := slot >> segmentBits
 	if t.segments[seg].Load() == nil {
@@ -131,14 +155,19 @@ func (t *ReclaimingTable) Release(h uint64) {
 		return
 	}
 	// The generation CAS makes release exactly-once: losers see a
-	// mismatch and back off.
+	// mismatch and back off. The winner owns the slot until it is pushed,
+	// so writing the next link into its data word is unshared.
 	if !t.genWord(slot).CompareAndSwap(gen, (gen+1)&(1<<24-1)) {
 		return
 	}
 	t.released.Add(1)
-	t.mu.Lock()
-	t.free = append(t.free, slot)
-	t.mu.Unlock()
+	for {
+		head := t.freeHead.Load()
+		t.dataWord(slot).Store(head & slotMask)
+		if t.freeHead.CompareAndSwap(head, headWith(head, slot)) {
+			return
+		}
+	}
 }
 
 // validate reports whether the handle's generation is still current.

@@ -53,6 +53,9 @@ type Options struct {
 	Comparator Comparator
 	// DisableFirstFit disables free-space reuse (ablation studies).
 	DisableFirstFit bool
+	// FlatFreeList selects the paper's flat first-fit free list instead
+	// of the default segregated size-class allocator (ablation studies).
+	FlatFreeList bool
 	// ReclaimKeys enables off-heap key reclamation during rebalance; see
 	// core.Options.ReclaimKeys for the safety contract.
 	ReclaimKeys bool
@@ -92,6 +95,7 @@ func New[K, V any](keySer Serializer[K], valSer Serializer[V], opts *Options) *M
 			Pool:            pool,
 			Comparator:      cmp,
 			DisableFirstFit: o.DisableFirstFit,
+			FlatFreeList:    o.FlatFreeList,
 			ReclaimKeys:     o.ReclaimKeys,
 			ReclaimHeaders:  o.ReclaimHeaders,
 		}),
@@ -387,18 +391,26 @@ type Stats struct {
 	Chunks       int
 	KeyLeakBytes int64
 	HeaderCount  uint64
+	// FreeSpans and Fragmentation summarize the allocator's free
+	// structures: parked spans awaiting reuse, and free-list bytes as a
+	// fraction of the footprint.
+	FreeSpans     int
+	Fragmentation float64
 }
 
 // Stats returns a snapshot of the map's internals.
 func (m *Map[K, V]) Stats() Stats {
+	as := m.core.ArenaStats()
 	return Stats{
-		Len:          m.core.Len(),
-		Footprint:    m.core.Footprint(),
-		LiveBytes:    m.core.LiveBytes(),
-		Rebalances:   m.core.Rebalances(),
-		Chunks:       m.core.NumChunks(),
-		KeyLeakBytes: m.core.KeyLeakBytes(),
-		HeaderCount:  m.core.HeaderCount(),
+		Len:           m.core.Len(),
+		Footprint:     m.core.Footprint(),
+		LiveBytes:     m.core.LiveBytes(),
+		Rebalances:    m.core.Rebalances(),
+		Chunks:        m.core.NumChunks(),
+		KeyLeakBytes:  m.core.KeyLeakBytes(),
+		HeaderCount:   m.core.HeaderCount(),
+		FreeSpans:     as.FreeSpans,
+		Fragmentation: as.Fragmentation,
 	}
 }
 
