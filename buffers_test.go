@@ -194,9 +194,11 @@ func TestConcurrentViewReadsDuringWrites(t *testing.T) {
 	wg.Wait()
 }
 
-func TestReclaimKeysOption(t *testing.T) {
+func TestKeyReclaimDefaultAndOptOut(t *testing.T) {
+	// Default policy: dead keys are reclaimed through the epoch domain
+	// and KeyLeakBytes stays zero.
 	m := New[uint64, []byte](Uint64Serializer{}, BytesSerializer{},
-		&Options{ChunkCapacity: 32, BlockSize: 1 << 20, ReclaimKeys: true})
+		&Options{ChunkCapacity: 32, BlockSize: 1 << 20})
 	defer m.Close()
 	zc := m.ZC()
 	for i := uint64(0); i < 2000; i++ {
@@ -215,11 +217,11 @@ func TestReclaimKeysOption(t *testing.T) {
 		}
 	}
 	if leak := m.Stats().KeyLeakBytes; leak != 0 {
-		t.Fatalf("KeyLeakBytes = %d with ReclaimKeys on", leak)
+		t.Fatalf("KeyLeakBytes = %d with default key reclamation", leak)
 	}
-	// Default policy accounts the retained keys instead.
+	// The ablation opt-out retains dead keys and accounts them instead.
 	d := New[uint64, []byte](Uint64Serializer{}, BytesSerializer{},
-		&Options{ChunkCapacity: 32, BlockSize: 1 << 20})
+		&Options{ChunkCapacity: 32, BlockSize: 1 << 20, DisableKeyReclaim: true})
 	defer d.Close()
 	dz := d.ZC()
 	for i := uint64(0); i < 2000; i++ {
@@ -237,7 +239,7 @@ func TestReclaimKeysOption(t *testing.T) {
 		}
 	}
 	if leak := d.Stats().KeyLeakBytes; leak == 0 {
-		t.Fatal("expected key-leak accounting with default policy")
+		t.Fatal("expected key-leak accounting with DisableKeyReclaim")
 	}
 }
 

@@ -77,7 +77,7 @@ func main() {
 		valSize   = flag.Int("valsize", 128, "value size in bytes")
 		chunkCap  = flag.Int("chunk", 512, "chunk capacity (small values stress rebalance)")
 		reclaimH  = flag.Bool("reclaim-headers", false, "enable the epoch header-reclamation extension")
-		reclaimK  = flag.Bool("reclaim-keys", false, "enable off-heap key reclamation (requires no retained key views)")
+		noRecK    = flag.Bool("no-reclaim-keys", false, "disable the default epoch-based key reclamation (leaky baseline)")
 		faults    = flag.Bool("faults", false, "arm the fault-injection points")
 		faultProb = flag.Float64("fault-prob", 0.005, "per-hit firing probability for branch faults")
 		seed      = flag.Uint64("seed", 1, "PRNG seed for fault firing (reproducibility)")
@@ -86,10 +86,10 @@ func main() {
 
 	m := oakmap.New[uint64, []byte](oakmap.Uint64Serializer{}, oakmap.BytesSerializer{},
 		&oakmap.Options{
-			ChunkCapacity:  *chunkCap,
-			BlockSize:      16 << 20,
-			ReclaimHeaders: *reclaimH,
-			ReclaimKeys:    *reclaimK,
+			ChunkCapacity:     *chunkCap,
+			BlockSize:         16 << 20,
+			ReclaimHeaders:    *reclaimH,
+			DisableKeyReclaim: *noRecK,
 		})
 	defer m.Close()
 	zc := m.ZC()
@@ -257,6 +257,8 @@ func main() {
 	fmt.Printf("  len=%d chunks=%d rebalances=%d headers=%d footprint=%.1fMB free-spans=%d frag=%.3f\n",
 		s.Len, s.Chunks, s.Rebalances, s.HeaderCount, float64(s.Footprint)/(1<<20),
 		s.FreeSpans, s.Fragmentation)
+	fmt.Printf("  epoch=%d pinned=%d limbo-items=%d limbo-bytes=%d key-leak=%d\n",
+		s.Epoch, s.PinnedReaders, s.LimboItems, s.LimboBytes, s.KeyLeakBytes)
 	if *faults {
 		printFaultCounters()
 	}
@@ -305,6 +307,7 @@ func armFaults(prob float64, seed uint64) {
 		"arena/freelist-scan", "arena/coalesce", "arena/class-migrate",
 		"core/rebalance-freeze", "core/rebalance-split", "core/rebalance-index",
 		"core/header-lock", "core/deleted-bit", "core/put-race",
+		"epoch/advance", "epoch/drain",
 	} {
 		if err := faultpoint.Arm(name, jitter); err != nil {
 			log.Fatalf("arm %s: %v", name, err)

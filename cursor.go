@@ -38,11 +38,11 @@ func (it *Iterator[K, V]) Next() (key, value *OakRBuffer, ok bool) {
 		return nil, nil, false
 	}
 	if it.stream {
-		it.kb.keyRef, it.kb.h = kr, 0
+		it.kb.keyRef, it.kb.h = kr, h
 		it.vb.h = h
 		return &it.kb, &it.vb, true
 	}
-	return &OakRBuffer{m: it.m.core, keyRef: kr},
+	return &OakRBuffer{m: it.m.core, keyRef: kr, h: h},
 		&OakRBuffer{m: it.m.core, h: h}, true
 }
 
@@ -55,7 +55,15 @@ func (it *Iterator[K, V]) NextEntry() (k K, v V, ok bool) {
 		if !cok {
 			return k, v, false
 		}
-		k = it.m.keySer.Deserialize(it.m.core.KeyBytes(kr))
+		// Read the key under an epoch pin, validated against the entry's
+		// handle; if the mapping vanished since the cursor step, skip it
+		// like a deleted value.
+		if it.m.core.ReadKey(kr, h, func(b []byte) error {
+			k = it.m.keySer.Deserialize(b)
+			return nil
+		}) != nil {
+			continue
+		}
 		got := false
 		it.m.core.ReadValue(h, func(b []byte) error {
 			v = it.m.valSer.Deserialize(b)

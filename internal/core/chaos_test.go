@@ -25,6 +25,7 @@ import (
 
 	"oakmap/internal/arena"
 	"oakmap/internal/chunk"
+	"oakmap/internal/epoch"
 	"oakmap/internal/faultpoint"
 	"oakmap/internal/vheader"
 )
@@ -627,6 +628,8 @@ func TestChaosMixedStorm(t *testing.T) {
 	fpHeaderLock.Arm(gosched(7))
 	fpDeletedBit.Arm(gosched(5))
 	fpPutRace.Arm(gosched(11))
+	epoch.FpAdvance.Arm(gosched(3))
+	epoch.FpDrain.Arm(gosched(2))
 
 	var computeTotal atomic.Int64
 	var injectedErrs atomic.Int64
@@ -794,4 +797,124 @@ func validateFrontier(t *testing.T, m *Map, keySpace, residents int, descending 
 		ok = false
 	}
 	return ok
+}
+
+// --- Category: epoch-reclamation windows (epoch/advance, epoch/drain) ---
+
+// TestChaosEpochWindows jitters the scheduler inside the epoch advance
+// (slot scan complete, global CAS pending) and inside the limbo drain
+// (bucket privatized, frees pending) while a churn-plus-scan storm runs
+// with full reclamation (keys by default, headers opted in). Scans that
+// overlap stretched grace periods must still see a consistent frontier,
+// and after quiescing the limbo must drain with zero retained key space.
+func TestChaosEpochWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm skipped in -short mode")
+	}
+	disarmOnExit(t)
+	m := New(&Options{ChunkCapacity: 32, Pool: testPool(t), ReclaimHeaders: true})
+	defer m.Close()
+
+	const keySpace = 2048
+	residents := 0
+	for k := 0; k < keySpace; k += 8 {
+		mustPut(t, m, ik(k), []byte("resident"))
+		residents++
+	}
+
+	gosched := func(every int64) faultpoint.Hook {
+		return faultpoint.Hook{Decide: func(hit int64) bool {
+			if hit%every == 0 {
+				runtime.Gosched()
+			}
+			return false
+		}}
+	}
+	epoch.FpAdvance.Arm(gosched(1))
+	epoch.FpDrain.Arm(gosched(1))
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xe90c4))
+			for i := 0; i < 4000; i++ {
+				k := int(rng.Uint64() % keySpace)
+				if k%8 == 0 {
+					k++ // residents stay put
+				}
+				switch rng.Uint64() % 4 {
+				case 0, 1:
+					if err := m.Put(ik(k), []byte("churn")); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 2:
+					if _, err := m.Remove(ik(k)); err != nil {
+						t.Errorf("remove: %v", err)
+						return
+					}
+				default:
+					dir := rng.Uint64()%2 == 0
+					prev := -1
+					seen := 0
+					check := func(kr uint64, h ValueHandle) bool {
+						kk := kint(m, kr)
+						if prev >= 0 && ((dir && kk >= prev) || (!dir && kk <= prev)) {
+							t.Errorf("ORDER VIOLATION: %d after %d", kk, prev)
+							return false
+						}
+						prev = kk
+						if kk%8 == 0 {
+							seen++
+						}
+						return true
+					}
+					if dir {
+						m.Descend(nil, nil, check)
+					} else {
+						m.Ascend(nil, nil, check)
+					}
+					if seen != residents {
+						t.Errorf("FRONTIER VIOLATION: saw %d of %d residents mid-storm", seen, residents)
+						return
+					}
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	faultpoint.DisarmAll()
+	if t.Failed() {
+		return
+	}
+
+	// The injection must have been load-bearing: both windows exercised.
+	for _, fp := range []*faultpoint.Point{epoch.FpAdvance, epoch.FpDrain} {
+		if fp.Hits() == 0 {
+			t.Errorf("%s never hit during the storm", fp.Name())
+		}
+	}
+
+	// Remove the churn, quiesce, and require full reclamation: the limbo
+	// drains and no dead key space is retained.
+	for k := 0; k < keySpace; k++ {
+		if k%8 == 0 {
+			continue
+		}
+		if _, err := m.Remove(ik(k)); err != nil {
+			t.Fatalf("drain remove: %v", err)
+		}
+	}
+	if !m.QuiesceReclaim() {
+		t.Fatal("limbo failed to drain with no readers pinned")
+	}
+	rs := m.ReclaimStats()
+	if rs.LimboItems != 0 || rs.LimboBytes != 0 {
+		t.Fatalf("limbo not empty after quiesce: %+v", rs)
+	}
+	if leak := m.KeyLeakBytes(); leak != 0 {
+		t.Fatalf("KeyLeakBytes = %d under default reclamation", leak)
+	}
 }

@@ -8,6 +8,14 @@ import "oakmap/internal/chunk"
 // work, or merged with other cursors. It provides the same non-atomic
 // guarantees: keys present for the cursor's whole lifetime are yielded
 // exactly once, in order.
+//
+// Each Next call pins the epoch for its own duration only, so a parked
+// cursor never stalls reclamation. The price is that the chunk position
+// held between calls can go stale: if the chunk was rebalanced while
+// the cursor was unpinned, Next re-enters the live chunk list at the
+// cursor's own copy of the last visited key — in both directions — so
+// a pause spanning removals and rebalances resumes at the exact
+// position with no skipped or duplicated keys.
 type Cursor struct {
 	m    *Map
 	desc bool
@@ -15,10 +23,13 @@ type Cursor struct {
 
 	lo, hi []byte
 
-	// ascending state
-	c      *chunk.Chunk
-	ei     int32
+	// resume is a cursor-owned copy of the last visited key (never an
+	// alias of arena bytes — those may be recycled while unpinned).
 	resume []byte
+
+	// ascending state
+	c  *chunk.Chunk
+	ei int32
 
 	// descending state
 	it    *chunk.DescIter
@@ -29,32 +40,76 @@ type Cursor struct {
 // When desc is true the cursor yields entries in descending order using
 // the chunk-stack mechanism of §4.2.
 func (m *Map) NewCursor(lo, hi []byte, desc bool) *Cursor {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
 	cur := &Cursor{m: m, desc: desc, lo: lo, hi: hi}
 	if desc {
-		if hi == nil {
-			cur.c = m.lastChunk()
-		} else {
-			cur.c = m.locateChunk(hi)
-		}
-		cur.bound = hi
-		cur.it = cur.c.NewDescIter(cur.bound)
+		cur.repositionDesc()
 	} else {
-		if lo == nil {
-			cur.c = chunk.Forward(m.head.Load())
-		} else {
-			cur.c = m.locateChunk(lo)
-		}
-		cur.ei = cur.c.FirstGE(lo)
+		cur.repositionAsc()
 	}
 	return cur
 }
 
+// repositionAsc (re-)enters the live chunk list for an ascending scan:
+// at the first key past resume when set, else at lo. Must run pinned.
+func (cur *Cursor) repositionAsc() {
+	m := cur.m
+	start := cur.resume
+	if start == nil {
+		start = cur.lo
+	}
+	if start == nil {
+		cur.c = chunk.Forward(m.head.Load())
+	} else {
+		cur.c = m.locateChunk(start)
+	}
+	cur.ei = cur.c.FirstGE(start)
+	if cur.resume != nil {
+		// The resume key itself was already yielded (or visited); skip it.
+		for cur.ei >= 0 && m.cmp(cur.c.Key(cur.ei), cur.resume) == 0 {
+			cur.ei = cur.c.NextEntry(cur.ei)
+		}
+	}
+}
+
+// repositionDesc (re-)enters the live chunk list for a descending scan
+// with the exclusive upper bound at resume when set, else at hi. Every
+// key < resume is still unvisited, so re-entry is exact even if the
+// resume key was removed and its chunk merged away. Must run pinned.
+func (cur *Cursor) repositionDesc() {
+	m := cur.m
+	b := cur.resume
+	if b == nil {
+		b = cur.hi
+	}
+	if b == nil {
+		cur.c = m.lastChunk()
+	} else {
+		cur.c = m.locateChunk(b)
+	}
+	cur.bound = b
+	cur.it = cur.c.NewDescIter(b)
+}
+
 // Next returns the next live entry, or ok=false when the range is
 // exhausted. The returned handle is live (non-⊥, not deleted) at yield
-// time.
+// time; the keyRef is guaranteed valid only until the next Next call
+// unless the caller re-validates under its own pin (see Map.ReadKey).
 func (cur *Cursor) Next() (keyRef uint64, h ValueHandle, ok bool) {
 	if cur.done {
 		return 0, 0, false
+	}
+	g := cur.m.reclaim.Pin()
+	defer g.Unpin()
+	if cur.c.ReplacedBy() != nil {
+		// The chunk was rebalanced while the cursor was unpinned: its
+		// key space may already be recycled. Re-enter from the index.
+		if cur.desc {
+			cur.repositionDesc()
+		} else {
+			cur.repositionAsc()
+		}
 	}
 	if cur.desc {
 		return cur.nextDesc()
@@ -71,7 +126,7 @@ func (cur *Cursor) nextAsc() (uint64, ValueHandle, bool) {
 				cur.done = true
 				return 0, 0, false
 			}
-			cur.resume = key
+			cur.resume = append(cur.resume[:0], key...)
 			h := ValueHandle(cur.c.ValHandle(cur.ei))
 			kr := cur.c.KeyRef(cur.ei)
 			cur.ei = cur.c.NextEntry(cur.ei)
@@ -88,7 +143,6 @@ func (cur *Cursor) nextAsc() (uint64, ValueHandle, bool) {
 		if next != n && cur.resume != nil {
 			// Rebalanced successor: re-enter past the last visited key
 			// to avoid re-yielding merged ranges (same as Ascend).
-			cur.resume = append([]byte(nil), cur.resume...)
 			cur.c = next
 			cur.ei = cur.c.FirstGE(cur.resume)
 			for cur.ei >= 0 && m.cmp(cur.c.Key(cur.ei), cur.resume) == 0 {
@@ -114,6 +168,7 @@ func (cur *Cursor) nextDesc() (uint64, ValueHandle, bool) {
 				cur.done = true
 				return 0, 0, false
 			}
+			cur.resume = append(cur.resume[:0], key...)
 			h := ValueHandle(cur.c.ValHandle(ei))
 			if h != 0 && !m.IsDeleted(h) {
 				return cur.c.KeyRef(ei), h, true

@@ -16,6 +16,13 @@ type EntryFunc func(keyRef uint64, h ValueHandle) bool
 // duration are reported exactly once; concurrently mutated keys may or
 // may not appear.
 func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
+	// The whole scan runs under one epoch pin: every chunk pointer we
+	// hold and every key we compare stays valid even if the region is
+	// rebalanced mid-scan (the frozen chunks' keys cannot be recycled
+	// until we unpin). Long scans therefore delay reclamation; the
+	// pull-based Cursor pins per Next call instead.
+	g := m.reclaim.Pin()
+	defer g.Unpin()
 	var c *chunk.Chunk
 	if lo == nil {
 		c = chunk.Forward(m.head.Load())
@@ -67,6 +74,8 @@ func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
 // chunk-local stack iterator (§4.2, Fig. 2), issuing only one chunk
 // lookup per exhausted chunk rather than one per key.
 func (m *Map) Descend(lo, hi []byte, yield EntryFunc) {
+	g := m.reclaim.Pin() // see Ascend
+	defer g.Unpin()
 	var c *chunk.Chunk
 	if hi == nil {
 		c = m.lastChunk()
@@ -110,6 +119,8 @@ func (m *Map) Descend(lo, hi []byte, yield EntryFunc) {
 // descending scan implemented as a sequence of fresh lookups (one
 // O(log n) locate per key), the way skiplists do it.
 func (m *Map) DescendNaive(lo, hi []byte, yield EntryFunc) {
+	g := m.reclaim.Pin() // see Ascend
+	defer g.Unpin()
 	keyRef, h, ok := m.lowerEntry(hi)
 	for ok {
 		key := m.KeyBytes(keyRef)
@@ -127,6 +138,8 @@ func (m *Map) DescendNaive(lo, hi []byte, yield EntryFunc) {
 // lowerEntry finds the greatest live entry with key < bound (nil bound
 // means no upper limit).
 func (m *Map) lowerEntry(bound []byte) (uint64, ValueHandle, bool) {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
 	var c *chunk.Chunk
 	if bound == nil {
 		c = m.lastChunk()
@@ -182,6 +195,8 @@ func (m *Map) Lower(k []byte) (uint64, ValueHandle, bool) {
 
 // Floor returns the greatest live entry with key ≤ k.
 func (m *Map) Floor(k []byte) (uint64, ValueHandle, bool) {
+	g := m.reclaim.Pin() // covers the locate+lookup after Get (nested pins are fine)
+	defer g.Unpin()
 	if h, ok := m.Get(k); ok {
 		c := m.locateChunk(k)
 		if ei := c.LookUp(k); ei >= 0 {

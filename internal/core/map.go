@@ -17,6 +17,7 @@ import (
 
 	"oakmap/internal/arena"
 	"oakmap/internal/chunk"
+	"oakmap/internal/epoch"
 	"oakmap/internal/skiplist"
 	"oakmap/internal/vheader"
 )
@@ -58,17 +59,16 @@ type Options struct {
 	// table (the paper's epoch extension, §3.3) instead of the default
 	// append-only table: value headers are recycled once their mapping
 	// is removed, bounding header space by the peak live-value count.
+	// Recycling is deferred through the map's epoch domain, so a stale
+	// handle held by a reader is never re-issued within that reader's
+	// pinned critical section.
 	ReclaimHeaders bool
-	// ReclaimKeys frees the off-heap key space of dead entries during
-	// rebalance. Off by default: with the paper's simple (non-epoch)
-	// memory manager, a scan may still hold a read-only view of such a
-	// key, so reclaiming keys is only safe when the application
-	// guarantees key views do not outlive the entry's last removal.
-	// (Internal scan resume positions have the same exposure: with this
-	// option on, a scan paused exactly at a key that is removed AND
-	// whose chunk is rebalanced before the scan resumes may re-enter at
-	// a slightly different position — still ordered, never duplicated.)
-	ReclaimKeys bool
+	// DisableKeyReclaim turns off the epoch-based reclamation of dead
+	// key space during rebalance (ablation / paper-faithful baseline).
+	// By default dead keys are retired through the epoch domain and
+	// their space is reused after the grace period; with this option
+	// set they are retained forever and accounted in KeyLeakBytes.
+	DisableKeyReclaim bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -97,6 +97,7 @@ type Map struct {
 	cmp     Comparator
 	alloc   *arena.Allocator
 	headers vheader.HeaderTable
+	reclaim *epoch.Domain
 	index   *skiplist.List[*chunk.Chunk]
 	head    atomic.Pointer[chunk.Chunk]
 	size    atomic.Int64
@@ -105,6 +106,12 @@ type Map struct {
 	rebalances atomic.Int64 // total rebalance operations performed
 	keyLeak    atomic.Int64 // bytes of dead keys not reclaimed
 }
+
+// Retired-resource kinds routed through the epoch domain.
+const (
+	retiredSpan   uint8 = iota // an arena span (key or value space)
+	retiredHeader              // a value-header handle to recycle
+)
 
 // New creates an empty map.
 func New(o *Options) *Map {
@@ -122,6 +129,17 @@ func New(o *Options) *Map {
 		headers: headers,
 		index:   skiplist.New[*chunk.Chunk](skiplist.Comparator(opts.Comparator)),
 	}
+	m.reclaim = epoch.NewDomain(func(items []epoch.Retired) {
+		for _, r := range items {
+			switch r.Kind {
+			case retiredSpan:
+				m.alloc.Free(arena.Ref(r.Val))
+			case retiredHeader:
+				m.headers.Release(r.Val)
+			}
+		}
+	})
+	m.alloc.SetReclaimer(spanRetirer{d: m.reclaim})
 	if opts.DisableFirstFit {
 		m.alloc.SetMode(arena.ModeBump)
 	} else if opts.FlatFreeList {
@@ -132,6 +150,36 @@ func New(o *Options) *Map {
 	m.head.Store(chunk.New(nil, opts.ChunkCapacity, m.alloc, m.cmp))
 	return m
 }
+
+// spanRetirer adapts the epoch domain to arena.Reclaimer: spans handed
+// to Allocator.Retire enter the limbo list and come back to
+// Allocator.Free once their grace period elapses.
+type spanRetirer struct{ d *epoch.Domain }
+
+func (s spanRetirer) RetireSpan(ref arena.Ref) {
+	s.d.Retire(epoch.Retired{Kind: retiredSpan, Val: uint64(ref)}, int64(ref.Len()))
+}
+
+// retireHeader defers a header-slot recycle until no pinned reader can
+// still validate the stale handle. The default append-only table never
+// recycles slots, so its (no-op) Release runs immediately.
+func (m *Map) retireHeader(h ValueHandle) {
+	if !m.opts.ReclaimHeaders {
+		m.headers.Release(uint64(h))
+		return
+	}
+	m.reclaim.Retire(epoch.Retired{Kind: retiredHeader, Val: uint64(h)}, 0)
+}
+
+// ReclaimStats exposes the epoch domain's snapshot: current epoch,
+// pinned readers, and limbo depth.
+func (m *Map) ReclaimStats() epoch.Stats { return m.reclaim.Stats() }
+
+// QuiesceReclaim drains the deferred-reclamation limbo by cycling the
+// epoch; it reports whether the limbo emptied (false means a reader
+// stayed pinned throughout). Useful before footprint assertions and at
+// orderly shutdown.
+func (m *Map) QuiesceReclaim() bool { return m.reclaim.Quiesce() }
 
 // Len returns the number of live key-value pairs. Under concurrency the
 // value is linearizable only in quiescent states, like size() in Java's
@@ -171,6 +219,10 @@ func (m *Map) NumChunks() int {
 // be used afterwards.
 func (m *Map) Close() {
 	if m.closed.CompareAndSwap(false, true) {
+		// Best-effort limbo drain so accounting is clean before the
+		// blocks go back to the pool; a reader still pinned just means
+		// its spans are dropped with the blocks.
+		m.reclaim.Quiesce()
 		m.alloc.Close()
 	}
 }

@@ -13,8 +13,13 @@ var fpPutRace = faultpoint.New("core/put-race")
 
 // Get implements Algorithm 1: locate the chunk, look the key up, and
 // return the value's handle if a non-deleted value is present. The
-// caller turns the handle into a read-only view (OakRBuffer).
+// caller turns the handle into a read-only view (OakRBuffer). The
+// lookup runs under an epoch pin: the binary search and list walk
+// dereference off-heap key bytes that a concurrent rebalance may have
+// retired.
 func (m *Map) Get(key []byte) (ValueHandle, bool) {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
 	c := m.locateChunk(key)
 	ei := c.LookUp(key)
 	if ei < 0 {
@@ -89,101 +94,133 @@ func (m *Map) doPut(key []byte, vw ValueWriter, f func(*WBuffer) error, op opKin
 	defer func() { m.releaseKeyRef(&keyRef) }()
 	for attempt := 0; ; attempt++ {
 		retryPause(attempt)
-		c := m.locateChunk(key)
-		ei := c.LookUp(key)
-		var h ValueHandle
-		if ei >= 0 {
-			h = ValueHandle(c.ValHandle(ei))
-		}
-
-		if h != 0 && !m.IsDeleted(h) {
-			// Case 1: the key is present (lines 19–26).
-			fpPutRace.Fire()
-			switch op {
-			case opPutIfAbsent:
-				return false, nil
-			case opPut:
-				ok, err := m.valuePut(h, vw)
-				if err != nil {
-					return false, err
-				}
-				if ok {
-					return true, nil
-				}
-			case opPutIfAbsentComputeIfPresent:
-				ok, err := m.valueCompute(h, f)
-				if err != nil {
-					return false, err
-				}
-				if ok {
-					return true, nil
-				}
-			}
-			continue // value was deleted concurrently: retry (line 25)
-		}
-
-		// Case 2: the key is absent (h = ⊥ or deleted). A removed entry
-		// with the same key is reused (§4.3).
-		if ei < 0 {
-			if keyRef == 0 {
-				ref, err := m.alloc.Write(key)
-				if err != nil {
-					return false, err
-				}
-				keyRef = uint64(ref)
-			}
-			nei, st := c.AllocateEntry(keyRef)
-			if st == chunk.Full {
-				m.rebalance(c)
-				continue
-			}
-			if st != chunk.OK {
-				continue // frozen: retry on the replacement chunk
-			}
-			lei, st := c.PutIfAbsentInList(nei)
-			if st == chunk.Frozen {
-				continue
-			}
-			ei = lei
-			if st == chunk.OK {
-				keyRef = 0 // consumed by the linked entry
-			}
-			// On Exists, ei is the previously linked entry; our
-			// allocated entry stays unlinked and the key allocation is
-			// kept for a possible retry (freed on return below).
-			h = ValueHandle(c.ValHandle(ei))
-			if h != 0 && !m.IsDeleted(h) {
-				// The racing insert beat us; loop back into case 1.
-				continue
-			}
-		}
-
-		newH, err := m.allocValue(vw)
+		out, err := m.putAttempt(key, vw, f, op, &keyRef)
 		if err != nil {
 			return false, err
 		}
-		if !c.Publish() {
-			m.discardValue(newH)
-			continue
+		// Rebalances run outside the attempt's epoch pin: they retire
+		// keys in bulk, and a pinned caller would hold its own garbage.
+		if out.full != nil {
+			m.rebalance(out.full)
 		}
-		ok := c.CASValHandle(ei, uint64(h), uint64(newH))
-		c.Unpublish()
-		if !ok {
-			// A concurrent operation changed the value reference; we
-			// cannot linearize before it (see §4.3), so retry.
-			m.discardValue(newH)
-			continue
+		if out.done {
+			if out.grew != nil {
+				m.maybeRebalance(out.grew)
+			}
+			return out.ok, nil
 		}
-		if h != 0 {
-			// The deleted predecessor is no longer referenced by the
-			// entry; its header slot can be recycled.
-			m.headers.Release(uint64(h))
-		}
-		m.size.Add(1)
-		c.IncLive()
-		m.maybeRebalance(c)
-		return true, nil
 	}
+}
+
+// putOutcome carries one doPut attempt's result out of its epoch pin.
+type putOutcome struct {
+	done bool         // terminal: return ok to the caller
+	ok   bool         // the operation took effect
+	full *chunk.Chunk // chunk that must be rebalanced before retrying
+	grew *chunk.Chunk // on success: chunk to test with maybeRebalance
+}
+
+// putAttempt runs one iteration of Algorithm 2 under an epoch pin. The
+// pin covers every off-heap key dereference (chunk location, lookup,
+// and list linking) so a concurrent rebalance cannot recycle key space
+// mid-walk. Anything that triggers a rebalance is reported via the
+// outcome and executed by the unpinned caller.
+func (m *Map) putAttempt(key []byte, vw ValueWriter, f func(*WBuffer) error, op opKind, keyRef *uint64) (putOutcome, error) {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
+	c := m.locateChunk(key)
+	ei := c.LookUp(key)
+	var h ValueHandle
+	if ei >= 0 {
+		h = ValueHandle(c.ValHandle(ei))
+	}
+
+	if h != 0 && !m.IsDeleted(h) {
+		// Case 1: the key is present (lines 19–26).
+		fpPutRace.Fire()
+		switch op {
+		case opPutIfAbsent:
+			return putOutcome{done: true, ok: false}, nil
+		case opPut:
+			ok, err := m.valuePut(h, vw)
+			if err != nil {
+				return putOutcome{}, err
+			}
+			if ok {
+				return putOutcome{done: true, ok: true}, nil
+			}
+		case opPutIfAbsentComputeIfPresent:
+			ok, err := m.valueCompute(h, f)
+			if err != nil {
+				return putOutcome{}, err
+			}
+			if ok {
+				return putOutcome{done: true, ok: true}, nil
+			}
+		}
+		return putOutcome{}, nil // value was deleted concurrently: retry (line 25)
+	}
+
+	// Case 2: the key is absent (h = ⊥ or deleted). A removed entry
+	// with the same key is reused (§4.3).
+	if ei < 0 {
+		if *keyRef == 0 {
+			ref, err := m.alloc.Write(key)
+			if err != nil {
+				return putOutcome{}, err
+			}
+			*keyRef = uint64(ref)
+		}
+		nei, st := c.AllocateEntry(*keyRef)
+		if st == chunk.Full {
+			return putOutcome{full: c}, nil
+		}
+		if st != chunk.OK {
+			return putOutcome{}, nil // frozen: retry on the replacement chunk
+		}
+		lei, st := c.PutIfAbsentInList(nei)
+		if st == chunk.Frozen {
+			return putOutcome{}, nil
+		}
+		ei = lei
+		if st == chunk.OK {
+			*keyRef = 0 // consumed by the linked entry
+		}
+		// On Exists, ei is the previously linked entry; our
+		// allocated entry stays unlinked and the key allocation is
+		// kept for a possible retry (freed on return below).
+		h = ValueHandle(c.ValHandle(ei))
+		if h != 0 && !m.IsDeleted(h) {
+			// The racing insert beat us; loop back into case 1.
+			return putOutcome{}, nil
+		}
+	}
+
+	newH, err := m.allocValue(vw)
+	if err != nil {
+		return putOutcome{}, err
+	}
+	if !c.Publish() {
+		m.discardValue(newH)
+		return putOutcome{}, nil
+	}
+	ok := c.CASValHandle(ei, uint64(h), uint64(newH))
+	c.Unpublish()
+	if !ok {
+		// A concurrent operation changed the value reference; we
+		// cannot linearize before it (see §4.3), so retry.
+		m.discardValue(newH)
+		return putOutcome{}, nil
+	}
+	if h != 0 {
+		// The deleted predecessor is no longer referenced by the
+		// entry; its header slot is retired (a pinned reader may
+		// still be validating the stale handle).
+		m.retireHeader(h)
+	}
+	m.size.Add(1)
+	c.IncLive()
+	return putOutcome{done: true, ok: true, grew: c}, nil
 }
 
 // releaseKeyRef frees a key allocation that ended up unused (the entry
@@ -230,74 +267,111 @@ func (m *Map) doIfPresent(key []byte, f func(*WBuffer) error, op nonInsertOp) (b
 	}
 	for attempt := 0; ; attempt++ {
 		retryPause(attempt)
-		c := m.locateChunk(key)
-		ei := c.LookUp(key)
-		if ei < 0 {
-			return false, nil // key not found (line 44)
+		out, err := m.ifPresentAttempt(key, f, op)
+		if err != nil {
+			return false, err
 		}
-		h := ValueHandle(c.ValHandle(ei))
-		if h == 0 {
-			return false, nil // ⊥ value reference (line 44)
+		if out.removedFrom != nil {
+			// Post-linearization helpers run unpinned: finalizeRemove
+			// re-pins per attempt, and maybeMerge may rebalance — which
+			// retires keys the caller must not be holding alive.
+			m.finalizeRemove(key, out.removedPrev)
+			m.maybeMerge(out.removedFrom)
 		}
-		if !m.IsDeleted(h) {
-			// Case 1: value exists and is not deleted.
-			if op == opCompute {
-				ok, err := m.valueCompute(h, f)
-				if err != nil {
-					return false, err
-				}
-				if ok {
-					return true, nil // l.p.: successful v.compute (line 46)
-				}
-			} else {
-				if m.valueRemove(h) {
-					// l.p.: v.remove set the deleted bit (line 48).
-					m.size.Add(-1)
-					c.DecLive()
-					m.finalizeRemove(key, h)
-					m.maybeMerge(c)
-					return true, nil
-				}
+		if out.done {
+			return out.ok, nil
+		}
+	}
+}
+
+// ifPresentOutcome carries one doIfPresent attempt's result out of its
+// epoch pin.
+type ifPresentOutcome struct {
+	done        bool
+	ok          bool
+	removedFrom *chunk.Chunk // a remove linearized in this chunk
+	removedPrev ValueHandle  // the removed value's handle
+}
+
+// ifPresentAttempt runs one iteration of Algorithm 3 under an epoch
+// pin (same rationale as putAttempt). The remove success path defers
+// finalizeRemove/maybeMerge to the unpinned caller.
+func (m *Map) ifPresentAttempt(key []byte, f func(*WBuffer) error, op nonInsertOp) (ifPresentOutcome, error) {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
+	c := m.locateChunk(key)
+	ei := c.LookUp(key)
+	if ei < 0 {
+		return ifPresentOutcome{done: true}, nil // key not found (line 44)
+	}
+	h := ValueHandle(c.ValHandle(ei))
+	if h == 0 {
+		return ifPresentOutcome{done: true}, nil // ⊥ value reference (line 44)
+	}
+	if !m.IsDeleted(h) {
+		// Case 1: value exists and is not deleted.
+		if op == opCompute {
+			ok, err := m.valueCompute(h, f)
+			if err != nil {
+				return ifPresentOutcome{}, err
+			}
+			if ok {
+				return ifPresentOutcome{done: true, ok: true}, nil // l.p.: successful v.compute (line 46)
+			}
+		} else {
+			if m.valueRemove(h) {
+				// l.p.: v.remove set the deleted bit (line 48).
+				m.size.Add(-1)
+				c.DecLive()
+				return ifPresentOutcome{done: true, ok: true, removedFrom: c, removedPrev: h}, nil
 			}
 		}
-		// Case 2: the value is deleted — ensure the entry is removed
-		// before reporting the key absent (lines 50–55).
-		if !c.Publish() {
-			continue
-		}
-		ok := c.CASValHandle(ei, uint64(h), 0)
-		c.Unpublish()
-		if !ok {
-			continue
-		}
-		m.headers.Release(uint64(h))
-		return false, nil
 	}
+	// Case 2: the value is deleted — ensure the entry is removed
+	// before reporting the key absent (lines 50–55).
+	if !c.Publish() {
+		return ifPresentOutcome{}, nil
+	}
+	ok := c.CASValHandle(ei, uint64(h), 0)
+	c.Unpublish()
+	if !ok {
+		return ifPresentOutcome{}, nil
+	}
+	m.retireHeader(h)
+	return ifPresentOutcome{done: true}, nil
 }
 
 // finalizeRemove clears the entry's value reference after a successful
 // remove — an optimization that lets other operations and the rebalancer
 // skip the deleted value (§4.4). prev guards against clobbering a
 // concurrent re-insertion; handles are never reused, so the check is
-// ABA-free.
+// ABA-free. Each attempt pins the epoch around its chunk walk.
 func (m *Map) finalizeRemove(key []byte, prev ValueHandle) {
 	for attempt := 0; ; attempt++ {
 		retryPause(attempt)
-		c := m.locateChunk(key)
-		ei := c.LookUp(key)
-		if ei < 0 {
+		if m.finalizeRemoveAttempt(key, prev) {
 			return
 		}
-		if ValueHandle(c.ValHandle(ei)) != prev {
-			return // key removed or replaced (line 65)
-		}
-		if !c.Publish() {
-			continue
-		}
-		if c.CASValHandle(ei, uint64(prev), 0) {
-			m.headers.Release(uint64(prev))
-		}
-		c.Unpublish()
-		return // CAS failure means someone else advanced the entry
 	}
+}
+
+func (m *Map) finalizeRemoveAttempt(key []byte, prev ValueHandle) bool {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
+	c := m.locateChunk(key)
+	ei := c.LookUp(key)
+	if ei < 0 {
+		return true
+	}
+	if ValueHandle(c.ValHandle(ei)) != prev {
+		return true // key removed or replaced (line 65)
+	}
+	if !c.Publish() {
+		return false
+	}
+	if c.CASValHandle(ei, uint64(prev), 0) {
+		m.retireHeader(prev)
+	}
+	c.Unpublish()
+	return true // CAS failure means someone else advanced the entry
 }

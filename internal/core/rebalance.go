@@ -130,6 +130,10 @@ func (m *Map) rebalance(c *chunk.Chunk) {
 		if pred != nil {
 			pred.RebalanceMu.Unlock()
 		}
+		// Rebalances retire keys in bulk; attempt a drain now that the
+		// chunk locks are dropped (rebalance runs unpinned, so only
+		// other readers can hold the epoch back).
+		m.reclaim.TryAdvance()
 		return
 	}
 }
@@ -241,29 +245,37 @@ func (m *Map) rebalanceLocked(pred, c *chunk.Chunk) {
 		second.RebalanceMu.Unlock()
 	}
 
-	// Reclaim dead keys only when the application vouches that no key
-	// views outlive removals (§3.2 discussion in DESIGN.md).
-	if m.opts.ReclaimKeys {
-		for _, kr := range deadKeys {
-			m.freeKey(kr)
-		}
-	} else {
+	// Retire dead keys through the epoch domain: the retired chunks are
+	// already unlinked (forwarding is up), so no scan that pins after
+	// this point can reach them, and scans pinned before it keep the
+	// key bytes alive until they unpin. The dropped chunks' entry
+	// arrays themselves are on-heap and go to the GC with the chunk
+	// objects. With DisableKeyReclaim the dead space is retained and
+	// accounted instead (ablation baseline).
+	if m.opts.DisableKeyReclaim {
 		var leaked int64
 		for _, kr := range deadKeys {
 			leaked += int64(arena.Ref(kr).Len())
 		}
 		m.keyLeak.Add(leaked)
+	} else {
+		for _, kr := range deadKeys {
+			m.alloc.Retire(arena.Ref(kr))
+		}
 	}
 	m.alloc.Compact()
 }
 
-// freeKey returns a key's off-heap space to the allocator.
+// freeKey returns a key's off-heap space to the allocator immediately
+// (only for keys that were never linked: no reader can hold them).
 func (m *Map) freeKey(keyRef uint64) {
 	m.alloc.Free(arena.Ref(keyRef))
 }
 
-// KeyLeakBytes reports the cumulative bytes of dead keys retained because
-// key reclamation is disabled (the safe default).
+// KeyLeakBytes reports the cumulative bytes of dead keys retained. With
+// the default epoch reclamation this must stay zero — it is asserted as
+// an invariant by the leak-gate tests; it only grows when
+// DisableKeyReclaim opts back into the paper's leaky baseline.
 func (m *Map) KeyLeakBytes() int64 { return m.keyLeak.Load() }
 
 // findPred walks the live chunk list to find the chunk whose next pointer

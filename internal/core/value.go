@@ -24,9 +24,28 @@ var (
 type ValueHandle uint64
 
 // KeyBytes returns the serialized key behind a key reference. Keys are
-// immutable, so no locking is required (§2.1).
+// immutable, so no locking is required (§2.1) — but with key
+// reclamation the caller must hold an epoch pin (all internal scan and
+// lookup paths do); external view reads go through ReadKey instead.
 func (m *Map) KeyBytes(keyRef uint64) []byte {
 	return m.alloc.Bytes(arena.Ref(keyRef))
+}
+
+// ReadKey runs f on the serialized key behind keyRef under an epoch
+// pin, so the key's space cannot be recycled mid-read. h is the entry's
+// value handle at view-creation time: a live (non-deleted) handle
+// proves the entry — and therefore its key — has not been gathered as
+// dead by any rebalance, so the bytes are authentic. Once the mapping
+// has been deleted the read fails with ErrConcurrentModification
+// rather than returning possibly-recycled bytes. h may be 0 when the
+// caller is already pinned and owns the liveness argument itself.
+func (m *Map) ReadKey(keyRef uint64, h ValueHandle, f func([]byte) error) error {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
+	if h != 0 && m.IsDeleted(h) {
+		return ErrConcurrentModification
+	}
+	return f(m.KeyBytes(keyRef))
 }
 
 // IsDeleted reports whether the value behind h is deleted.
@@ -89,7 +108,10 @@ func (m *Map) valuePut(h ValueHandle, vw ValueWriter) (bool, error) {
 	}
 	vw.Write(m.alloc.Bytes(nref))
 	m.headers.StoreData(uint64(h), uint64(nref))
-	m.alloc.Free(old)
+	// The write lock excludes in-protocol readers, but the old span is
+	// retired (not freed) so any path that loaded the ref under an
+	// epoch pin stays safe until the grace period elapses.
+	m.alloc.Retire(old)
 	return true, nil
 }
 
@@ -129,7 +151,7 @@ func (m *Map) valueRemove(h ValueHandle) bool {
 	m.headers.StoreData(uint64(h), 0)
 	m.headers.DeleteLocked(uint64(h))
 	fpDeletedBit.Fire()
-	m.alloc.Free(ref)
+	m.alloc.Retire(ref)
 	return true
 }
 
@@ -200,7 +222,7 @@ func (w *WBuffer) Resize(n int) error {
 		nb[i] = 0
 	}
 	w.m.headers.StoreData(uint64(w.h), uint64(nref))
-	w.m.alloc.Free(old)
+	w.m.alloc.Retire(old)
 	return nil
 }
 

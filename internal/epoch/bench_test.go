@@ -1,0 +1,21 @@
+package epoch
+
+import "testing"
+
+func BenchmarkPinUnpinSerial(b *testing.B) {
+	d := NewDomain(func([]Retired) {})
+	for i := 0; i < b.N; i++ {
+		g := d.Pin()
+		g.Unpin()
+	}
+}
+
+func BenchmarkPinUnpinParallel(b *testing.B) {
+	d := NewDomain(func([]Retired) {})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g := d.Pin()
+			g.Unpin()
+		}
+	})
+}

@@ -1,0 +1,315 @@
+// Package epoch implements registration-based epoch reclamation (EBR),
+// the generalization of the paper's §3.3 sketch from value headers to
+// arbitrary off-heap resources. A Domain maintains a global epoch
+// counter and a fixed array of cache-line-padded reader slots. Readers
+// Pin() a slot — announcing the epoch they entered at — for the duration
+// of a critical section that dereferences off-heap memory. Writers
+// Retire resources into per-epoch limbo lists instead of freeing them;
+// a retired resource is handed to the domain's free callback only after
+// the global epoch has advanced far enough that every reader pinned at
+// (or before) the retirement epoch has unpinned.
+//
+// The grace argument is the classic three-epoch one. A resource is
+// unlinked from the shared structure before it is retired, and Retire
+// reads the global epoch e after the unlink, so a reader pinned at any
+// epoch > e provably pinned after the unlink and cannot reach the
+// resource. Retirements at epoch e are drained during the advance
+// e+2 → e+3, whose precondition is that every active reader is pinned
+// at exactly e+2: readers pinned at e or e+1 are gone (they blocked the
+// two previous advances), and readers at e+2 pinned after the unlink.
+// Three limbo buckets indexed by epoch mod 3 therefore suffice; a
+// delayed Retire that lands in a bucket late only postpones its free by
+// one full cycle, never accelerates it.
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"oakmap/internal/faultpoint"
+)
+
+// Fault-injection points on the reclamation engine (no-ops unless a
+// test arms them).
+var (
+	// FpAdvance is hit just before a successful epoch advance is
+	// published: a pausing hook stretches the window where the minimum
+	// pinned epoch has been verified but the counter has not moved.
+	FpAdvance = faultpoint.New("epoch/advance")
+	// FpDrain is hit after a limbo bucket has been privatized and before
+	// its resources are handed to the free callback: a pausing hook
+	// widens the gap between "logically reclaimed" and "actually freed",
+	// the window stale readers would hit if the grace computation were
+	// wrong.
+	FpDrain = faultpoint.New("epoch/drain")
+)
+
+const (
+	// slotCount bounds the number of concurrently pinned readers. Pins
+	// are held for the duration of one map operation (or one cursor
+	// step), so exhaustion means slotCount simultaneous in-flight
+	// operations; beyond it Pin spins with Gosched until a slot frees.
+	slotCount = 128
+	// buckets is the limbo-list ring size; three epochs of separation
+	// give the grace guarantee above.
+	buckets = 3
+	// DefaultLimboThreshold is the retired-item count that triggers an
+	// opportunistic advance attempt from Retire.
+	DefaultLimboThreshold = 512
+)
+
+// Retired is one deferred resource: an opaque caller-defined kind and
+// value (in Oak: an arena span ref, or a value-header handle).
+type Retired struct {
+	Kind uint8
+	Val  uint64
+}
+
+// slot is one reader announcement cell. word is 0 when free, else
+// epoch<<1|1. The padding keeps each slot on its own cache line so
+// concurrent pins never false-share.
+type slot struct {
+	word atomic.Uint64
+	_    [56]byte
+}
+
+// tryPin claims a free slot at the current global epoch. After
+// publishing, it refreshes the announcement if the global moved — a
+// stale-low announcement is always safe (it only delays advances) but
+// would stall reclamation under pin-heavy loads.
+func (s *slot) tryPin(global *atomic.Uint64) bool {
+	e := global.Load()
+	if !s.word.CompareAndSwap(0, e<<1|1) {
+		return false
+	}
+	for i := 0; i < 4; i++ {
+		cur := global.Load()
+		if cur == e {
+			break
+		}
+		s.word.Store(cur<<1 | 1)
+		e = cur
+	}
+	return true
+}
+
+type limbo struct {
+	mu    sync.Mutex
+	items []Retired
+	bytes int64
+}
+
+// Domain is one reclamation scope (in Oak: one Map). The free callback
+// receives drained batches; it runs on whichever goroutine performed
+// the advance and must not call back into Pin/Retire on the same
+// domain.
+type Domain struct {
+	global atomic.Uint64
+	count  atomic.Int64 // items across all limbo buckets
+	rotor  atomic.Uint32
+
+	slots [slotCount]slot
+	limbo [buckets]limbo
+
+	// advanceMu serializes epoch advances; the slot scan and the CAS on
+	// global are only performed under it.
+	advanceMu sync.Mutex
+
+	free      func([]Retired)
+	threshold atomic.Int64
+
+	advances atomic.Int64
+	drains   atomic.Int64
+}
+
+// NewDomain creates a domain whose drained resources are handed to
+// free in retirement order.
+func NewDomain(free func([]Retired)) *Domain {
+	d := &Domain{free: free}
+	d.threshold.Store(DefaultLimboThreshold)
+	return d
+}
+
+// SetLimboThreshold overrides the retired-item count at which Retire
+// attempts an advance (tests use small values to force drains).
+func (d *Domain) SetLimboThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.threshold.Store(int64(n))
+}
+
+// Guard is an active reader registration. It must be released with
+// Unpin exactly once; Unpin of the zero Guard is a no-op.
+type Guard struct {
+	d *Domain
+	s *slot
+}
+
+// Pin registers the caller as an active reader at the current epoch and
+// returns the guard protecting its critical section: no resource
+// retired at (or after) the pinned epoch is freed until Unpin.
+//
+// Slot affinity is derived from the goroutine's stack address: the
+// address of a stack local is stable for the goroutine's lifetime
+// (stack growth merely re-homes it), so each goroutine keeps hitting
+// the same announcement cell and its cache line stays core-local —
+// without any per-pin runtime coordination (sync.Pool's pin/unpin of
+// the P costs more than the announcement CAS itself). A neighbor probe
+// absorbs most birthday collisions; persistent crowds fall through to
+// the rotor scan.
+func (d *Domain) Pin() Guard {
+	var anchor byte
+	h := uintptr(unsafe.Pointer(&anchor)) * 0x9e3779b97f4a7c15
+	s := &d.slots[(h>>57)&(slotCount-1)]
+	if !s.tryPin(&d.global) {
+		s = &d.slots[(h>>57+1)&(slotCount-1)]
+		if !s.tryPin(&d.global) {
+			s = d.acquireSlot()
+		}
+	}
+	return Guard{d: d, s: s}
+}
+
+// acquireSlot scans for a free slot, starting at a rotating position so
+// concurrent acquirers spread out. With all slots busy it yields and
+// rescans: pins are short, so a slot frees quickly.
+func (d *Domain) acquireSlot() *slot {
+	start := d.rotor.Add(1)
+	for {
+		for j := uint32(0); j < slotCount; j++ {
+			s := &d.slots[(start+j)%slotCount]
+			if s.word.Load() == 0 && s.tryPin(&d.global) {
+				return s
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unpin releases the registration.
+func (g Guard) Unpin() {
+	if g.s == nil {
+		return
+	}
+	g.s.word.Store(0)
+}
+
+// Retire defers a resource until the grace period has elapsed. size is
+// accounting only (surfaced as LimboBytes). The caller must have
+// already unlinked the resource from the shared structure: after Retire
+// no new reader may be able to reach it.
+func (d *Domain) Retire(r Retired, size int64) {
+	e := d.global.Load()
+	b := &d.limbo[e%buckets]
+	b.mu.Lock()
+	b.items = append(b.items, r)
+	b.bytes += size
+	b.mu.Unlock()
+	// Opportunistic advance once the backlog is large. The attempt is
+	// amortized (1 in 16 retires) because a reader pinned at an old
+	// epoch makes every attempt fail with a full slot scan.
+	if c := d.count.Add(1); c >= d.threshold.Load() && c%16 == 0 {
+		d.TryAdvance()
+	}
+}
+
+// TryAdvance attempts one epoch advance without blocking: it fails if
+// another advance is in flight or some reader is pinned at an older
+// epoch. On success the limbo bucket whose grace period just elapsed is
+// drained into the free callback.
+func (d *Domain) TryAdvance() bool {
+	if !d.advanceMu.TryLock() {
+		return false
+	}
+	defer d.advanceMu.Unlock()
+	return d.advanceLocked()
+}
+
+// Advance is the blocking-lock variant of TryAdvance, for quiesce paths
+// that must not be starved by concurrent opportunistic attempts.
+func (d *Domain) Advance() bool {
+	d.advanceMu.Lock()
+	defer d.advanceMu.Unlock()
+	return d.advanceLocked()
+}
+
+func (d *Domain) advanceLocked() bool {
+	e := d.global.Load()
+	for i := range d.slots {
+		if w := d.slots[i].word.Load(); w != 0 && w>>1 != e {
+			return false // a reader is still pinned at an older epoch
+		}
+	}
+	FpAdvance.Fire()
+	d.global.CompareAndSwap(e, e+1)
+	d.advances.Add(1)
+	// Bucket (e+1) mod 3 holds retirements from epoch e-2, whose grace
+	// period elapsed with this advance.
+	d.drainBucket(int((e + 1) % buckets))
+	return true
+}
+
+func (d *Domain) drainBucket(i int) {
+	b := &d.limbo[i]
+	b.mu.Lock()
+	items := b.items
+	b.items, b.bytes = nil, 0
+	b.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	FpDrain.Fire()
+	d.count.Add(int64(-len(items)))
+	d.drains.Add(1)
+	d.free(items)
+}
+
+// Quiesce drains every limbo bucket by advancing through a full epoch
+// cycle. It reports whether the limbo emptied; false means some reader
+// stayed pinned at an old epoch throughout.
+func (d *Domain) Quiesce() bool {
+	for i := 0; i < buckets+1; i++ {
+		if d.count.Load() == 0 {
+			return true
+		}
+		if !d.Advance() {
+			return d.count.Load() == 0
+		}
+	}
+	return d.count.Load() == 0
+}
+
+// Stats is an observability snapshot of the domain.
+type Stats struct {
+	Epoch      uint64 // current global epoch
+	Pinned     int    // readers currently registered
+	LimboItems int    // retired resources awaiting their grace period
+	LimboBytes int64  // accounted bytes of those resources
+	Advances   int64  // successful epoch advances
+	Drains     int64  // non-empty bucket drains
+}
+
+// Stats returns a snapshot (the slot scan makes it O(slotCount)).
+func (d *Domain) Stats() Stats {
+	st := Stats{
+		Epoch:    d.global.Load(),
+		Advances: d.advances.Load(),
+		Drains:   d.drains.Load(),
+	}
+	for i := range d.slots {
+		if d.slots[i].word.Load() != 0 {
+			st.Pinned++
+		}
+	}
+	for i := range d.limbo {
+		b := &d.limbo[i]
+		b.mu.Lock()
+		st.LimboItems += len(b.items)
+		st.LimboBytes += b.bytes
+		b.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,227 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oakmap/internal/faultpoint"
+)
+
+// collectDomain returns a domain whose frees append into a recording
+// slice guarded by mu.
+func collectDomain() (*Domain, func() []Retired) {
+	var mu sync.Mutex
+	var freed []Retired
+	d := NewDomain(func(items []Retired) {
+		mu.Lock()
+		freed = append(freed, items...)
+		mu.Unlock()
+	})
+	return d, func() []Retired {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Retired(nil), freed...)
+	}
+}
+
+func TestRetireDrainsAfterFullCycle(t *testing.T) {
+	d, freed := collectDomain()
+	d.Retire(Retired{Kind: 1, Val: 42}, 8)
+	if got := len(freed()); got != 0 {
+		t.Fatalf("freed %d items before any advance", got)
+	}
+	// Three advances elapse the grace period for epoch-0 retirements.
+	for i := 0; i < buckets; i++ {
+		if !d.Advance() {
+			t.Fatalf("advance %d failed with no pinned readers", i)
+		}
+	}
+	f := freed()
+	if len(f) != 1 || f[0].Val != 42 || f[0].Kind != 1 {
+		t.Fatalf("freed = %+v; want the one retired item", f)
+	}
+	if st := d.Stats(); st.LimboItems != 0 || st.LimboBytes != 0 {
+		t.Fatalf("limbo not empty after drain: %+v", st)
+	}
+}
+
+func TestPinBlocksReclamation(t *testing.T) {
+	d, freed := collectDomain()
+	g := d.Pin()
+	d.Retire(Retired{Val: 7}, 8)
+	// The pinned reader blocks the second advance (it stays at epoch 0),
+	// so the item retired at epoch 0 can never drain.
+	d.TryAdvance() // 0→1 may succeed: the reader is at the current epoch
+	for i := 0; i < 5; i++ {
+		if d.TryAdvance() {
+			t.Fatalf("advance %d succeeded past a reader pinned at epoch 0", i)
+		}
+	}
+	if got := len(freed()); got != 0 {
+		t.Fatalf("freed %d items while a guard from the retire epoch was pinned", got)
+	}
+	g.Unpin()
+	if !d.Quiesce() {
+		t.Fatal("Quiesce failed after the guard unpinned")
+	}
+	if got := len(freed()); got != 1 {
+		t.Fatalf("freed %d items after quiesce; want 1", got)
+	}
+}
+
+func TestQuiesceEmptiesLimbo(t *testing.T) {
+	d, freed := collectDomain()
+	for i := uint64(0); i < 100; i++ {
+		d.Retire(Retired{Val: i}, 8)
+		if i%3 == 0 {
+			d.Advance() // spread retirements across epochs/buckets
+		}
+	}
+	if !d.Quiesce() {
+		t.Fatal("Quiesce failed with no readers")
+	}
+	if got := len(freed()); got != 100 {
+		t.Fatalf("freed %d items; want 100", got)
+	}
+	if st := d.Stats(); st.LimboItems != 0 {
+		t.Fatalf("LimboItems = %d after quiesce", st.LimboItems)
+	}
+}
+
+func TestThresholdTriggersAdvance(t *testing.T) {
+	d, freed := collectDomain()
+	d.SetLimboThreshold(16)
+	// Without any explicit Advance call, sheer retire volume must cycle
+	// the epoch and start draining.
+	for i := uint64(0); i < 1000; i++ {
+		d.Retire(Retired{Val: i}, 8)
+	}
+	if got := len(freed()); got == 0 {
+		t.Fatal("no drains after 1000 retires with threshold 16")
+	}
+	if st := d.Stats(); st.Advances == 0 {
+		t.Fatal("no advances recorded")
+	}
+}
+
+func TestPinSlotReuseAndNesting(t *testing.T) {
+	d, _ := collectDomain()
+	g1 := d.Pin()
+	g2 := d.Pin() // nested pin must get an independent slot
+	if g1.s == g2.s {
+		t.Fatal("nested pins shared a slot")
+	}
+	if st := d.Stats(); st.Pinned != 2 {
+		t.Fatalf("Pinned = %d; want 2", st.Pinned)
+	}
+	g2.Unpin()
+	g1.Unpin()
+	if st := d.Stats(); st.Pinned != 0 {
+		t.Fatalf("Pinned = %d after unpin; want 0", st.Pinned)
+	}
+	var zero Guard
+	zero.Unpin() // must be a no-op
+}
+
+// TestNeverFreeWhileReachable is the core safety property under load:
+// concurrent readers "read" resources through a shared table while
+// writers unlink and retire them; a freed-while-reachable bug surfaces
+// as a read of an item whose free already ran.
+func TestNeverFreeWhileReachable(t *testing.T) {
+	const items = 1 << 12
+	var freedAt [items]atomic.Bool
+	d := NewDomain(func(batch []Retired) {
+		for _, r := range batch {
+			freedAt[r.Val].Store(true)
+		}
+	})
+	d.SetLimboThreshold(32)
+
+	var table [items]atomic.Bool // true = linked (reachable)
+	for i := range table {
+		table[i].Store(true)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := d.Pin()
+				i = (i*31 + 7) % items
+				if table[i].Load() { // reachable under the pin...
+					if freedAt[i].Load() { // ...must imply not freed
+						violations.Add(1)
+					}
+				}
+				g.Unpin()
+			}
+		}(r)
+	}
+	for i := 0; i < items; i++ {
+		if table[i].CompareAndSwap(true, false) { // unlink
+			d.Retire(Retired{Val: uint64(i)}, 8)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d reads of a freed-but-reachable item", v)
+	}
+	if !d.Quiesce() {
+		t.Fatal("final quiesce failed")
+	}
+	for i := range freedAt {
+		if !freedAt[i].Load() {
+			t.Fatalf("item %d never freed after quiesce", i)
+		}
+	}
+}
+
+func TestFaultPointsFire(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	d, _ := collectDomain()
+	if err := faultpoint.Arm("epoch/advance", faultpoint.Never()); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Arm("epoch/drain", faultpoint.Never()); err != nil {
+		t.Fatal(err)
+	}
+	d.Retire(Retired{Val: 1}, 8)
+	d.Quiesce()
+	cs := faultpoint.Counters()
+	if cs["epoch/advance"].Hits == 0 {
+		t.Fatal("epoch/advance never hit")
+	}
+	if cs["epoch/drain"].Hits == 0 {
+		t.Fatal("epoch/drain never hit")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, _ := collectDomain()
+	d.Retire(Retired{Val: 1}, 100)
+	d.Retire(Retired{Val: 2}, 28)
+	st := d.Stats()
+	if st.LimboItems != 2 || st.LimboBytes != 128 {
+		t.Fatalf("limbo stats = %d items / %d bytes; want 2/128", st.LimboItems, st.LimboBytes)
+	}
+	d.Quiesce()
+	st = d.Stats()
+	if st.LimboItems != 0 || st.LimboBytes != 0 {
+		t.Fatalf("limbo stats after quiesce = %+v", st)
+	}
+	if st.Epoch == 0 {
+		t.Fatal("epoch did not advance")
+	}
+}

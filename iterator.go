@@ -22,7 +22,7 @@ import "oakmap/internal/core"
 func (z ZeroCopyMap[K, V]) Ascend(from, to *K, f func(key, value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
 	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef},
+		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef, h: h},
 			&OakRBuffer{m: z.m.core, h: h})
 	})
 }
@@ -32,19 +32,26 @@ func (z ZeroCopyMap[K, V]) Ascend(from, to *K, f func(key, value *OakRBuffer) bo
 func (z ZeroCopyMap[K, V]) Descend(from, to *K, f func(key, value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
 	z.m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef},
+		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef, h: h},
 			&OakRBuffer{m: z.m.core, h: h})
 	})
 }
 
 // AscendStream is Ascend with the stream API: the same two view objects
 // are re-filled for every entry.
+//
+// Stream key views carry no validation handle (h = 0): they are only
+// legal inside the callback, where the scan's epoch pin already keeps
+// the key bytes alive, so a key read never spuriously fails when the
+// entry is removed concurrently mid-callback. (Value views still fail
+// with ErrConcurrentModification after a delete — the value's space is
+// released under its own lock protocol, not the scan pin.)
 func (z ZeroCopyMap[K, V]) AscendStream(from, to *K, f func(key, value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
 	kb := &OakRBuffer{m: z.m.core}
 	vb := &OakRBuffer{m: z.m.core}
 	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		kb.keyRef, kb.h = keyRef, 0
+		kb.keyRef = keyRef
 		vb.h = h
 		return f(kb, vb)
 	})
@@ -56,7 +63,7 @@ func (z ZeroCopyMap[K, V]) DescendStream(from, to *K, f func(key, value *OakRBuf
 	kb := &OakRBuffer{m: z.m.core}
 	vb := &OakRBuffer{m: z.m.core}
 	z.m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		kb.keyRef, kb.h = keyRef, 0
+		kb.keyRef = keyRef // h stays 0: see AscendStream
 		vb.h = h
 		return f(kb, vb)
 	})
@@ -66,7 +73,7 @@ func (z ZeroCopyMap[K, V]) DescendStream(from, to *K, f func(key, value *OakRBuf
 func (z ZeroCopyMap[K, V]) Keys(from, to *K, f func(key *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
 	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef})
+		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef, h: h})
 	})
 }
 
@@ -83,7 +90,7 @@ func (z ZeroCopyMap[K, V]) KeysStream(from, to *K, f func(key *OakRBuffer) bool)
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
 	kb := &OakRBuffer{m: z.m.core}
 	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		kb.keyRef, kb.h = keyRef, 0
+		kb.keyRef = keyRef // h stays 0: see AscendStream
 		return f(kb)
 	})
 }

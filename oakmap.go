@@ -56,11 +56,14 @@ type Options struct {
 	// FlatFreeList selects the paper's flat first-fit free list instead
 	// of the default segregated size-class allocator (ablation studies).
 	FlatFreeList bool
-	// ReclaimKeys enables off-heap key reclamation during rebalance; see
-	// core.Options.ReclaimKeys for the safety contract.
-	ReclaimKeys bool
+	// DisableKeyReclaim turns off the default epoch-based reclamation of
+	// dead key space (ablation / paper-faithful baseline): dead keys are
+	// then retained forever and accounted in Stats.KeyLeakBytes.
+	DisableKeyReclaim bool
 	// ReclaimHeaders enables the generation-based header reclamation
 	// extension (bounds header space under delete-heavy workloads).
+	// Header recycling is deferred through the same epoch domain as key
+	// and value space, so retained views stay safe.
 	ReclaimHeaders bool
 }
 
@@ -90,14 +93,14 @@ func New[K, V any](keySer Serializer[K], valSer Serializer[V], opts *Options) *M
 	}
 	m := &Map[K, V]{
 		core: core.New(&core.Options{
-			ChunkCapacity:   o.ChunkCapacity,
-			RebalanceRatio:  o.RebalanceRatio,
-			Pool:            pool,
-			Comparator:      cmp,
-			DisableFirstFit: o.DisableFirstFit,
-			FlatFreeList:    o.FlatFreeList,
-			ReclaimKeys:     o.ReclaimKeys,
-			ReclaimHeaders:  o.ReclaimHeaders,
+			ChunkCapacity:     o.ChunkCapacity,
+			RebalanceRatio:    o.RebalanceRatio,
+			Pool:              pool,
+			Comparator:        cmp,
+			DisableFirstFit:   o.DisableFirstFit,
+			FlatFreeList:      o.FlatFreeList,
+			DisableKeyReclaim: o.DisableKeyReclaim,
+			ReclaimHeaders:    o.ReclaimHeaders,
 		}),
 		keySer: keySer,
 		valSer: valSer,
@@ -374,12 +377,23 @@ func (m *Map[K, V]) HigherKey(k K) (K, bool) {
 	return m.keyOf(m.core.Higher(*kb))
 }
 
-func (m *Map[K, V]) keyOf(keyRef uint64, _ core.ValueHandle, ok bool) (K, bool) {
+func (m *Map[K, V]) keyOf(keyRef uint64, h core.ValueHandle, ok bool) (K, bool) {
 	var zero K
 	if !ok {
 		return zero, false
 	}
-	return m.keySer.Deserialize(m.core.KeyBytes(keyRef)), true
+	var out K
+	// Deserialize under an epoch pin; a mapping deleted in the window
+	// since the navigation query is reported as absent rather than read
+	// from possibly-recycled bytes.
+	err := m.core.ReadKey(keyRef, h, func(b []byte) error {
+		out = m.keySer.Deserialize(b)
+		return nil
+	})
+	if err != nil {
+		return zero, false
+	}
+	return out, true
 }
 
 // Stats exposes internal counters for observability and experiments.
@@ -396,11 +410,20 @@ type Stats struct {
 	// fraction of the footprint.
 	FreeSpans     int
 	Fragmentation float64
+	// Epoch, PinnedReaders, LimboItems and LimboBytes snapshot the
+	// epoch-based reclamation domain: the current global epoch, how many
+	// readers are pinned, and the deferred-free backlog awaiting its
+	// grace period.
+	Epoch         uint64
+	PinnedReaders int
+	LimboItems    int
+	LimboBytes    int64
 }
 
 // Stats returns a snapshot of the map's internals.
 func (m *Map[K, V]) Stats() Stats {
 	as := m.core.ArenaStats()
+	rs := m.core.ReclaimStats()
 	return Stats{
 		Len:           m.core.Len(),
 		Footprint:     m.core.Footprint(),
@@ -411,8 +434,17 @@ func (m *Map[K, V]) Stats() Stats {
 		HeaderCount:   m.core.HeaderCount(),
 		FreeSpans:     as.FreeSpans,
 		Fragmentation: as.Fragmentation,
+		Epoch:         rs.Epoch,
+		PinnedReaders: rs.Pinned,
+		LimboItems:    rs.LimboItems,
+		LimboBytes:    rs.LimboBytes,
 	}
 }
+
+// Quiesce cycles the reclamation epoch until the deferred-free limbo
+// drains, reporting whether it emptied (false means a reader stayed
+// pinned throughout). Useful before footprint assertions and in tests.
+func (m *Map[K, V]) Quiesce() bool { return m.core.QuiesceReclaim() }
 
 // ContainsKey reports whether k is mapped.
 func (m *Map[K, V]) ContainsKey(k K) bool {
@@ -431,7 +463,13 @@ func (m *Map[K, V]) PollFirst() (k K, v V, ok bool, err error) {
 		if !found {
 			return k, v, false, nil
 		}
-		key := append([]byte(nil), m.core.KeyBytes(keyRef)...)
+		var key []byte
+		if m.core.ReadKey(keyRef, h, func(b []byte) error {
+			key = append(key, b...)
+			return nil
+		}) != nil {
+			continue // removed under us; retry
+		}
 		got := false
 		rerr := m.core.ReadValue(h, func(b []byte) error {
 			v = m.valSer.Deserialize(b)
@@ -459,7 +497,13 @@ func (m *Map[K, V]) PollLast() (k K, v V, ok bool, err error) {
 		if !found {
 			return k, v, false, nil
 		}
-		key := append([]byte(nil), m.core.KeyBytes(keyRef)...)
+		var key []byte
+		if m.core.ReadKey(keyRef, h, func(b []byte) error {
+			key = append(key, b...)
+			return nil
+		}) != nil {
+			continue // removed under us; retry
+		}
 		got := false
 		rerr := m.core.ReadValue(h, func(b []byte) error {
 			v = m.valSer.Deserialize(b)

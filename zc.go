@@ -10,20 +10,25 @@ import (
 // is a lightweight on-heap facade: it holds no copy of the data. Views
 // may be retained arbitrarily long and accessed from any goroutine; each
 // accessor call is individually atomic (method-call granularity, §2.2).
-// Value views return ErrConcurrentModification once the mapping has been
-// deleted.
+// Both kinds of view return ErrConcurrentModification once the mapping
+// has been deleted: value reads fail on the deleted bit, and key reads
+// fail the same way rather than exposing key space that epoch-based
+// reclamation may have recycled.
 type OakRBuffer struct {
 	m      *core.Map
-	h      core.ValueHandle // 0 for key buffers
-	keyRef uint64
+	h      core.ValueHandle
+	keyRef uint64 // non-zero for key buffers
 }
 
 // Read runs f on the buffer's current bytes, atomically with respect to
 // concurrent updates. f must not retain the slice: it aliases off-heap
 // memory that may be reused after the call.
 func (b *OakRBuffer) Read(f func([]byte) error) error {
-	if b.h == 0 {
-		return f(b.m.KeyBytes(b.keyRef))
+	if b.keyRef != 0 {
+		// Key view: read under an epoch pin, validated against the
+		// mapping's value handle (a live handle proves the key has not
+		// been retired by a rebalance).
+		return b.m.ReadKey(b.keyRef, b.h, f)
 	}
 	return b.m.ReadValue(b.h, f)
 }
