@@ -16,13 +16,16 @@ type EntryFunc func(keyRef uint64, h ValueHandle) bool
 // duration are reported exactly once; concurrently mutated keys may or
 // may not appear.
 func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
-	// The whole scan runs under one epoch pin: every chunk pointer we
-	// hold and every key we compare stays valid even if the region is
-	// rebalanced mid-scan (the frozen chunks' keys cannot be recycled
-	// until we unpin). Long scans therefore delay reclamation; the
-	// pull-based Cursor pins per Next call instead.
+	// The scan pins the epoch per chunk, not for its whole duration:
+	// chunk pointers and keys stay valid while pinned, and at each chunk
+	// boundary the pin is cycled and the scan re-enters at the last
+	// visited key (the cursor's reposition), so a long scan — or a slow
+	// user callback — stalls reclamation by at most one chunk's worth of
+	// yields instead of freezing the global epoch (and growing the limbo
+	// lists without bound) for the entire traversal. The pull-based
+	// Cursor goes further and pins per Next call.
 	g := m.reclaim.Pin()
-	defer g.Unpin()
+	defer func() { g.Unpin() }()
 	var c *chunk.Chunk
 	if lo == nil {
 		c = chunk.Forward(m.head.Load())
@@ -30,9 +33,13 @@ func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
 		c = m.locateChunk(lo)
 	}
 	ei := c.FirstGE(lo)
-	// resume tracks the last visited key so that chunk hops through
-	// concurrently rebalanced regions never revisit entries.
-	var resume []byte
+	// resume tracks the last visited key: the re-entry point after a pin
+	// cycle, and the guard against revisiting entries when hopping
+	// through concurrently rebalanced regions. It aliases c's key space
+	// exactly while progressed is true; a chunk boundary copies it into
+	// resumeBuf before dropping the pin that keeps those bytes valid.
+	var resume, resumeBuf []byte
+	progressed := false
 	for {
 		for ei >= 0 {
 			key := c.Key(ei)
@@ -40,6 +47,7 @@ func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
 				return
 			}
 			resume = key
+			progressed = true
 			h := ValueHandle(c.ValHandle(ei))
 			if h != 0 && !m.IsDeleted(h) {
 				if !yield(c.KeyRef(ei), h) {
@@ -52,12 +60,32 @@ func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
 		if n == nil {
 			return
 		}
+		if progressed {
+			// Keys were visited since the last re-entry: cycle the pin
+			// and reposition at the first key past resume. Re-locating
+			// from the index (rather than trusting c's next pointer,
+			// which may go stale the moment the pin drops) also covers
+			// any rebalance that runs while unpinned.
+			resumeBuf = append(resumeBuf[:0], resume...)
+			resume = resumeBuf
+			progressed = false
+			g.Unpin()
+			g = m.reclaim.Pin()
+			c = m.locateChunk(resume)
+			ei = c.FirstGE(resume)
+			for ei >= 0 && m.cmp(c.Key(ei), resume) == 0 {
+				ei = c.NextEntry(ei)
+			}
+			continue
+		}
+		// No key visited since the last re-entry (empty or fully-dead
+		// chunk): hop under the same pin — repositioning by key could
+		// not make progress. resume, if set, is already an owned copy.
 		next := chunk.Forward(n)
 		if next != n && resume != nil {
 			// The successor was rebalanced: its replacement may cover
 			// ranges we already visited (e.g. after a merge with c's
 			// replacement). Re-enter at the first key past resume.
-			resume = append([]byte(nil), resume...) // unalias from c
 			c = next
 			ei = c.FirstGE(resume)
 			for ei >= 0 && m.cmp(c.Key(ei), resume) == 0 {
@@ -74,8 +102,12 @@ func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
 // chunk-local stack iterator (§4.2, Fig. 2), issuing only one chunk
 // lookup per exhausted chunk rather than one per key.
 func (m *Map) Descend(lo, hi []byte, yield EntryFunc) {
-	g := m.reclaim.Pin() // see Ascend
-	defer g.Unpin()
+	// As in Ascend, the pin is cycled at each chunk boundary so a long
+	// descending scan stalls reclamation by at most one chunk. The bound
+	// is an owned copy by the time the pin drops, and prevChunk re-enters
+	// from the index under the fresh pin.
+	g := m.reclaim.Pin()
+	defer func() { g.Unpin() }()
 	var c *chunk.Chunk
 	if hi == nil {
 		c = m.lastChunk()
@@ -109,29 +141,44 @@ func (m *Map) Descend(lo, hi []byte, yield EntryFunc) {
 			return // everything below is out of range
 		}
 		// All remaining keys are < c.minKey; that also bounds against
-		// duplicates if the predecessor was rebalanced meanwhile.
+		// duplicates if the predecessor was rebalanced meanwhile. The
+		// copy must precede the pin cycle — mk aliases c's key space.
 		bound = append([]byte(nil), mk...)
+		g.Unpin()
+		g = m.reclaim.Pin()
 		c = m.prevChunk(bound)
 	}
 }
 
 // DescendNaive is the ablation baseline for Fig. 4f's design point: a
 // descending scan implemented as a sequence of fresh lookups (one
-// O(log n) locate per key), the way skiplists do it.
+// O(log n) locate per key), the way skiplists do it. Each lookup runs
+// under its own short epoch pin — also the skiplist way — so the
+// baseline neither holds a scan-long pin nor doubles up pins per step.
 func (m *Map) DescendNaive(lo, hi []byte, yield EntryFunc) {
-	g := m.reclaim.Pin() // see Ascend
-	defer g.Unpin()
-	keyRef, h, ok := m.lowerEntry(hi)
-	for ok {
-		key := m.KeyBytes(keyRef)
-		if lo != nil && m.cmp(key, lo) < 0 {
+	bound := hi
+	var buf []byte
+	for {
+		stop := true
+		func() {
+			g := m.reclaim.Pin()
+			defer g.Unpin()
+			keyRef, h, ok := m.lowerEntryPinned(bound)
+			if !ok {
+				return
+			}
+			key := m.KeyBytes(keyRef)
+			if lo != nil && m.cmp(key, lo) < 0 {
+				return
+			}
+			// Copy before the pin drops: key aliases arena space.
+			buf = append(buf[:0], key...)
+			bound = buf
+			stop = !yield(keyRef, h)
+		}()
+		if stop {
 			return
 		}
-		if !yield(keyRef, h) {
-			return
-		}
-		next := append([]byte(nil), key...)
-		keyRef, h, ok = m.lowerEntry(next)
 	}
 }
 
@@ -140,6 +187,13 @@ func (m *Map) DescendNaive(lo, hi []byte, yield EntryFunc) {
 func (m *Map) lowerEntry(bound []byte) (uint64, ValueHandle, bool) {
 	g := m.reclaim.Pin()
 	defer g.Unpin()
+	return m.lowerEntryPinned(bound)
+}
+
+// lowerEntryPinned is lowerEntry's body for internal callers that
+// already hold an epoch pin (Floor, DescendNaive), so each public entry
+// point pins exactly once.
+func (m *Map) lowerEntryPinned(bound []byte) (uint64, ValueHandle, bool) {
 	var c *chunk.Chunk
 	if bound == nil {
 		c = m.lastChunk()
@@ -195,15 +249,15 @@ func (m *Map) Lower(k []byte) (uint64, ValueHandle, bool) {
 
 // Floor returns the greatest live entry with key ≤ k.
 func (m *Map) Floor(k []byte) (uint64, ValueHandle, bool) {
-	g := m.reclaim.Pin() // covers the locate+lookup after Get (nested pins are fine)
+	g := m.reclaim.Pin() // one pin covers the exact lookup and the fallback
 	defer g.Unpin()
-	if h, ok := m.Get(k); ok {
+	if h, ok := m.getPinned(k); ok {
 		c := m.locateChunk(k)
 		if ei := c.LookUp(k); ei >= 0 {
 			return c.KeyRef(ei), h, true
 		}
 	}
-	return m.lowerEntry(k)
+	return m.lowerEntryPinned(k)
 }
 
 // Ceiling returns the smallest live entry with key ≥ k.

@@ -20,6 +20,12 @@ var fpPutRace = faultpoint.New("core/put-race")
 func (m *Map) Get(key []byte) (ValueHandle, bool) {
 	g := m.reclaim.Pin()
 	defer g.Unpin()
+	return m.getPinned(key)
+}
+
+// getPinned is Get's body for internal callers that already hold an
+// epoch pin (Floor), so each public entry point pins exactly once.
+func (m *Map) getPinned(key []byte) (ValueHandle, bool) {
 	c := m.locateChunk(key)
 	ei := c.LookUp(key)
 	if ei < 0 {

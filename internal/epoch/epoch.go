@@ -17,9 +17,12 @@
 // e+2 → e+3, whose precondition is that every active reader is pinned
 // at exactly e+2: readers pinned at e or e+1 are gone (they blocked the
 // two previous advances), and readers at e+2 pinned after the unlink.
-// Three limbo buckets indexed by epoch mod 3 therefore suffice; a
-// delayed Retire that lands in a bucket late only postpones its free by
-// one full cycle, never accelerates it.
+// Three limbo buckets indexed by epoch mod 3 therefore suffice. The
+// bucket is privatized BEFORE the new epoch is published: while the
+// global still reads e+2 a concurrent Retire can only append to bucket
+// (e+2) mod 3, never to the one being drained, so a late Retire only
+// postpones its free by one full cycle — it can never slip into a
+// drain and be freed early.
 package epoch
 
 import (
@@ -34,9 +37,10 @@ import (
 // Fault-injection points on the reclamation engine (no-ops unless a
 // test arms them).
 var (
-	// FpAdvance is hit just before a successful epoch advance is
-	// published: a pausing hook stretches the window where the minimum
-	// pinned epoch has been verified but the counter has not moved.
+	// FpAdvance is hit after the reader scan has verified the minimum
+	// pinned epoch and before the advance acts on it (drain, then
+	// publish): a pausing hook stretches the window where the
+	// verification is stale but the counter has not moved.
 	FpAdvance = faultpoint.New("epoch/advance")
 	// FpDrain is hit after a limbo bucket has been privatized and before
 	// its resources are handed to the free callback: a pausing hook
@@ -47,10 +51,15 @@ var (
 )
 
 const (
-	// slotCount bounds the number of concurrently pinned readers. Pins
-	// are held for the duration of one map operation (or one cursor
-	// step), so exhaustion means slotCount simultaneous in-flight
-	// operations; beyond it Pin spins with Gosched until a slot frees.
+	// slotCount bounds the number of readers pinned via fast
+	// cache-line-padded slots. Pins are held for the duration of one map
+	// operation (or one cursor step), so exhaustion means slotCount
+	// simultaneous in-flight operations; beyond it Pin falls back to the
+	// per-epoch overflow counters — it never waits for a slot to free,
+	// because pins nest (Pin under Pin on the same goroutine is legal
+	// and happens whenever a scan callback re-enters the map), and a
+	// blocking fallback would let slotCount nested pinners deadlock in
+	// hold-and-wait.
 	slotCount = 128
 	// buckets is the limbo-list ring size; three epochs of separation
 	// give the grace guarantee above.
@@ -113,6 +122,13 @@ type Domain struct {
 	slots [slotCount]slot
 	limbo [buckets]limbo
 
+	// overflow counts readers that found every slot taken, bucketed by
+	// pinned epoch mod buckets. The wheel cannot conflate epochs: a
+	// reader k epochs behind blocks every advance until it unpins, so by
+	// the time a bucket index repeats (3 epochs) its old occupants are
+	// gone. The cold path tolerates the shared cache line.
+	overflow [buckets]atomic.Int64
+
 	// advanceMu serializes epoch advances; the slot scan and the CAS on
 	// global are only performed under it.
 	advanceMu sync.Mutex
@@ -145,12 +161,15 @@ func (d *Domain) SetLimboThreshold(n int) {
 // Unpin exactly once; Unpin of the zero Guard is a no-op.
 type Guard struct {
 	d *Domain
-	s *slot
+	s *slot  // nil for an overflow registration
+	e uint64 // overflow only: the pinned epoch
 }
 
 // Pin registers the caller as an active reader at the current epoch and
 // returns the guard protecting its critical section: no resource
-// retired at (or after) the pinned epoch is freed until Unpin.
+// retired at (or after) the pinned epoch is freed until Unpin. Pin
+// never blocks on other readers, so pins may nest freely (a scan
+// callback that re-enters the map pins again on the same goroutine).
 //
 // Slot affinity is derived from the goroutine's stack address: the
 // address of a stack local is stable for the goroutine's lifetime
@@ -159,42 +178,79 @@ type Guard struct {
 // without any per-pin runtime coordination (sync.Pool's pin/unpin of
 // the P costs more than the announcement CAS itself). A neighbor probe
 // absorbs most birthday collisions; persistent crowds fall through to
-// the rotor scan.
+// the rotor scan, and with every slot taken the pin lands in the
+// overflow counters instead of waiting.
 func (d *Domain) Pin() Guard {
 	var anchor byte
 	h := uintptr(unsafe.Pointer(&anchor)) * 0x9e3779b97f4a7c15
 	s := &d.slots[(h>>57)&(slotCount-1)]
-	if !s.tryPin(&d.global) {
-		s = &d.slots[(h>>57+1)&(slotCount-1)]
-		if !s.tryPin(&d.global) {
-			s = d.acquireSlot()
-		}
+	if s.tryPin(&d.global) {
+		return Guard{d: d, s: s}
 	}
-	return Guard{d: d, s: s}
+	s = &d.slots[(h>>57+1)&(slotCount-1)]
+	if s.tryPin(&d.global) {
+		return Guard{d: d, s: s}
+	}
+	if s := d.acquireSlot(); s != nil {
+		return Guard{d: d, s: s}
+	}
+	return d.pinOverflow()
 }
 
 // acquireSlot scans for a free slot, starting at a rotating position so
-// concurrent acquirers spread out. With all slots busy it yields and
-// rescans: pins are short, so a slot frees quickly.
+// concurrent acquirers spread out. It gives up (nil) after two full
+// scans rather than waiting for a slot to free: the caller may already
+// hold a pin lower in its stack, and slotCount such callers waiting on
+// each other would be a permanent hold-and-wait deadlock. The overflow
+// path is the wait-free fallback.
 func (d *Domain) acquireSlot() *slot {
 	start := d.rotor.Add(1)
-	for {
+	for r := 0; r < 2; r++ {
+		if r > 0 {
+			runtime.Gosched()
+		}
 		for j := uint32(0); j < slotCount; j++ {
 			s := &d.slots[(start+j)%slotCount]
 			if s.word.Load() == 0 && s.tryPin(&d.global) {
 				return s
 			}
 		}
-		runtime.Gosched()
+	}
+	return nil
+}
+
+// pinOverflow registers the caller in the per-epoch overflow counters.
+// The announce-then-validate loop makes the registration race-free:
+// the increment is globally visible before the validating re-load
+// (sync/atomic operations are totally ordered), so if the global still
+// reads e, every later advance — whose CAS must follow that load —
+// scans the counters after the increment and observes the reader. If
+// the global moved, the stale announcement is withdrawn and the pin
+// retries at the new epoch; advances are serialized, so the loop
+// settles in a step or two. Overflow announcements are not refreshed
+// the way slot words are, which can stall an advance one epoch sooner —
+// acceptable for a path reached only beyond slotCount concurrent pins.
+func (d *Domain) pinOverflow() Guard {
+	for {
+		e := d.global.Load()
+		b := &d.overflow[e%buckets]
+		b.Add(1)
+		if d.global.Load() == e {
+			return Guard{d: d, e: e}
+		}
+		b.Add(-1)
 	}
 }
 
 // Unpin releases the registration.
 func (g Guard) Unpin() {
-	if g.s == nil {
+	if g.s != nil {
+		g.s.word.Store(0)
 		return
 	}
-	g.s.word.Store(0)
+	if g.d != nil {
+		g.d.overflow[g.e%buckets].Add(-1)
+	}
 }
 
 // Retire defers a resource until the grace period has elapsed. size is
@@ -243,12 +299,23 @@ func (d *Domain) advanceLocked() bool {
 			return false // a reader is still pinned at an older epoch
 		}
 	}
+	for i := range d.overflow {
+		if uint64(i) != e%buckets && d.overflow[i].Load() != 0 {
+			return false // an overflow reader is pinned at an older epoch
+		}
+	}
 	FpAdvance.Fire()
+	// Bucket (e+1) mod 3 holds retirements from epoch e-2, whose grace
+	// period elapses with this advance. It MUST be drained before the
+	// CAS publishes e+1: while the global still reads e, a concurrent
+	// Retire can only append to bucket e mod 3, so the privatization
+	// below races with nothing. Publishing first would let a Retire
+	// that loads the new epoch slip its item into this bucket between
+	// the CAS and the privatization — freeing it with zero grace period
+	// while readers pinned at e may still hold references to it.
+	d.drainBucket(int((e + 1) % buckets))
 	d.global.CompareAndSwap(e, e+1)
 	d.advances.Add(1)
-	// Bucket (e+1) mod 3 holds retirements from epoch e-2, whose grace
-	// period elapsed with this advance.
-	d.drainBucket(int((e + 1) % buckets))
 	return true
 }
 
@@ -303,6 +370,9 @@ func (d *Domain) Stats() Stats {
 		if d.slots[i].word.Load() != 0 {
 			st.Pinned++
 		}
+	}
+	for i := range d.overflow {
+		st.Pinned += int(d.overflow[i].Load())
 	}
 	for i := range d.limbo {
 		b := &d.limbo[i]

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"oakmap/internal/faultpoint"
 )
@@ -185,6 +186,153 @@ func TestNeverFreeWhileReachable(t *testing.T) {
 		if !freedAt[i].Load() {
 			t.Fatalf("item %d never freed after quiesce", i)
 		}
+	}
+}
+
+// TestDrainPrecedesPublish pins down the advance ordering that makes
+// Retire race-free: the limbo bucket must be privatized while the global
+// epoch still reads its pre-advance value. Publishing the new epoch
+// first would open a window where a concurrent Retire loads the new
+// epoch and appends into the very bucket being drained — freeing the
+// resource with zero grace period.
+func TestDrainPrecedesPublish(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	d, freed := collectDomain()
+	d.Retire(Retired{Val: 1}, 8) // epoch 0 → bucket 0
+	if !d.Advance() || !d.Advance() {
+		t.Fatal("setup advances failed")
+	}
+	// global == 2; the next advance drains bucket 0 and publishes 3.
+	var epochAtDrain atomic.Uint64
+	if err := faultpoint.Arm("epoch/drain", faultpoint.Hook{Decide: func(int64) bool {
+		epochAtDrain.Store(d.global.Load())
+		return false
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Advance() {
+		t.Fatal("draining advance failed")
+	}
+	if got := len(freed()); got != 1 {
+		t.Fatalf("freed %d items; want 1", got)
+	}
+	if e := epochAtDrain.Load(); e != 2 {
+		t.Fatalf("bucket privatized at global epoch %d; want 2 (drain must precede publish)", e)
+	}
+}
+
+// TestLateRetireNotFreedByInFlightAdvance parks an advance mid-drain and
+// retires a resource into the domain: the late retirement must land in
+// the current epoch's bucket, not the one being drained, and must only
+// be freed after a full grace cycle.
+func TestLateRetireNotFreedByInFlightAdvance(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	d, freed := collectDomain()
+	d.Retire(Retired{Val: 1}, 8) // epoch 0 → bucket 0
+	if !d.Advance() || !d.Advance() {
+		t.Fatal("setup advances failed")
+	}
+	gate := faultpoint.NewGate()
+	if err := faultpoint.Arm("epoch/drain", gate.Hook(1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	go func() { done <- d.Advance() }()
+	if !gate.WaitArrival(5 * time.Second) {
+		t.Fatal("advance never reached the drain point")
+	}
+	d.Retire(Retired{Val: 2}, 8) // races the in-flight advance
+	gate.Open()
+	if !<-done {
+		t.Fatal("paused advance failed")
+	}
+	f := freed()
+	if len(f) != 1 || f[0].Val != 1 {
+		t.Fatalf("freed = %+v; want only the epoch-0 item", f)
+	}
+	faultpoint.DisarmAll()
+	if !d.Quiesce() {
+		t.Fatal("quiesce failed")
+	}
+	if got := len(freed()); got != 2 {
+		t.Fatalf("freed %d items after quiesce; want 2", got)
+	}
+}
+
+// TestPinOverflowWhenSlotsExhausted exhausts every announcement slot and
+// checks that further pins land in the overflow counters — still
+// blocking reclamation of their epoch — instead of waiting for a slot.
+func TestPinOverflowWhenSlotsExhausted(t *testing.T) {
+	d, freed := collectDomain()
+	const extra = 4
+	guards := make([]Guard, slotCount+extra)
+	for i := range guards {
+		guards[i] = d.Pin()
+	}
+	over := 0
+	for _, g := range guards {
+		if g.s == nil {
+			over++
+		}
+	}
+	if over != extra {
+		t.Fatalf("%d overflow pins; want %d", over, extra)
+	}
+	if st := d.Stats(); st.Pinned != slotCount+extra {
+		t.Fatalf("Pinned = %d; want %d", st.Pinned, slotCount+extra)
+	}
+	d.Retire(Retired{Val: 9}, 8)
+	d.TryAdvance() // 0→1 may succeed: every reader is at the current epoch
+	for i := 0; i < 3; i++ {
+		if d.TryAdvance() {
+			t.Fatalf("advance %d succeeded past overflow readers pinned at epoch 0", i)
+		}
+	}
+	if got := len(freed()); got != 0 {
+		t.Fatalf("freed %d items under overflow pins", got)
+	}
+	for _, g := range guards {
+		g.Unpin()
+	}
+	if st := d.Stats(); st.Pinned != 0 {
+		t.Fatalf("Pinned = %d after unpin; want 0", st.Pinned)
+	}
+	if !d.Quiesce() {
+		t.Fatal("quiesce failed after unpinning")
+	}
+	if got := len(freed()); got != 1 {
+		t.Fatalf("freed %d items after quiesce; want 1", got)
+	}
+}
+
+// TestNestedPinsBeyondSlotCapacity is the hold-and-wait regression: more
+// goroutines than slots each hold one pin and then take a nested one.
+// With a blocking slot acquisition this deadlocked permanently (every
+// goroutine holds a slot while waiting for another to free one); the
+// overflow path must let every nested pin through.
+func TestNestedPinsBeyondSlotCapacity(t *testing.T) {
+	d, _ := collectDomain()
+	const n = slotCount + 8
+	var ready, done sync.WaitGroup
+	ready.Add(n)
+	done.Add(n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			g1 := d.Pin()
+			ready.Done()
+			<-start // all n outer pins are held before any nested pin
+			g2 := d.Pin()
+			g2.Unpin()
+			g1.Unpin()
+		}()
+	}
+	ready.Wait()
+	close(start)
+	done.Wait()
+	if st := d.Stats(); st.Pinned != 0 {
+		t.Fatalf("Pinned = %d after all unpins; want 0", st.Pinned)
 	}
 }
 
