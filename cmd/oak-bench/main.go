@@ -45,6 +45,7 @@ type options struct {
 	zipf       float64
 	btree      bool
 	latency    bool
+	tel        *oakmap.Telemetry
 }
 
 func parseIntList(s string) ([]int, error) {
@@ -79,6 +80,7 @@ func main() {
 		plotFlag      = flag.String("plotdata", "", "write per-scenario gnuplot .dat files to this directory")
 		latencyFlag   = flag.Bool("latency", false, "sample op latencies and report P50/P99/P99.9/max (Fig. 4 scenarios)")
 		zipfFlag      = flag.Float64("zipf", 0, "Zipf skew for key sampling (>1 enables; 0 = uniform)")
+		telFlag       = flag.Bool("telemetry", false, "attach the telemetry layer to the Oak targets and print its op-latency summary at exit")
 	)
 	flag.Parse()
 
@@ -101,6 +103,9 @@ func main() {
 		sizes: sizes, out: *outFlag, blockSize: *blockFlag,
 		iterations: *iterFlag, zipf: *zipfFlag, btree: *btreeFlag,
 		latency: *latencyFlag,
+	}
+	if *telFlag {
+		opt.tel = oakmap.NewTelemetry(nil)
 	}
 	for _, m := range memsMiB {
 		opt.memLimits = append(opt.memLimits, int64(m)<<20)
@@ -146,13 +151,19 @@ func main() {
 		}
 		log.Printf("wrote plot data to %s/", *plotFlag)
 	}
+	if opt.tel != nil {
+		// Aggregated across every Oak target the sweep constructed; the
+		// summary separates op classes, not targets.
+		fmt.Printf("\ntelemetry op latency (sampled, all Oak targets):\n%s", opt.tel.Summary())
+		fmt.Printf("flight recorder events: %d\n", opt.tel.EventCount())
+	}
 	_ = bench.Sink()
 }
 
 // newTargets builds one fresh instance of each compared solution. Fresh
 // pools per target keep Fig. 3's memory accounting honest.
 func newTargets(opt options, includeCopy bool) []bench.Target {
-	oakOpts := &oakmap.Options{BlockSize: opt.blockSize}
+	oakOpts := &oakmap.Options{BlockSize: opt.blockSize, Telemetry: opt.tel}
 	ts := []bench.Target{
 		bench.NewOak(oakOpts, false),
 	}

@@ -9,6 +9,13 @@
 //	oak-stress -duration 30s -workers 8 -keys 100000
 //	oak-stress -reclaim-headers -chunk 128   # stress the epoch extension
 //	oak-stress -faults -seed 7               # with fault injection armed
+//	oak-stress -metrics :9090 -progress 5s   # live Prometheus /metrics + stderr summaries
+//
+// With -metrics, a Prometheus text endpoint is served at /metrics and
+// the expvar JSON snapshot at /debug/vars; -progress prints a periodic
+// per-op latency table to stderr. Either flag enables the telemetry
+// layer (op histograms, structural gauges, and the flight recorder,
+// whose tail is dumped at shutdown).
 //
 // With -faults, the named fault-injection points (internal/faultpoint)
 // fire with seeded probability: allocation failures surface as tolerated
@@ -20,10 +27,12 @@ package main
 import (
 	"encoding/binary"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -81,8 +90,15 @@ func main() {
 		faults    = flag.Bool("faults", false, "arm the fault-injection points")
 		faultProb = flag.Float64("fault-prob", 0.005, "per-hit firing probability for branch faults")
 		seed      = flag.Uint64("seed", 1, "PRNG seed for fault firing (reproducibility)")
+		metrics   = flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (enables telemetry)")
+		progress  = flag.Duration("progress", 0, "print a periodic telemetry summary to stderr (enables telemetry)")
 	)
 	flag.Parse()
+
+	var tel *oakmap.Telemetry
+	if *metrics != "" || *progress > 0 {
+		tel = oakmap.NewTelemetry(nil)
+	}
 
 	m := oakmap.New[uint64, []byte](oakmap.Uint64Serializer{}, oakmap.BytesSerializer{},
 		&oakmap.Options{
@@ -90,9 +106,25 @@ func main() {
 			BlockSize:         16 << 20,
 			ReclaimHeaders:    *reclaimH,
 			DisableKeyReclaim: *noRecK,
+			Telemetry:         tel,
 		})
 	defer m.Close()
 	zc := m.ZC()
+
+	if *metrics != "" {
+		tel.PublishExpvar("oak")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", tel.MetricsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		srv := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("metrics server: %v", err)
+			}
+		}()
+		defer srv.Close()
+		log.Printf("serving /metrics and /debug/vars on %s", *metrics)
+	}
 
 	// Residents: keys 0, 10, 20, ... stay in the map for the whole run;
 	// every validation pass must see each exactly once, in order.
@@ -214,6 +246,28 @@ func main() {
 		}
 	}()
 
+	if *progress > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(*progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					s := m.Stats()
+					log.Printf("len=%d chunks=%d rebalances=%d epoch=%d limbo=%d/%dB frag=%.3f",
+						s.Len, s.Chunks, s.Rebalances, s.Epoch, s.LimboItems, s.LimboBytes, s.Fragmentation)
+					if t := tel.Summary(); t != "" {
+						fmt.Fprint(os.Stderr, t)
+					}
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	time.Sleep(*duration)
 	close(stop)
@@ -261,6 +315,18 @@ func main() {
 		s.Epoch, s.PinnedReaders, s.LimboItems, s.LimboBytes, s.KeyLeakBytes)
 	if *faults {
 		printFaultCounters()
+	}
+	if tel != nil {
+		fmt.Printf("  op latency (sampled):\n%s", tel.Summary())
+		evs := tel.DumpEvents()
+		const tail = 10
+		if len(evs) > tail {
+			evs = evs[len(evs)-tail:]
+		}
+		fmt.Printf("  flight recorder (last %d of %d events):\n", len(evs), tel.EventCount())
+		for _, ev := range evs {
+			fmt.Printf("    %s\n", ev)
+		}
 	}
 	if viol.total() > 0 {
 		fmt.Printf("violations (%d total, first %d with context):\n", viol.total(), len(viol.msgs))

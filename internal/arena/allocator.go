@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"oakmap/internal/faultpoint"
+	"oakmap/internal/telemetry"
 )
 
 // Allocation errors.
@@ -138,9 +139,18 @@ type Allocator struct {
 	// being freed immediately (epoch-based deferred reclamation).
 	reclaimer atomic.Pointer[reclaimerBox]
 
-	allocated atomic.Int64 // live bytes handed out
-	freed     atomic.Int64 // bytes returned via Free
-	requests  atomic.Int64 // number of Alloc calls
+	// Accounting counters are sharded (telemetry.Counter): every worker
+	// bumps them on every Alloc/Free, and the old single atomic words
+	// were the allocator's last all-threads shared cache lines. Reads
+	// (Stats, LiveBytes) merge the stripes — a weak snapshot, fine for
+	// accounting.
+	allocated telemetry.Counter // live bytes handed out
+	freed     telemetry.Counter // bytes returned via Free
+	requests  telemetry.Counter // number of Alloc calls
+
+	// tel, when set, receives block-grow/class-migrate events and
+	// Compact/rescue durations.
+	tel atomic.Pointer[telemetry.Recorder]
 }
 
 // NewAllocator creates an allocator drawing from pool, in ModeSizeClass.
@@ -150,6 +160,14 @@ func NewAllocator(pool *Pool) *Allocator {
 
 // loadMode returns the current strategy.
 func (a *Allocator) loadMode() Mode { return Mode(a.modeWord.Load()) }
+
+// SetTelemetry attaches a recorder: block growth and free-list class
+// migrations become flight-recorder events, Compact and the rescue path
+// are timed. Safe to call concurrently with live operations; nil
+// detaches.
+func (a *Allocator) SetTelemetry(r *telemetry.Recorder) {
+	a.tel.Store(r)
+}
 
 // SetMode switches the free-space strategy, migrating any parked spans
 // into the new structure (dropping them for ModeBump). Intended for
@@ -262,7 +280,10 @@ func (a *Allocator) Alloc(n int) (Ref, error) {
 			if !rescued && a.loadMode() == ModeSizeClass {
 				rescued = true
 				a.bumpMu.Unlock()
-				if ref, ok := a.rescueAlloc(n, rounded); ok {
+				tick := a.tel.Load().Span(telemetry.OpArenaRescue)
+				ref, ok := a.rescueAlloc(n, rounded)
+				tick.Done()
+				if ok {
 					a.allocated.Add(int64(rounded))
 					return ref, nil
 				}
@@ -311,6 +332,7 @@ func (a *Allocator) growLocked() error {
 	a.numBlocks.Store(int32(idx + 1))
 	a.cur = idx
 	a.top = 0
+	a.tel.Load().Event(telemetry.EvBlockGrow, uint64(idx+1), uint64(a.pool.blockSize), 0)
 	return nil
 }
 
@@ -491,6 +513,8 @@ func (a *Allocator) Compact() int {
 	if mode == ModeBump || a.closed.Load() {
 		return 0
 	}
+	tick := a.tel.Load().Span(telemetry.OpArenaCompact)
+	defer tick.Done()
 	spans := a.drainAll()
 	if len(spans) == 0 {
 		return 0

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"oakmap/internal/telemetry"
 )
 
 // DefaultBlockSize matches the paper's default arena size of 100 MB.
@@ -36,6 +38,15 @@ type Pool struct {
 	loaned   atomic.Int64 // blocks currently held by allocators
 	capacity atomic.Int64 // total bytes in existence (free + loaned)
 	dropped  atomic.Int64 // blocks released past the retention cap
+
+	// tel, when set, receives block retain/drop flight-recorder events.
+	tel atomic.Pointer[telemetry.Recorder]
+}
+
+// SetTelemetry attaches a recorder for block retain/drop events. Safe
+// to call concurrently; nil detaches.
+func (p *Pool) SetTelemetry(r *telemetry.Recorder) {
+	p.tel.Store(r)
 }
 
 // NewPool creates a pool producing blocks of blockSize bytes. maxBytes
@@ -105,13 +116,17 @@ func (p *Pool) release(b *block) {
 	p.loaned.Add(-1)
 	p.mu.Lock()
 	if p.maxRetained >= 0 && len(p.free) >= p.maxRetained {
+		retained := len(p.free)
 		p.mu.Unlock()
 		p.capacity.Add(-int64(p.blockSize))
 		p.dropped.Add(1)
+		p.tel.Load().Event(telemetry.EvBlockDrop, uint64(retained), 0, 0)
 		return
 	}
 	p.free = append(p.free, b)
+	retained := len(p.free)
 	p.mu.Unlock()
+	p.tel.Load().Event(telemetry.EvBlockRetain, uint64(retained), 0, 0)
 }
 
 // Stats reports pool-level accounting.

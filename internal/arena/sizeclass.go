@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+
+	"oakmap/internal/telemetry"
 )
 
 // Size-class layout (ModeSizeClass, the default). Classes are powers of
@@ -107,6 +109,16 @@ func (a *Allocator) reinsert(s span) {
 	}
 }
 
+// migrateSpan parks a span that is changing lists — a split remainder
+// re-parked after a pop, or a large tail carved below largeMin — firing
+// the fault point and the flight-recorder event that track free-list
+// class migrations.
+func (a *Allocator) migrateSpan(s span) {
+	FpClassMigrate.Fire()
+	a.tel.Load().Event(telemetry.EvClassMigrate, uint64(s.length), 0, 0)
+	a.reinsert(s)
+}
+
 // classAlloc serves a request of rounded size ≤ maxClassSize from the
 // segregated classes: pop from the smallest non-empty class that
 // guarantees a fit, carve the head, and route the remainder back. The
@@ -137,8 +149,7 @@ func (a *Allocator) classAlloc(n, rounded int) (Ref, bool) {
 		cl.mu.Unlock()
 		a.dbg.noteAlloc(s.block, s.offset, rounded)
 		if rest := s.length - rounded; rest >= 8 {
-			FpClassMigrate.Fire()
-			a.reinsert(span{block: s.block, offset: s.offset + rounded, length: rest})
+			a.migrateSpan(span{block: s.block, offset: s.offset + rounded, length: rest})
 		}
 		return MakeRef(s.block, s.offset, n), true
 	}
@@ -223,8 +234,9 @@ func (a *Allocator) largeAlloc(n, rounded int) (Ref, bool) {
 		a.largeMu.Unlock()
 		a.dbg.noteAlloc(s.block, s.offset, rounded)
 		if migrate.length > 0 {
-			FpClassMigrate.Fire()
-			a.classPush(migrate)
+			// migrate.length < largeMin, so migrateSpan's reinsert is the
+			// same classPush this site always performed.
+			a.migrateSpan(migrate)
 		}
 		return MakeRef(s.block, s.offset, n), true
 	}
@@ -295,8 +307,7 @@ func (a *Allocator) classScan(n, rounded int) (Ref, bool) {
 		cl.mu.Unlock()
 		a.dbg.noteAlloc(s.block, s.offset, rounded)
 		if rest := s.length - rounded; rest >= 8 {
-			FpClassMigrate.Fire()
-			a.reinsert(span{block: s.block, offset: s.offset + rounded, length: rest})
+			a.migrateSpan(span{block: s.block, offset: s.offset + rounded, length: rest})
 		}
 		return MakeRef(s.block, s.offset, n), true
 	}

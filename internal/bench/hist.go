@@ -1,119 +1,10 @@
 package bench
 
-import (
-	"math"
-	"sync"
-	"time"
-)
+import "oakmap/internal/telemetry"
 
-// Histogram is a lock-cheap log-bucketed latency histogram used to
-// quantify the paper's §1 motivation — GC-induced "unpredictable
-// performance" — as tail percentiles. Buckets grow geometrically from
-// 100ns to ~100s (2 buckets per octave), giving ≤~41% relative error at
-// the tails, plenty for GC-pause-sized effects.
-type Histogram struct {
-	mu      sync.Mutex
-	buckets [64]uint64
-	count   uint64
-	min     time.Duration
-	max     time.Duration
-}
-
-const histBase = 100 * time.Nanosecond
-
-// bucketOf maps a duration to its bucket index.
-func bucketOf(d time.Duration) int {
-	if d <= histBase {
-		return 0
-	}
-	b := int(math.Log2(float64(d)/float64(histBase)) * 2)
-	if b < 0 {
-		b = 0
-	}
-	if b >= len(Histogram{}.buckets) {
-		b = len(Histogram{}.buckets) - 1
-	}
-	return b
-}
-
-// bucketUpper returns the representative upper bound of bucket i.
-func bucketUpper(i int) time.Duration {
-	return time.Duration(float64(histBase) * math.Pow(2, float64(i+1)/2))
-}
-
-// Record adds one observation.
-func (h *Histogram) Record(d time.Duration) {
-	h.mu.Lock()
-	h.buckets[bucketOf(d)]++
-	h.count++
-	if h.count == 1 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
-	h.mu.Unlock()
-}
-
-// Merge folds other into h.
-func (h *Histogram) Merge(other *Histogram) {
-	other.mu.Lock()
-	defer other.mu.Unlock()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for i, c := range other.buckets {
-		h.buckets[i] += c
-	}
-	if other.count > 0 {
-		if h.count == 0 || other.min < h.min {
-			h.min = other.min
-		}
-		if other.max > h.max {
-			h.max = other.max
-		}
-	}
-	h.count += other.count
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
-
-// Quantile returns an upper-bound estimate of the q-quantile (q in
-// [0,1]).
-func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return h.min
-	}
-	if q >= 1 {
-		return h.max
-	}
-	target := uint64(q * float64(h.count))
-	var cum uint64
-	for i, c := range h.buckets {
-		cum += c
-		if cum > target {
-			u := bucketUpper(i)
-			if u > h.max {
-				u = h.max
-			}
-			return u
-		}
-	}
-	return h.max
-}
-
-// Max returns the largest observation.
-func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+// Histogram was promoted to internal/telemetry so the bench harness and
+// the always-on telemetry layer share one bucket layout (100ns base,
+// 2 buckets/octave, 64 buckets). The alias keeps every existing bench
+// call site — Record/Merge/Count/Quantile/Max — and the CSV/table
+// output byte-identical.
+type Histogram = telemetry.Histogram

@@ -1,6 +1,9 @@
 package core
 
-import "oakmap/internal/chunk"
+import (
+	"oakmap/internal/chunk"
+	"oakmap/internal/telemetry"
+)
 
 // Cursor is a pull-based scan over the map — the engine behind the
 // facade's iterator Sets (§2.2). Unlike the callback scans (Ascend /
@@ -100,6 +103,8 @@ func (cur *Cursor) Next() (keyRef uint64, h ValueHandle, ok bool) {
 	if cur.done {
 		return 0, 0, false
 	}
+	tk := cur.m.tel.Op(telemetry.OpScanNext)
+	defer tk.Done()
 	g := cur.m.reclaim.Pin()
 	defer g.Unpin()
 	if cur.c.ReplacedBy() != nil {

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"oakmap/internal/chunk"
+	"oakmap/internal/telemetry"
 )
 
 // EntryFunc receives a scanned entry: the key's packed reference and the
@@ -10,12 +13,43 @@ import (
 // is non-atomic (§1.1).
 type EntryFunc func(keyRef uint64, h ValueHandle) bool
 
+// wrapYield instruments a callback scan: every yielded entry counts as
+// one scan-Next op, and on the sampled subset the step latency — the
+// map's work between the previous yield returning and the next entry
+// being produced, excluding the user callback itself — is recorded.
+// With telemetry disabled the yield is returned untouched, so scans pay
+// nothing.
+func (m *Map) wrapYield(yield EntryFunc) EntryFunc {
+	r := m.tel
+	if r == nil {
+		return yield
+	}
+	var n uint64
+	var armed bool
+	var from time.Time
+	return func(kr uint64, h ValueHandle) bool {
+		if armed {
+			r.Observe(telemetry.OpScanNext, time.Since(from))
+			armed = false
+		}
+		r.Count(telemetry.OpScanNext)
+		n++
+		ok := yield(kr, h)
+		if r.Sampled(n) {
+			from = time.Now()
+			armed = true
+		}
+		return ok
+	}
+}
+
 // Ascend scans entries with lo ≤ key < hi in ascending order (nil bounds
 // are open). It traverses each chunk's entries linked list and hops to
 // the next chunk (§4.2). RB1/RB2 hold: keys present for the scan's whole
 // duration are reported exactly once; concurrently mutated keys may or
 // may not appear.
 func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
+	yield = m.wrapYield(yield)
 	// The scan pins the epoch per chunk, not for its whole duration:
 	// chunk pointers and keys stay valid while pinned, and at each chunk
 	// boundary the pin is cycled and the scan re-enters at the last
@@ -102,6 +136,7 @@ func (m *Map) Ascend(lo, hi []byte, yield EntryFunc) {
 // chunk-local stack iterator (§4.2, Fig. 2), issuing only one chunk
 // lookup per exhausted chunk rather than one per key.
 func (m *Map) Descend(lo, hi []byte, yield EntryFunc) {
+	yield = m.wrapYield(yield)
 	// As in Ascend, the pin is cycled at each chunk boundary so a long
 	// descending scan stalls reclamation by at most one chunk. The bound
 	// is an owned copy by the time the pin drops, and prevChunk re-enters
@@ -156,6 +191,7 @@ func (m *Map) Descend(lo, hi []byte, yield EntryFunc) {
 // under its own short epoch pin — also the skiplist way — so the
 // baseline neither holds a scan-long pin nor doubles up pins per step.
 func (m *Map) DescendNaive(lo, hi []byte, yield EntryFunc) {
+	yield = m.wrapYield(yield)
 	bound := hi
 	var buf []byte
 	for {

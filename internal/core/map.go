@@ -19,6 +19,7 @@ import (
 	"oakmap/internal/chunk"
 	"oakmap/internal/epoch"
 	"oakmap/internal/skiplist"
+	"oakmap/internal/telemetry"
 	"oakmap/internal/vheader"
 )
 
@@ -69,6 +70,11 @@ type Options struct {
 	// their space is reused after the grace period; with this option
 	// set they are retained forever and accounted in KeyLeakBytes.
 	DisableKeyReclaim bool
+	// Telemetry, when non-nil, receives op-latency samples, structural
+	// events, and span timings from the map and its allocator/epoch
+	// domain. Nil (the default) disables all recording; the residual
+	// cost is a nil check per instrumented site.
+	Telemetry *telemetry.Recorder
 }
 
 func (o *Options) withDefaults() Options {
@@ -100,11 +106,18 @@ type Map struct {
 	reclaim *epoch.Domain
 	index   *skiplist.List[*chunk.Chunk]
 	head    atomic.Pointer[chunk.Chunk]
-	size    atomic.Int64
 	closed  atomic.Bool
 
-	rebalances atomic.Int64 // total rebalance operations performed
-	keyLeak    atomic.Int64 // bytes of dead keys not reclaimed
+	// tel is the optional telemetry recorder (nil = disabled); set once
+	// at construction, so instrumented paths read it without atomics.
+	tel *telemetry.Recorder
+
+	// size/rebalances/keyLeak are sharded counters: size moves on every
+	// put/remove from every worker, and a single atomic word was the
+	// map's hottest shared cache line after the chunk metadata itself.
+	size       telemetry.Counter
+	rebalances telemetry.Counter // total rebalance operations performed
+	keyLeak    telemetry.Counter // bytes of dead keys not reclaimed
 }
 
 // Retired-resource kinds routed through the epoch domain.
@@ -128,7 +141,9 @@ func New(o *Options) *Map {
 		alloc:   arena.NewAllocator(opts.Pool),
 		headers: headers,
 		index:   skiplist.New[*chunk.Chunk](skiplist.Comparator(opts.Comparator)),
+		tel:     opts.Telemetry,
 	}
+	m.alloc.SetTelemetry(opts.Telemetry)
 	m.reclaim = epoch.NewDomain(func(items []epoch.Retired) {
 		for _, r := range items {
 			switch r.Kind {
@@ -139,6 +154,7 @@ func New(o *Options) *Map {
 			}
 		}
 	})
+	m.reclaim.SetTelemetry(opts.Telemetry)
 	m.alloc.SetReclaimer(spanRetirer{d: m.reclaim})
 	if opts.DisableFirstFit {
 		m.alloc.SetMode(arena.ModeBump)

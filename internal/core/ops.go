@@ -3,6 +3,7 @@ package core
 import (
 	"oakmap/internal/chunk"
 	"oakmap/internal/faultpoint"
+	"oakmap/internal/telemetry"
 )
 
 // fpPutRace is hit after doPut observes a live value and before it acts
@@ -18,6 +19,8 @@ var fpPutRace = faultpoint.New("core/put-race")
 // dereference off-heap key bytes that a concurrent rebalance may have
 // retired.
 func (m *Map) Get(key []byte) (ValueHandle, bool) {
+	tk := m.tel.Op(telemetry.OpGet)
+	defer tk.Done()
 	g := m.reclaim.Pin()
 	defer g.Unpin()
 	return m.getPinned(key)
@@ -93,6 +96,12 @@ func (m *Map) doPut(key []byte, vw ValueWriter, f func(*WBuffer) error, op opKin
 	if m.closed.Load() {
 		return false, ErrClosed
 	}
+	top := telemetry.OpPut
+	if op == opPutIfAbsentComputeIfPresent {
+		top = telemetry.OpCompute
+	}
+	tk := m.tel.Op(top)
+	defer tk.Done()
 	var keyRef uint64 // allocated at most once across retries
 	// If the key allocation ends up unused on any exit path (the entry
 	// linking raced with another insert of the same key, or an error
@@ -271,6 +280,12 @@ func (m *Map) doIfPresent(key []byte, f func(*WBuffer) error, op nonInsertOp) (b
 	if m.closed.Load() {
 		return false, ErrClosed
 	}
+	top := telemetry.OpRemove
+	if op == opCompute {
+		top = telemetry.OpCompute
+	}
+	tk := m.tel.Op(top)
+	defer tk.Done()
 	for attempt := 0; ; attempt++ {
 		retryPause(attempt)
 		out, err := m.ifPresentAttempt(key, f, op)

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
+
 	"oakmap/internal/arena"
 	"oakmap/internal/chunk"
 	"oakmap/internal/faultpoint"
+	"oakmap/internal/telemetry"
 )
 
 // Fault-injection pause points marking the rebalance danger windows
@@ -139,7 +143,29 @@ func (m *Map) rebalance(c *chunk.Chunk) {
 }
 
 // rebalanceLocked performs steps 2–5 with pred (optional) and c locked.
+// With telemetry attached it wraps the work in an OpRebalance span,
+// begin/end flight-recorder events, and a pprof label so CPU profiles
+// attribute rebalance work to the background activity rather than to
+// whichever operation tripped the trigger.
 func (m *Map) rebalanceLocked(pred, c *chunk.Chunk) {
+	if m.tel == nil {
+		m.rebalanceBody(pred, c)
+		return
+	}
+	tick := m.tel.Span(telemetry.OpRebalance)
+	m.tel.Event(telemetry.EvRebalanceBegin, uint64(c.Live()), 0, 0)
+	var retired, produced, migrated int
+	pprof.Do(context.Background(), pprof.Labels("oak", "rebalance"), func(context.Context) {
+		retired, produced, migrated = m.rebalanceBody(pred, c)
+	})
+	tick.Done()
+	m.tel.Event(telemetry.EvRebalanceEnd, uint64(retired), uint64(produced), uint64(migrated))
+}
+
+// rebalanceBody is rebalanceLocked's uninstrumented work; it reports
+// the chunks retired, the chunks produced, and the live entries
+// migrated into the replacement chain.
+func (m *Map) rebalanceBody(pred, c *chunk.Chunk) (retired, produced, migrated int) {
 	m.rebalances.Add(1)
 
 	c.Freeze()
@@ -264,6 +290,11 @@ func (m *Map) rebalanceLocked(pred, c *chunk.Chunk) {
 		}
 	}
 	m.alloc.Compact()
+	retired = 1
+	if second != nil {
+		retired = 2
+	}
+	return retired, len(outs), len(live)
 }
 
 // freeKey returns a key's off-heap space to the allocator immediately

@@ -26,12 +26,15 @@
 package epoch
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 
 	"oakmap/internal/faultpoint"
+	"oakmap/internal/telemetry"
 )
 
 // Fault-injection points on the reclamation engine (no-ops unless a
@@ -136,8 +139,20 @@ type Domain struct {
 	free      func([]Retired)
 	threshold atomic.Int64
 
-	advances atomic.Int64
-	drains   atomic.Int64
+	// advances/drains are sharded: Retire-triggered TryAdvance calls
+	// bump them from many goroutines, and the read side (Stats) is cold.
+	advances telemetry.Counter
+	drains   telemetry.Counter
+	// slotOverflows counts pins that found every slot taken — the §6
+	// tail contributor the telemetry layer surfaces: sustained overflow
+	// means more concurrent readers than slots, and each one both pays
+	// the shared-cache-line cold path and can stall advances one epoch
+	// sooner than a slotted reader would.
+	slotOverflows telemetry.Counter
+
+	// tel, when set, receives advance/drain durations and structural
+	// events. Atomic so SetTelemetry may race with live operations.
+	tel atomic.Pointer[telemetry.Recorder]
 }
 
 // NewDomain creates a domain whose drained resources are handed to
@@ -146,6 +161,14 @@ func NewDomain(free func([]Retired)) *Domain {
 	d := &Domain{free: free}
 	d.threshold.Store(DefaultLimboThreshold)
 	return d
+}
+
+// SetTelemetry attaches a recorder: epoch advances and limbo drains are
+// timed into it (OpEpochAdvance/OpEpochDrain) and emitted as flight-
+// recorder events. Safe to call concurrently with live operations; a
+// nil recorder detaches.
+func (d *Domain) SetTelemetry(r *telemetry.Recorder) {
+	d.tel.Store(r)
 }
 
 // SetLimboThreshold overrides the retired-item count at which Retire
@@ -236,6 +259,7 @@ func (d *Domain) pinOverflow() Guard {
 		b := &d.overflow[e%buckets]
 		b.Add(1)
 		if d.global.Load() == e {
+			d.slotOverflows.Inc()
 			return Guard{d: d, e: e}
 		}
 		b.Add(-1)
@@ -305,6 +329,8 @@ func (d *Domain) advanceLocked() bool {
 		}
 	}
 	FpAdvance.Fire()
+	r := d.tel.Load()
+	tick := r.Span(telemetry.OpEpochAdvance)
 	// Bucket (e+1) mod 3 holds retirements from epoch e-2, whose grace
 	// period elapses with this advance. It MUST be drained before the
 	// CAS publishes e+1: while the global still reads e, a concurrent
@@ -315,7 +341,9 @@ func (d *Domain) advanceLocked() bool {
 	// while readers pinned at e may still hold references to it.
 	d.drainBucket(int((e + 1) % buckets))
 	d.global.CompareAndSwap(e, e+1)
-	d.advances.Add(1)
+	d.advances.Inc()
+	tick.Done()
+	r.Event(telemetry.EvEpochAdvance, e+1, 0, 0)
 	return true
 }
 
@@ -323,6 +351,7 @@ func (d *Domain) drainBucket(i int) {
 	b := &d.limbo[i]
 	b.mu.Lock()
 	items := b.items
+	bytes := b.bytes
 	b.items, b.bytes = nil, 0
 	b.mu.Unlock()
 	if len(items) == 0 {
@@ -330,8 +359,21 @@ func (d *Domain) drainBucket(i int) {
 	}
 	FpDrain.Fire()
 	d.count.Add(int64(-len(items)))
-	d.drains.Add(1)
-	d.free(items)
+	d.drains.Inc()
+	r := d.tel.Load()
+	tick := r.Span(telemetry.OpEpochDrain)
+	if r != nil {
+		// The pprof label attributes the free callback's CPU (arena
+		// frees, header recycles) to reclamation in profiles instead of
+		// smearing it over whichever map operation tripped the advance.
+		pprof.Do(context.Background(), pprof.Labels("oak", "epoch-drain"), func(context.Context) {
+			d.free(items)
+		})
+	} else {
+		d.free(items)
+	}
+	tick.Done()
+	r.Event(telemetry.EvLimboDrain, uint64(len(items)), uint64(bytes), 0)
 }
 
 // Quiesce drains every limbo bucket by advancing through a full epoch
@@ -357,14 +399,19 @@ type Stats struct {
 	LimboBytes int64  // accounted bytes of those resources
 	Advances   int64  // successful epoch advances
 	Drains     int64  // non-empty bucket drains
+	// SlotOverflows counts pins that overflowed the slot array (more
+	// concurrent readers than slotCount): each pays the shared-counter
+	// cold path and may stall advances one epoch sooner.
+	SlotOverflows int64
 }
 
 // Stats returns a snapshot (the slot scan makes it O(slotCount)).
 func (d *Domain) Stats() Stats {
 	st := Stats{
-		Epoch:    d.global.Load(),
-		Advances: d.advances.Load(),
-		Drains:   d.drains.Load(),
+		Epoch:         d.global.Load(),
+		Advances:      d.advances.Load(),
+		Drains:        d.drains.Load(),
+		SlotOverflows: d.slotOverflows.Load(),
 	}
 	for i := range d.slots {
 		if d.slots[i].word.Load() != 0 {

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingWraparound fills a ring far past its capacity and checks that
+// Dump returns exactly the newest `size` events, oldest first, with
+// gap-free sequence numbers and intact payloads.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(16)
+	const total = 100
+	for i := uint64(1); i <= total; i++ {
+		r.Append(EvEpochAdvance, i, i*2, i*3)
+	}
+	evs := r.Dump()
+	if len(evs) != 16 {
+		t.Fatalf("dump returned %d events, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - 16 + 1 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.A != wantSeq || ev.B != wantSeq*2 || ev.C != wantSeq*3 {
+			t.Fatalf("event %d torn: %+v", i, ev)
+		}
+		if ev.Kind != EvEpochAdvance {
+			t.Fatalf("event %d kind %v", i, ev.Kind)
+		}
+	}
+	if r.Seq() != total {
+		t.Fatalf("Seq = %d, want %d", r.Seq(), total)
+	}
+}
+
+// TestRingSizeRounding: capacities round up to a power of two, min 8.
+func TestRingSizeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 8}, {1, 8}, {8, 8}, {9, 16}, {1000, 1024}, {1024, 1024},
+	} {
+		r := NewRing(tc.in)
+		if got := int(r.mask + 1); got != tc.want {
+			t.Fatalf("NewRing(%d) size %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRingConcurrentDump hammers a small ring from many writers while
+// readers dump continuously. Every event a dump returns must be
+// internally consistent (payload derived from its seq) and in strictly
+// increasing seq order — lapped or in-flight cells are skipped, never
+// returned torn.
+func TestRingConcurrentDump(t *testing.T) {
+	r := NewRing(32)
+	const (
+		writers = 8
+		perG    = 5_000
+		readers = 4
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := r.Dump()
+				var lastSeq uint64
+				for _, ev := range evs {
+					if ev.Seq <= lastSeq {
+						t.Errorf("dump out of order: %d after %d", ev.Seq, lastSeq)
+						return
+					}
+					lastSeq = ev.Seq
+					if ev.A != ev.Seq || ev.B != ev.Seq*2 || ev.C != ev.Seq^0xdead {
+						t.Errorf("torn event: %+v", ev)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var wwg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for i := 0; i < perG; i++ {
+				// Payload is a pure function of the ticket the writer will
+				// draw — but the ticket isn't known before Append. Instead
+				// derive it inside Append's contract: every writer stores
+				// a=seq via a second Append wrapper below.
+				appendSeqDerived(r)
+			}
+		}()
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if r.Seq() != writers*perG {
+		t.Fatalf("Seq = %d, want %d", r.Seq(), writers*perG)
+	}
+	// Quiesced dump: all 32 cells published, none skipped.
+	evs := r.Dump()
+	if len(evs) != 32 {
+		t.Fatalf("quiesced dump returned %d events, want 32", len(evs))
+	}
+}
+
+// appendSeqDerived appends an event whose payload encodes its own
+// sequence number, so concurrent dumps can verify integrity. It mirrors
+// Ring.Append but derives a/b/c from the drawn ticket.
+func appendSeqDerived(r *Ring) {
+	t := r.next.Add(1)
+	cl := &r.cells[(t-1)&r.mask]
+	cl.marker.Store(t<<1 | 1)
+	cl.timeNs.Store(int64(t))
+	cl.kind.Store(uint32(EvLimboDrain))
+	cl.a.Store(t)
+	cl.b.Store(t * 2)
+	cl.c.Store(t ^ 0xdead)
+	cl.marker.Store(t << 1)
+}

@@ -2,6 +2,8 @@ package vheader
 
 import (
 	"sync/atomic"
+
+	"oakmap/internal/telemetry"
 )
 
 // HeaderTable abstracts the two header-lifetime policies:
@@ -84,8 +86,13 @@ type ReclaimingTable struct {
 	// under the surrounding retry structure.
 	freeHead atomic.Uint64
 
-	released atomic.Int64 // successful releases (observability)
-	reused   atomic.Int64 // allocations served from the free list
+	// Observability counters, sharded: every worker on a delete-heavy
+	// workload bumps them (Release on every remove, the reuse branch on
+	// every recycled Alloc), so single atomic words would be the table's
+	// only all-threads shared write traffic besides the free stack
+	// itself.
+	released telemetry.Counter // successful releases
+	reused   telemetry.Counter // allocations served from the free list
 }
 
 // headWith installs slot as the new top, bumping the version.
@@ -127,7 +134,7 @@ func (t *ReclaimingTable) Alloc() uint64 {
 		// is garbage — and the version bump makes the CAS fail.
 		next := t.dataWord(slot).Load() & slotMask
 		if t.freeHead.CompareAndSwap(h, headWith(h, next)) {
-			t.reused.Add(1)
+			t.reused.Inc()
 			gen := t.genWord(slot).Load()
 			t.dataWord(slot).Store(0)
 			// Making the lock word live publishes the recycled slot;
@@ -160,7 +167,7 @@ func (t *ReclaimingTable) Release(h uint64) {
 	if !t.genWord(slot).CompareAndSwap(gen, (gen+1)&(1<<24-1)) {
 		return
 	}
-	t.released.Add(1)
+	t.released.Inc()
 	for {
 		head := t.freeHead.Load()
 		t.dataWord(slot).Store(head & slotMask)

@@ -54,11 +54,13 @@ func TestLeakGateChurnDrains(t *testing.T) {
 	for k := uint64(0); k < keySpace; k++ {
 		zc.Remove(k)
 	}
-	if !m.Quiesce() {
-		t.Fatal("Quiesce failed: limbo did not drain with no readers pinned")
+	// StatsConsistent quiesces and re-reads until the snapshot is stable,
+	// so the cross-field assertions below (Len vs LimboItems vs
+	// LiveBytes) compare values from one moment rather than a torn read.
+	s, ok := m.StatsConsistent()
+	if !ok {
+		t.Fatal("StatsConsistent failed: limbo did not drain with no readers pinned")
 	}
-
-	s := m.Stats()
 	t.Logf("after drain: len=%d live=%d keyLeak=%d limboItems=%d limboBytes=%d chunks=%d footprint=%d",
 		s.Len, s.LiveBytes, s.KeyLeakBytes, s.LimboItems, s.LimboBytes, s.Chunks, s.Footprint)
 	if s.Len != 0 {

@@ -21,6 +21,7 @@ package oakmap
 
 import (
 	"bytes"
+	"runtime"
 	"sync"
 
 	"oakmap/internal/arena"
@@ -65,6 +66,12 @@ type Options struct {
 	// Header recycling is deferred through the same epoch domain as key
 	// and value space, so retained views stay safe.
 	ReclaimHeaders bool
+	// Telemetry, when non-nil, attaches an observability scope to the
+	// map: sharded op counters, sampled op-latency histograms, structural
+	// gauges and a flight recorder of rebalance/epoch/arena events (see
+	// NewTelemetry). Nil — the default — disables telemetry entirely; the
+	// hot path then pays a single nil check per operation.
+	Telemetry *Telemetry
 }
 
 // Map is an Oak map from K to V. Create instances with New; the zero
@@ -87,9 +94,13 @@ func New[K, V any](keySer Serializer[K], valSer Serializer[V], opts *Options) *M
 	if cmp == nil {
 		cmp = bytes.Compare
 	}
+	rec := o.Telemetry.recorder()
 	var pool *arena.Pool
 	if o.BlockSize > 0 {
 		pool = arena.NewPool(o.BlockSize, o.PoolMaxBytes)
+		// The shared pool stays uninstrumented: its block events would
+		// interleave several maps' lifecycles into one recorder.
+		pool.SetTelemetry(rec)
 	}
 	m := &Map[K, V]{
 		core: core.New(&core.Options{
@@ -101,9 +112,13 @@ func New[K, V any](keySer Serializer[K], valSer Serializer[V], opts *Options) *M
 			FlatFreeList:      o.FlatFreeList,
 			DisableKeyReclaim: o.DisableKeyReclaim,
 			ReclaimHeaders:    o.ReclaimHeaders,
+			Telemetry:         rec,
 		}),
 		keySer: keySer,
 		valSer: valSer,
+	}
+	if rec != nil {
+		registerMapGauges(rec, m.core)
 	}
 	m.keyBufs.New = func() any { b := make([]byte, 0, 64); return &b }
 	return m
@@ -421,6 +436,15 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the map's internals.
+//
+// The snapshot is weak: each field is read atomically, but the fields
+// are read at slightly different instants, so under concurrent load
+// they may not describe any single moment — e.g. LiveBytes can include
+// an allocation whose entry Len has not counted yet, and LimboBytes can
+// disagree with a drain that completed between the two reads. Weak
+// snapshots never tear an individual field and are cheap enough for hot
+// polling loops. Tests and invariant checks that compare fields against
+// each other should use StatsConsistent instead.
 func (m *Map[K, V]) Stats() Stats {
 	as := m.core.ArenaStats()
 	rs := m.core.ReclaimStats()
@@ -445,6 +469,33 @@ func (m *Map[K, V]) Stats() Stats {
 // drains, reporting whether it emptied (false means a reader stayed
 // pinned throughout). Useful before footprint assertions and in tests.
 func (m *Map[K, V]) Quiesce() bool { return m.core.QuiesceReclaim() }
+
+// StatsConsistent returns a mutually consistent snapshot of the map's
+// internals: it quiesces reclamation, then re-reads Stats until two
+// consecutive reads are identical — at that point no counter moved
+// between the first field read and the last, so the fields describe one
+// moment and can be compared against each other (LiveBytes vs
+// Footprint, LimboItems == 0, ...).
+//
+// ok is false when consistency could not be established: either the
+// limbo would not drain (a reader stayed pinned) or concurrent mutators
+// kept the counters moving for every retry. The last snapshot read is
+// still returned. Call it only from quiescent-ish moments (test
+// barriers, shutdown); under sustained load it degrades to a weak
+// snapshot with ok=false.
+func (m *Map[K, V]) StatsConsistent() (Stats, bool) {
+	drained := m.core.QuiesceReclaim()
+	prev := m.Stats()
+	for i := 0; i < 16; i++ {
+		cur := m.Stats()
+		if cur == prev {
+			return cur, drained
+		}
+		prev = cur
+		runtime.Gosched()
+	}
+	return prev, false
+}
 
 // ContainsKey reports whether k is mapped.
 func (m *Map[K, V]) ContainsKey(k K) bool {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package oakmap_test
+
+// raceEnabled mirrors the race detector's presence (see race_on_test.go).
+const raceEnabled = false

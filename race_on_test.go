@@ -1,0 +1,8 @@
+//go:build race
+
+package oakmap_test
+
+// raceEnabled mirrors the race detector's presence so timing-sensitive
+// gates (TestTelemetryOverheadGate) can skip themselves: instrumented
+// builds inflate both sides of a ratio by ~10x and drown the signal.
+const raceEnabled = true

@@ -1,0 +1,203 @@
+package oakmap
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"oakmap/internal/core"
+	"oakmap/internal/telemetry"
+	"oakmap/internal/telemetry/export"
+)
+
+// Telemetry is the map's observability scope: sharded op counters,
+// sampled op-latency histograms, structural gauges, and a bounded
+// flight recorder of structural events (rebalances, epoch advances,
+// limbo drains, block lifecycle, free-list migrations). Attach one via
+// Options.Telemetry; a single Telemetry may be shared by several maps
+// (their ops aggregate; per-map gauges are registered by the most
+// recently constructed map).
+//
+// Telemetry is disabled by default. When attached, hot-path latency is
+// sampled (1 in 2^SampleShift operations), keeping the measured Get/Put
+// overhead under 3% (see bench_output_telemetry.txt); rare structural
+// operations — rebalance, epoch advance/drain, arena compaction and
+// rescue — are timed on every occurrence.
+type Telemetry struct {
+	rec *telemetry.Recorder
+}
+
+// TelemetryOptions sizes a Telemetry. The zero value (or nil) gives the
+// defaults: sample 1 in 64 hot ops, retain the last 1024 events.
+type TelemetryOptions struct {
+	// SampleShift: hot-op latencies are recorded for 1 in 2^SampleShift
+	// operations. 0 means the default (6); negative samples every call
+	// (expect measurable overhead).
+	SampleShift int
+	// EventBuffer is the flight-recorder capacity in events, rounded up
+	// to a power of two. 0 means the default (1024).
+	EventBuffer int
+}
+
+// NewTelemetry creates a telemetry scope to pass in Options.Telemetry.
+func NewTelemetry(o *TelemetryOptions) *Telemetry {
+	var cfg telemetry.Config
+	if o != nil {
+		cfg.SampleShift = o.SampleShift
+		cfg.EventBuffer = o.EventBuffer
+	}
+	return &Telemetry{rec: telemetry.New(cfg)}
+}
+
+// recorder returns the internal recorder (nil for nil t), for wiring
+// into core options.
+func (t *Telemetry) recorder() *telemetry.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// MetricsHandler serves the Prometheus text-format exposition — mount
+// it at /metrics.
+func (t *Telemetry) MetricsHandler() http.Handler {
+	return export.Handler(t.recorder())
+}
+
+// WriteMetrics renders the Prometheus text-format exposition to w.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	return export.WriteMetrics(w, t.recorder())
+}
+
+// PublishExpvar registers the telemetry snapshot under name in the
+// process-global expvar registry (served at /debug/vars). Safe to call
+// more than once; the first registration for a name wins.
+func (t *Telemetry) PublishExpvar(name string) {
+	export.Publish(name, t.recorder())
+}
+
+// Summary renders a human-readable per-op latency table (empty when
+// nothing has been recorded).
+func (t *Telemetry) Summary() string {
+	return export.SummaryTable(t.recorder())
+}
+
+// TelemetryEvent is one flight-recorder entry. A, B and C are
+// kind-specific arguments:
+//
+//	rebalance_begin  A: heuristic live entries in the engaged chunk
+//	rebalance_end    A: chunks retired  B: chunks produced  C: entries migrated
+//	epoch_advance    A: new epoch
+//	limbo_drain      A: items drained   B: bytes drained
+//	block_grow       A: allocator block count  B: block size bytes
+//	block_retain     A: pooled free blocks after the retain
+//	block_drop       A: pooled free blocks at the drop
+//	class_migrate    A: migrated span length in bytes
+type TelemetryEvent struct {
+	Seq     uint64 // global sequence number (1-based, gap-free at append)
+	Time    time.Time
+	Kind    string
+	A, B, C uint64
+}
+
+// String renders the event for logs.
+func (e TelemetryEvent) String() string {
+	return fmt.Sprintf("#%d %s %s a=%d b=%d c=%d",
+		e.Seq, e.Time.Format("15:04:05.000000"), e.Kind, e.A, e.B, e.C)
+}
+
+// DumpEvents returns the flight recorder's surviving events oldest
+// first. Safe to call concurrently with live operations: events being
+// overwritten at that instant are skipped, never returned torn.
+func (t *Telemetry) DumpEvents() []TelemetryEvent {
+	evs := t.recorder().Events()
+	out := make([]TelemetryEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = TelemetryEvent{
+			Seq:  ev.Seq,
+			Time: time.Unix(0, ev.UnixNano),
+			Kind: ev.Kind.String(),
+			A:    ev.A, B: ev.B, C: ev.C,
+		}
+	}
+	return out
+}
+
+// EventCount returns the total number of events ever appended to the
+// flight recorder — including those already overwritten. DumpEvents
+// returns at most the buffer's worth of the newest ones.
+func (t *Telemetry) EventCount() uint64 {
+	return t.recorder().EventSeq()
+}
+
+// OpLatency is one operation class's latency snapshot. Count is exact;
+// the percentiles are computed over the recorded (for hot ops: sampled)
+// subset.
+type OpLatency struct {
+	Op      string
+	Count   uint64
+	Sampled uint64
+	P50     time.Duration
+	P99     time.Duration
+	P999    time.Duration
+	Max     time.Duration
+}
+
+// OpLatencies snapshots every operation class, in a fixed order.
+func (t *Telemetry) OpLatencies() []OpLatency {
+	r := t.recorder()
+	if r == nil {
+		return nil
+	}
+	out := make([]OpLatency, 0, int(telemetry.NumOps))
+	for _, s := range r.Snapshot() {
+		out = append(out, OpLatency{
+			Op:      s.Op.String(),
+			Count:   s.Count,
+			Sampled: s.Hist.Count,
+			P50:     s.Hist.Quantile(0.50),
+			P99:     s.Hist.Quantile(0.99),
+			P999:    s.Hist.Quantile(0.999),
+			Max:     time.Duration(s.Hist.MaxNanos),
+		})
+	}
+	return out
+}
+
+// registerMapGauges wires a map's structural read-outs into the
+// recorder so the exporter can enumerate them at scrape time. Names
+// follow Prometheus conventions; per-class occupancy carries a class
+// label with the class's span size in bytes.
+func registerMapGauges(r *telemetry.Recorder, c *core.Map) {
+	reg := func(name string, kind telemetry.GaugeKind, f func() float64) {
+		r.RegisterGauge(name, kind, f)
+	}
+	reg("oak_len", telemetry.KindGauge, func() float64 { return float64(c.Len()) })
+	reg("oak_footprint_bytes", telemetry.KindGauge, func() float64 { return float64(c.Footprint()) })
+	reg("oak_live_bytes", telemetry.KindGauge, func() float64 { return float64(c.LiveBytes()) })
+	reg("oak_chunks", telemetry.KindGauge, func() float64 { return float64(c.NumChunks()) })
+	reg("oak_rebalances_total", telemetry.KindCounter, func() float64 { return float64(c.Rebalances()) })
+	reg("oak_key_leak_bytes", telemetry.KindGauge, func() float64 { return float64(c.KeyLeakBytes()) })
+	reg("oak_header_count", telemetry.KindGauge, func() float64 { return float64(c.HeaderCount()) })
+
+	reg("oak_epoch", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().Epoch) })
+	reg("oak_pinned_readers", telemetry.KindGauge, func() float64 { return float64(c.ReclaimStats().Pinned) })
+	reg("oak_limbo_items", telemetry.KindGauge, func() float64 { return float64(c.ReclaimStats().LimboItems) })
+	reg("oak_limbo_bytes", telemetry.KindGauge, func() float64 { return float64(c.ReclaimStats().LimboBytes) })
+	reg("oak_epoch_advances_total", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().Advances) })
+	reg("oak_epoch_drains_total", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().Drains) })
+	reg("oak_epoch_slot_overflows_total", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().SlotOverflows) })
+
+	reg("oak_arena_blocks", telemetry.KindGauge, func() float64 { return float64(c.ArenaStats().Blocks) })
+	reg("oak_arena_free_spans", telemetry.KindGauge, func() float64 { return float64(c.ArenaStats().FreeSpans) })
+	reg("oak_arena_fragmentation_ratio", telemetry.KindGauge, func() float64 { return c.ArenaStats().Fragmentation })
+	reg("oak_arena_alloc_calls_total", telemetry.KindCounter, func() float64 { return float64(c.ArenaStats().AllocCalls) })
+	for i, cs := range c.ArenaStats().Classes {
+		idx := i // capture
+		reg(fmt.Sprintf("oak_arena_class_spans{class=%q}", fmt.Sprint(cs.Size)), telemetry.KindGauge,
+			func() float64 { return float64(c.ArenaStats().Classes[idx].Spans) })
+		reg(fmt.Sprintf("oak_arena_class_bytes{class=%q}", fmt.Sprint(cs.Size)), telemetry.KindGauge,
+			func() float64 { return float64(c.ArenaStats().Classes[idx].Bytes) })
+	}
+}
