@@ -1,0 +1,106 @@
+// oak-vet runs Oak's static safety analyzers over a module — the
+// compile-time enforcement of the off-heap usage disciplines that
+// DESIGN.md §5.1/§9 state in prose and the race/arenadebug CI legs
+// check dynamically (DESIGN.md §10 catalogues the rules).
+//
+// Usage:
+//
+//	go run ./cmd/oak-vet ./...           # this repo, all analyzers
+//	oak-vet -checks zcescape,pinbalance ./internal/...
+//	oak-vet -list                        # describe the analyzers
+//
+// It works on any module that imports oakmap: packages are resolved
+// with `go list` in the current directory, so run it from the target
+// module's root. Exit status is 2 when any diagnostic is reported
+// (mirroring go vet), 1 on operational errors, 0 when clean.
+//
+// Suppressions: a finding that reflects an intentional, reviewed
+// contract (e.g. a helper that re-exposes a zero-copy slice under the
+// same callback-scoped rule) is annotated at the site with
+// //oak:zc-view, //oak:unsafe-ok, or //oak:allow <analyzer> — see
+// internal/analysis for the grammar. Each annotation must carry a
+// rationale in the surrounding comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oakmap/internal/analysis"
+	"oakmap/internal/analysis/faultpointid"
+	"oakmap/internal/analysis/load"
+	"oakmap/internal/analysis/pinbalance"
+	"oakmap/internal/analysis/unsafespan"
+	"oakmap/internal/analysis/zcescape"
+)
+
+var all = []*analysis.Analyzer{
+	zcescape.Analyzer,
+	pinbalance.Analyzer,
+	unsafespan.Analyzer,
+	faultpointid.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: oak-vet [-checks a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *checks != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "oak-vet: unknown analyzer %q\n", name)
+				os.Exit(1)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	units, err := load.Packages("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oak-vet: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.Run(units, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oak-vet: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	fset := units[0].Fset
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	os.Exit(2)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,275 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library so the module stays dependency-free. It exists to host
+// oak-vet (cmd/oak-vet): a suite of analyzers that prove, at compile
+// time, the usage disciplines Oak's correctness rests on but Go's type
+// system cannot see — zero-copy view lifetimes, epoch pin/unpin
+// balance, unsafe.Pointer containment, and fault-point identity
+// (DESIGN.md §10).
+//
+// The shape deliberately mirrors x/tools: an Analyzer owns a Run
+// function over a Pass (one type-checked package); diagnostics carry a
+// position and message. Two deviations, both forced by the stdlib-only
+// constraint and both smaller than they sound:
+//
+//   - There is no Facts serialization. Cross-package rules (faultpointid
+//     needs the module-wide set of declared point names) use an
+//     in-process Finish hook instead: the driver runs every package
+//     pass first, then calls Finish once with everything the passes
+//     exported. oak-vet always analyzes whole programs in one process,
+//     so in-memory facts lose nothing.
+//
+//   - There is no SSA. The escape and balance analyzers work on the
+//     typed AST with a conservative path walk. Go's structured control
+//     flow (no goto in this codebase) makes the AST form adequate: the
+//     analyzers over-approximate (goto/label control flow is flagged,
+//     not traced) rather than miss.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// //oak:allow <name> suppression annotation.
+	Name string
+
+	// Doc is the analyzer's help text: first line is a one-sentence
+	// summary, the rest explains the rule and the runtime failure mode
+	// it prevents.
+	Doc string
+
+	// Run analyzes one package. Diagnostics are reported via
+	// pass.Report; module-level facts via pass.ExportFact.
+	Run func(pass *Pass) error
+
+	// Finish, if non-nil, runs once per module after every package's
+	// Run has completed, receiving all exported facts. It reports
+	// cross-package diagnostics (e.g. a fault-point name armed in one
+	// package but declared nowhere).
+	Finish func(m *ModulePass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	export func(fact any)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Report emits a diagnostic at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact hands a fact to the analyzer's Finish hook.
+func (p *Pass) ExportFact(fact any) { p.export(fact) }
+
+// ModulePass is the context for an Analyzer's Finish hook.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Facts    []any // everything the package passes exported, in package load order
+
+	report func(Diagnostic)
+}
+
+// Report emits a module-level diagnostic.
+func (m *ModulePass) Report(pos token.Pos, format string, args ...any) {
+	m.report(Diagnostic{Analyzer: m.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Unit is one loadable package presented to the driver: the fields of
+// Pass that depend on the loader. cmd/oak-vet builds Units with
+// internal/analysis/load; the analysistest harness builds them from
+// testdata sources.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Run drives analyzers over units and returns the surviving
+// diagnostics sorted by position. Diagnostics on a line carrying (or
+// directly below) a matching //oak: suppression annotation are
+// dropped; see Suppressed for the annotation grammar.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var fset *token.FileSet
+	allow := newAllowIndex()
+	facts := make(map[*Analyzer][]any)
+	for _, u := range units {
+		fset = u.Fset
+		for _, f := range u.Files {
+			allow.addFile(u.Fset, f)
+		}
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a := a
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+				export:    func(fact any) { facts[a] = append(facts[a], fact) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", u.Pkg.Path(), a.Name, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Facts:    facts[a],
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Finish(mp); err != nil {
+			return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
+		}
+	}
+	if fset != nil {
+		diags = allow.filter(fset, diags)
+		// Dedupe: one site can be reported identically from two walks
+		// (e.g. a re-pin flagged from both acquisitions' balance checks).
+		seen := make(map[Diagnostic]bool, len(diags))
+		uniq := diags[:0]
+		for _, d := range diags {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+		diags = uniq
+		sort.Slice(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return diags[i].Message < diags[j].Message
+		})
+	}
+	return diags, nil
+}
+
+// Suppression annotations. A comment of the form
+//
+//	//oak:allow zcescape[,unsafespan...]  [rationale]
+//
+// on the flagged line, or alone on the line directly above it,
+// suppresses those analyzers' diagnostics for that line. Two sugared
+// spellings cover the common intents without naming analyzers:
+//
+//	//oak:zc-view    — this value intentionally holds/propagates a
+//	                   zero-copy view; equivalent to //oak:allow zcescape
+//	//oak:unsafe-ok  — this unsafe use is deliberate and reviewed;
+//	                   equivalent to //oak:allow unsafespan
+//
+// Unlike //nolint, the annotations are part of the oak vocabulary:
+// DESIGN.md §10 requires each one to carry a rationale in the
+// surrounding comment or doc.
+type allowIndex struct {
+	// file -> line -> set of analyzer names allowed on that line
+	lines map[string]map[int]map[string]bool
+}
+
+func newAllowIndex() *allowIndex {
+	return &allowIndex{lines: make(map[string]map[int]map[string]bool)}
+}
+
+// parseAllow extracts analyzer names from one comment text, or nil.
+func parseAllow(text string) []string {
+	body, ok := strings.CutPrefix(text, "//oak:")
+	if !ok {
+		return nil
+	}
+	body = strings.TrimSpace(body)
+	switch {
+	case strings.HasPrefix(body, "zc-view"):
+		return []string{"zcescape"}
+	case strings.HasPrefix(body, "unsafe-ok"):
+		return []string{"unsafespan"}
+	case strings.HasPrefix(body, "allow"):
+		rest := strings.TrimSpace(strings.TrimPrefix(body, "allow"))
+		if rest == "" {
+			return nil
+		}
+		names := strings.FieldsFunc(strings.Fields(rest)[0], func(r rune) bool { return r == ',' })
+		return names
+	}
+	return nil
+}
+
+func (ai *allowIndex) addFile(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			names := parseAllow(c.Text)
+			if names == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			m := ai.lines[pos.Filename]
+			if m == nil {
+				m = make(map[int]map[string]bool)
+				ai.lines[pos.Filename] = m
+			}
+			// The annotation covers its own line and the next one, so
+			// it works both trailing a statement and on a line of its
+			// own above it.
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				set := m[line]
+				if set == nil {
+					set = make(map[string]bool)
+					m[line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+}
+
+func (ai *allowIndex) filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if ai.lines[pos.Filename][pos.Line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

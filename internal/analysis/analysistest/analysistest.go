@@ -1,0 +1,211 @@
+// Package analysistest runs an analyzer over a testdata package and
+// compares its diagnostics against `// want "regex"` comments in the
+// sources — a stdlib-only miniature of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata packages live under <analyzer>/testdata/src/<name>/ and may
+// import the real module ("oakmap", "oakmap/internal/epoch", ...): the
+// harness resolves those imports through the same gc export data that
+// cmd/oak-vet uses, so the types the analyzers see in tests are the
+// types they see in production.
+//
+// Expectation grammar (same as x/tools): a comment
+//
+//	// want "regex" `another regex`
+//
+// on a line declares that each listed regex matches the message of one
+// distinct diagnostic reported on that line. Unmatched diagnostics and
+// unmatched expectations both fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"oakmap/internal/analysis"
+	"oakmap/internal/analysis/load"
+)
+
+// depRoots are the packages testdata files may import. `go list -deps
+// -export` compiles them and indexes export data for their whole
+// dependency closure (which covers the standard library the module
+// itself uses).
+var depRoots = []string{
+	"oakmap",
+	"oakmap/internal/arena",
+	"oakmap/internal/epoch",
+	"oakmap/internal/faultpoint",
+	"errors",
+	"fmt",
+	"strings",
+	"sync",
+}
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+func depExports() (map[string]string, error) {
+	exportsOnce.Do(func() {
+		exportsMap, exportsErr = load.Exports("", depRoots...)
+	})
+	return exportsMap, exportsErr
+}
+
+// Run analyzes the testdata package in dir with a and checks the
+// diagnostics against the sources' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not available: %v", err)
+	}
+	exports, err := depExports()
+	if err != nil {
+		t.Fatalf("resolving dependency export data: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := load.NewInfo()
+	conf := types.Config{Importer: load.ExportImporter(fset, exports)}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	diags, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, dir)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// expectation is one want regex awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the raw source text for want comments. Scanning
+// text (rather than the parsed comment groups) keeps the line
+// attribution trivial: an expectation belongs to the line its comment
+// starts on.
+func collectWants(t *testing.T, fset *token.FileSet, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			rest := text[idx+len("// want "):]
+			for {
+				rest = strings.TrimSpace(rest)
+				if rest == "" {
+					break
+				}
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Errorf("%s:%d: malformed want expectation at %q", path, i+1, rest)
+					break
+				}
+				unq, err := strconv.Unquote(q)
+				if err != nil {
+					t.Errorf("%s:%d: cannot unquote %s", path, i+1, q)
+					break
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, unq, err)
+					break
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+				rest = rest[len(q):]
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation for (file, line) whose
+// regex matches message, reporting whether one existed.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != line || w.file != file {
+			continue
+		}
+		if w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

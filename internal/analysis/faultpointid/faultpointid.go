@@ -1,0 +1,289 @@
+// Package faultpointid proves the identity of every chaos hook at
+// compile time (DESIGN.md §10).
+//
+// Fault points (internal/faultpoint) are joined by NAME: production
+// code declares `var fp = faultpoint.New("pkg/site")` and harnesses arm
+// them with `faultpoint.Arm("pkg/site", hook)`. The link is a string,
+// so the compiler cannot see it — a typo'd Arm silently arms nothing
+// (the chaos leg tests a fault that never fires), a renamed point
+// leaves stale references, and a duplicate New panics at init, but
+// only on the first binary that links both declarations.
+//
+// Per package, the analyzer collects:
+//
+//   - declarations: faultpoint.New(lit) — the name must be a string
+//     literal (a computed name cannot be cross-checked, and would also
+//     defeat the runtime registry's duplicate panic message);
+//   - references: string-literal arguments to faultpoint.Arm and
+//     faultpoint.Lookup, plus — because harnesses keep jitter sets in
+//     []string / map composites — any string literal containing "/"
+//     inside a function that calls Arm or Lookup;
+//   - consultations: p.Fire() calls resolved to the declaring var.
+//
+// The Finish pass then checks module-wide: every reference names a
+// declared point, no name is declared twice, and every declared point
+// is consulted somewhere (a point that is never Fire()d is a dead
+// chaos hook — the window it was supposed to open no longer exists).
+package faultpointid
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oakmap/internal/analysis"
+)
+
+// Analyzer is the faultpointid analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:   "faultpointid",
+	Doc:    "cross-check fault-point names: no typo'd Arm/Lookup, no duplicate New, no dead hooks",
+	Run:    run,
+	Finish: finish,
+}
+
+const fpPkg = "oakmap/internal/faultpoint"
+
+// facts is one package's contribution to the module-wide check.
+type facts struct {
+	pkgPath  string
+	declared map[string]token.Pos // New("name") sites
+	refs     map[string]token.Pos // Arm/Lookup names (first site each)
+	fired    map[string]bool      // declared names consulted via .Fire()
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == fpPkg {
+		return nil // the registry implementation
+	}
+	fs := &facts{
+		pkgPath:  pass.Pkg.Path(),
+		declared: make(map[string]token.Pos),
+		refs:     make(map[string]token.Pos),
+		fired:    make(map[string]bool),
+	}
+	info := pass.TypesInfo
+
+	// Map package-level vars to the point name they were built with,
+	// so Fire/Arm method calls can be attributed.
+	varName := make(map[types.Object]string)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					call, ok := ast.Unparen(v).(*ast.CallExpr)
+					if !ok || !analysis.IsMethod(info, call, fpPkg, "New") {
+						continue
+					}
+					name, ok := litString(call)
+					if !ok {
+						pass.Report(call.Pos(), "faultpoint.New argument must be a string literal so the name can be cross-checked")
+						continue
+					}
+					if prev, dup := fs.declared[name]; dup {
+						pass.Report(call.Pos(), "fault point %q declared twice in this package (previous at %s): init would panic", name, pass.Fset.Position(prev))
+					}
+					fs.declared[name] = call.Pos()
+					if i < len(vs.Names) {
+						if obj := info.Defs[vs.Names[i]]; obj != nil {
+							varName[obj] = name
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case analysis.IsMethod(info, call, fpPkg, "New"):
+				// Inside a function body: the registry forbids
+				// re-registration, so points made outside package var
+				// init are almost certainly a bug.
+				if insideFunc(f, call) {
+					if name, ok := litString(call); ok {
+						if _, known := fs.declared[name]; !known {
+							pass.Report(call.Pos(), "faultpoint.New(%q) inside a function: points must be package-level vars (second call panics the registry)", name)
+						}
+					} else {
+						pass.Report(call.Pos(), "faultpoint.New argument must be a string literal so the name can be cross-checked")
+					}
+				}
+			case analysis.IsMethod(info, call, fpPkg, "Arm") || analysis.IsMethod(info, call, fpPkg, "Lookup"):
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					// p.Arm(hook) method form: attribute via the var.
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if name, ok := varName[info.Uses[id]]; ok {
+							fs.fired[name] = true // armed through the var: clearly alive
+							return true
+						}
+					}
+				}
+				if len(call.Args) > 0 {
+					if name, ok := litStringExpr(call.Args[0]); ok {
+						if _, seen := fs.refs[name]; !seen {
+							fs.refs[name] = call.Args[0].Pos()
+						}
+					}
+				}
+			case analysis.IsMethod(info, call, fpPkg, "Fire"):
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if name, ok := varName[info.Uses[id]]; ok {
+							fs.fired[name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Harnesses keep point names in []string jitter sets and
+	// map[string]float64 probability tables: inside any function that
+	// touches Arm or Lookup, every string literal shaped like a point
+	// name ("group/site") counts as a reference.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			callsArm := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if analysis.IsMethod(info, c, fpPkg, "Arm") || analysis.IsMethod(info, c, fpPkg, "Lookup") {
+						callsArm = true
+						return false
+					}
+				}
+				return true
+			})
+			if !callsArm {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !pointShaped(s) {
+					return true
+				}
+				if _, seen := fs.refs[s]; !seen {
+					fs.refs[s] = lit.Pos()
+				}
+				return true
+			})
+		}
+	}
+
+	pass.ExportFact(fs)
+	return nil
+}
+
+// litString extracts a call's first argument as a string literal.
+func litString(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	return litStringExpr(call.Args[0])
+}
+
+func litStringExpr(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// pointShaped matches the "group/site" naming convention, excluding
+// path-ish strings.
+func pointShaped(s string) bool {
+	if strings.Count(s, "/") != 1 || strings.ContainsAny(s, " .%:\\\n\t") {
+		return false
+	}
+	parts := strings.SplitN(s, "/", 2)
+	return parts[0] != "" && parts[1] != ""
+}
+
+// insideFunc reports whether n sits inside any function body of f.
+func insideFunc(f *ast.File, n ast.Node) bool {
+	inside := false
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			if analysis.Within(n, fd.Body) {
+				inside = true
+				break
+			}
+		}
+	}
+	return inside
+}
+
+// finish cross-checks all packages' facts.
+func finish(m *analysis.ModulePass) error {
+	declared := make(map[string]token.Pos)
+	fired := make(map[string]bool)
+	type ref struct {
+		name string
+		pos  token.Pos
+	}
+	var refs []ref
+	for _, raw := range m.Facts {
+		fs := raw.(*facts)
+		for name, pos := range fs.declared {
+			if prev, dup := declared[name]; dup {
+				m.Report(pos, "fault point %q declared in two packages (previous at %s): linking both panics at init", name, m.Fset.Position(prev))
+				continue
+			}
+			declared[name] = pos
+		}
+		for name := range fs.fired {
+			fired[name] = true
+		}
+		for name, pos := range fs.refs {
+			refs = append(refs, ref{name, pos})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].pos < refs[j].pos })
+	for _, r := range refs {
+		if _, ok := declared[r.name]; !ok {
+			m.Report(r.pos, "unknown fault point %q: no faultpoint.New declares it (typo, or the point was removed)", r.name)
+		}
+	}
+	var names []string
+	for name := range declared {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !fired[name] {
+			m.Report(declared[name], "fault point %q is declared but never consulted with Fire(): dead chaos hook", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package faultpointid_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oakmap/internal/analysis/analysistest"
+	"oakmap/internal/analysis/faultpointid"
+)
+
+func TestFaultPointID(t *testing.T) {
+	analysistest.Run(t, faultpointid.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,47 @@
+// Package a exercises the faultpointid analyzer: typo'd references,
+// duplicate declarations, dead hooks, and non-literal names.
+package a
+
+import "oakmap/internal/faultpoint"
+
+var fpAlive = faultpoint.New("a/alive")
+
+var fpDead = faultpoint.New("a/dead") // want `fault point "a/dead" is declared but never consulted with Fire\(\): dead chaos hook`
+
+var fpDup = faultpoint.New("a/alive") // want `fault point "a/alive" declared twice in this package \(previous at .*\): init would panic`
+
+func consult() bool {
+	return fpAlive.Fire()
+}
+
+func armKnown() {
+	_ = faultpoint.Arm("a/alive", faultpoint.Never())
+}
+
+func armTypo() {
+	_ = faultpoint.Arm("a/typpo", faultpoint.Never()) // want `unknown fault point "a/typpo": no faultpoint\.New declares it \(typo, or the point was removed\)`
+}
+
+// jitterSet mirrors the chaos harness idiom: point names kept in a
+// []string and armed in a loop. The analyzer cross-checks every
+// point-shaped literal in a function that touches Arm/Lookup.
+func jitterSet() {
+	names := []string{"a/alive", "a/stale"} // want `unknown fault point "a/stale": no faultpoint\.New declares it \(typo, or the point was removed\)`
+	for _, n := range names {
+		_ = faultpoint.Arm(n, faultpoint.Never())
+	}
+}
+
+func lookupKnown() {
+	if p, ok := faultpoint.Lookup("a/alive"); ok {
+		p.Disarm()
+	}
+}
+
+func newInsideFunc() *faultpoint.Point {
+	return faultpoint.New("a/inline") // want `faultpoint\.New\("a/inline"\) inside a function: points must be package-level vars \(second call panics the registry\)`
+}
+
+func newDynamic(name string) *faultpoint.Point {
+	return faultpoint.New(name) // want `faultpoint\.New argument must be a string literal so the name can be cross-checked`
+}

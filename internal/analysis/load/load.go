@@ -1,0 +1,201 @@
+// Package load turns `go list` package patterns into type-checked
+// analysis units without depending on golang.org/x/tools/go/packages.
+//
+// The trick that keeps this stdlib-only is `go list -deps -export`: the
+// go tool compiles every dependency and reports the path of its gc
+// export data (.a) file in the build cache. Target packages (the ones
+// the patterns matched) are then parsed and type-checked from source,
+// with an importer that satisfies every import from that export data —
+// the same division of labor as go vet's driver. Nothing is ever
+// re-implemented for dependency resolution, build tags, or module
+// semantics: the go tool owns all of it.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"oakmap/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Packages loads the packages matched by patterns, rooted at dir
+// (empty means the current directory), and returns one type-checked
+// unit per target package plus the export-data index for all their
+// dependencies.
+func Packages(dir string, patterns ...string) ([]*analysis.Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPackage
+	for _, p := range pkgs {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var units []*analysis.Unit
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			// cgo packages cannot be type-checked from raw source;
+			// none exist in this module, so skipping is safe.
+			continue
+		}
+		u, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// Exports resolves patterns with `go list -deps -export` and returns
+// the import-path → gc-export-data index for the full dependency
+// closure. The analysistest harness uses it to type-check testdata
+// sources against the real module's compiled types.
+func Exports(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// goList runs `go list -e -deps -export -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through gc export data files (as indexed by `go list -export`). It is
+// shared with the analysistest harness, which type-checks testdata
+// sources against the real module's export data.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typeCheck parses and type-checks one target package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, p *listPackage) (*analysis.Unit, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: remappedImporter{imp: imp, remap: p.ImportMap},
+		Error:    func(error) {}, // collect the first hard error below instead
+	}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// NewInfo allocates the types.Info with every map analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// remappedImporter applies a package's ImportMap (vendored stdlib
+// paths) before delegating to the export-data importer.
+type remappedImporter struct {
+	imp   types.Importer
+	remap map[string]string
+}
+
+func (r remappedImporter) Import(path string) (*types.Package, error) {
+	if m, ok := r.remap[path]; ok {
+		path = m
+	}
+	return r.imp.Import(path)
+}

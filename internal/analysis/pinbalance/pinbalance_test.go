@@ -1,0 +1,13 @@
+package pinbalance_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oakmap/internal/analysis/analysistest"
+	"oakmap/internal/analysis/pinbalance"
+)
+
+func TestPinBalance(t *testing.T) {
+	analysistest.Run(t, pinbalance.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,57 @@
+// Package a exercises the unsafespan analyzer: unsafe containment,
+// pointer fabrication, Ref/pointer identity, and the post-Unpin use
+// window. Signatures that merely mention unsafe.Pointer as scaffolding
+// carry //oak:unsafe-ok so the tests focus on the bodies.
+package a
+
+import (
+	"unsafe"
+
+	"oakmap/internal/arena"
+	"oakmap/internal/epoch"
+)
+
+//oak:unsafe-ok — signature scaffolding, not under test
+func fabricate(off uintptr) unsafe.Pointer {
+	return unsafe.Pointer(off) // want `use of unsafe outside the arena containment boundary` `unsafe\.Pointer fabricated from an integer`
+}
+
+//oak:unsafe-ok — signature scaffolding, not under test
+func deriveOK(p unsafe.Pointer, off uintptr) unsafe.Pointer {
+	// Same-expression derivation from a real pointer: only the
+	// containment rule fires, not fabrication.
+	return unsafe.Pointer(uintptr(p) + off) // want `use of unsafe outside the arena containment boundary`
+}
+
+func refToPointer(r arena.Ref) uintptr {
+	return uintptr(r) // want `conversion between arena\.Ref and a pointer: refs are allocator-protocol names, not addresses`
+}
+
+func intToRefOK(x uint64) arena.Ref {
+	return arena.Ref(x) // integers convert freely: a Ref is an integer name
+}
+
+func refToIntOK(r arena.Ref) uint64 {
+	return uint64(r)
+}
+
+//oak:unsafe-ok — signature scaffolding, not under test
+func useAfterUnpin(d *epoch.Domain, p unsafe.Pointer) unsafe.Pointer {
+	g := d.Pin()
+	q := p
+	g.Unpin()
+	return q // want `off-heap unsafe\.Pointer q used after Unpin: the guard that kept its span alive is gone`
+}
+
+//oak:unsafe-ok — signature scaffolding, not under test
+func deferredUnpinNoWindow(d *epoch.Domain, p unsafe.Pointer) byte {
+	g := d.Pin()
+	defer g.Unpin() // deferred release opens no mid-function window
+	q := p
+	return *(*byte)(q)
+}
+
+func allowNamed(off uintptr) unsafe.Pointer { // want `use of unsafe outside the arena containment boundary`
+	// The named-allow spelling suppresses only the annotated line.
+	return unsafe.Pointer(off) //oak:allow unsafespan — reviewed fabrication for this test
+}

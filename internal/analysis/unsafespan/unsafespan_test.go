@@ -1,0 +1,13 @@
+package unsafespan_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oakmap/internal/analysis/analysistest"
+	"oakmap/internal/analysis/unsafespan"
+)
+
+func TestUnsafeSpan(t *testing.T) {
+	analysistest.Run(t, unsafespan.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,13 @@
+package zcescape_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oakmap/internal/analysis/analysistest"
+	"oakmap/internal/analysis/zcescape"
+)
+
+func TestZCEscape(t *testing.T) {
+	analysistest.Run(t, zcescape.Analyzer, filepath.Join("testdata", "src", "a"))
+}

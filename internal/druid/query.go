@@ -103,7 +103,12 @@ func (x *Index) scanRange(t1, t2 int64, visit func(key []byte, row []byte)) {
 			return nil
 		})
 		v.Read(func(row []byte) error {
-			visit(kbuf, row)
+			// Deliberate contract propagation, not an escape: visit
+			// receives the aliasing row under the same "valid during the
+			// callback" rule this function's doc comment states, and
+			// every rowVisitor consumer (groupBy, timeseries, Persist)
+			// merges or copies the bytes before returning.
+			visit(kbuf, row) //oak:zc-view
 			return nil
 		})
 		return true

@@ -18,12 +18,16 @@ type OakRBuffer struct {
 	m      *core.Map
 	h      core.ValueHandle
 	keyRef uint64 // non-zero for key buffers
+	snap   []byte // non-nil for detached snapshots made by Copy
 }
 
 // Read runs f on the buffer's current bytes, atomically with respect to
 // concurrent updates. f must not retain the slice: it aliases off-heap
 // memory that may be reused after the call.
 func (b *OakRBuffer) Read(f func([]byte) error) error {
+	if b.snap != nil {
+		return f(b.snap)
+	}
 	if b.keyRef != 0 {
 		// Key view: read under an epoch pin, validated against the
 		// mapping's value handle (a live handle proves the key has not
@@ -51,6 +55,26 @@ func (b *OakRBuffer) Bytes() ([]byte, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Copy returns a detached snapshot of the buffer backed by on-heap
+// memory. Unlike the view it was made from, the snapshot is valid
+// forever: it no longer reads through to the live value, and it is the
+// sanctioned way to keep data from a scope-bound view (a stream
+// callback's key/value pair) past its callback — oak-vet's zcescape
+// analyzer recognizes Copy results as safe to retain.
+func (b *OakRBuffer) Copy() (*OakRBuffer, error) {
+	if b.snap != nil {
+		return b, nil // snapshots are immutable: sharing is fine
+	}
+	data, err := b.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		data = []byte{} // an empty snapshot is still a snapshot
+	}
+	return &OakRBuffer{snap: data}, nil
 }
 
 // AppendTo appends the buffer's contents to dst, avoiding an allocation

@@ -1,0 +1,108 @@
+package oakmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCopyDetachesFromLiveValue: a Copy made from a fresh view keeps
+// its bytes through later updates, deletes, and reclamation — it is a
+// snapshot, not a facade.
+func TestCopyDetachesFromLiveValue(t *testing.T) {
+	_, zc := bufferMap(t)
+	val := []byte("original-value")
+	zc.Put(1, val)
+
+	view := zc.Get(1)
+	snap, err := view.Copy()
+	if err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+
+	zc.Put(1, []byte("replaced"))
+	if err := zc.Remove(1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+
+	// The live view now fails; the snapshot still serves the old bytes.
+	if _, err := view.Bytes(); err == nil {
+		t.Fatal("live view survived deletion")
+	}
+	got, err := snap.Bytes()
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("snapshot Bytes = %q, %v; want %q", got, err, val)
+	}
+	n, err := snap.Len()
+	if err != nil || n != len(val) {
+		t.Fatalf("snapshot Len = %d, %v", n, err)
+	}
+	b, err := snap.ByteAt(0)
+	if err != nil || b != 'o' {
+		t.Fatalf("snapshot ByteAt(0) = %q, %v", b, err)
+	}
+
+	// Copy of a copy is the same immutable snapshot.
+	again, err := snap.Copy()
+	if err != nil {
+		t.Fatalf("Copy of copy: %v", err)
+	}
+	if again != snap {
+		t.Fatal("copying a snapshot should return the snapshot itself")
+	}
+}
+
+// TestCopyDuringStreamScan is the use case Copy exists for: keeping a
+// key/value pair found during a stream scan, whose views are otherwise
+// invalid the moment the callback returns.
+func TestCopyDuringStreamScan(t *testing.T) {
+	_, zc := bufferMap(t)
+	for i := uint64(0); i < 50; i++ {
+		zc.Put(i, []byte{byte(i), byte(i + 1)})
+	}
+
+	var kept []*OakRBuffer
+	zc.AscendStream(nil, nil, func(k, v *OakRBuffer) bool {
+		u, err := k.Uint64At(0)
+		if err != nil {
+			t.Fatalf("key read: %v", err)
+		}
+		if u%10 == 0 {
+			snap, err := v.Copy() // the sanctioned retain
+			if err != nil {
+				t.Fatalf("Copy at key %d: %v", u, err)
+			}
+			kept = append(kept, snap)
+		}
+		return true
+	})
+
+	if len(kept) != 5 {
+		t.Fatalf("kept %d snapshots, want 5", len(kept))
+	}
+	for i, snap := range kept {
+		want := []byte{byte(i * 10), byte(i*10 + 1)}
+		got, err := snap.Bytes()
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("snapshot %d = %x, %v; want %x", i, got, err, want)
+		}
+	}
+}
+
+// TestCopyEmptyValue: an empty value still yields a valid detached
+// snapshot, not a view that falls through to the (dead) live path.
+func TestCopyEmptyValue(t *testing.T) {
+	_, zc := bufferMap(t)
+	zc.Put(3, nil)
+
+	snap, err := zc.Get(3).Copy()
+	if err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	if err := zc.Remove(3); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	got, err := snap.Bytes()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty snapshot Bytes = %x, %v", got, err)
+	}
+}
