@@ -1,0 +1,173 @@
+package oakmap
+
+import (
+	"oakmap/internal/core"
+	"oakmap/sharded"
+)
+
+// backend is the seam between the generic facade and the storage engine:
+// a plain single core map, or a hash-sharded collection of them
+// (Options.Shards). Everything the facade needs routes through here, so
+// the public API is identical either way.
+//
+// Point operations resolve their owning core map once via ShardFor and
+// then speak the core protocol directly — for multi-step operations
+// (compute-then-insert loops) the resolution is done once per public
+// call, which is correct because routing is a pure function of the key.
+//
+// Scans yield (src, key, keyRef, h): src is the core map the entry lives
+// in, and key is a slice valid for the duration of the callback — arena
+// bytes under the scan's epoch pin for the plain backend, the merge
+// cursor's owned copy for the sharded one. Retainable views must go
+// through (src, keyRef, h), which re-validate under src's pin on every
+// read.
+type backend interface {
+	// ShardFor returns the core map owning key (the single map when
+	// unsharded — no hashing on that path).
+	ShardFor(key []byte) *core.Map
+	// Shards returns the underlying core maps, index-stable; length 1
+	// when unsharded. For stats rollup and quiescing only.
+	Shards() []*core.Map
+
+	Ascend(lo, hi []byte, yield scanFunc)
+	Descend(lo, hi []byte, yield scanFunc)
+	NewCursor(lo, hi []byte, desc bool) entryCursor
+
+	First() (*core.Map, uint64, core.ValueHandle, bool)
+	Last() (*core.Map, uint64, core.ValueHandle, bool)
+	Floor(k []byte) (*core.Map, uint64, core.ValueHandle, bool)
+	Ceiling(k []byte) (*core.Map, uint64, core.ValueHandle, bool)
+	Lower(k []byte) (*core.Map, uint64, core.ValueHandle, bool)
+	Higher(k []byte) (*core.Map, uint64, core.ValueHandle, bool)
+
+	Close()
+	Quiesce() bool
+}
+
+// scanFunc is the backend scan callback; see the backend contract for
+// the lifetime of key.
+type scanFunc = func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool
+
+// entryCursor is a pull scan over the backend. key is valid until the
+// next Next call (both implementations hand out an owned on-heap copy,
+// never pinned arena bytes).
+type entryCursor interface {
+	Next() (src *core.Map, key []byte, keyRef uint64, h core.ValueHandle, ok bool)
+}
+
+// --- plain backend: one core map ---
+
+type plainBackend struct {
+	c *core.Map
+}
+
+func (b plainBackend) ShardFor([]byte) *core.Map { return b.c }
+func (b plainBackend) Shards() []*core.Map       { return []*core.Map{b.c} }
+
+func (b plainBackend) Ascend(lo, hi []byte, yield scanFunc) {
+	b.c.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		return yield(b.c, b.c.KeyBytes(keyRef), keyRef, h)
+	})
+}
+
+func (b plainBackend) Descend(lo, hi []byte, yield scanFunc) {
+	b.c.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
+		return yield(b.c, b.c.KeyBytes(keyRef), keyRef, h)
+	})
+}
+
+func (b plainBackend) NewCursor(lo, hi []byte, desc bool) entryCursor {
+	return &plainCursor{c: b.c, cur: b.c.NewCursor(lo, hi, desc)}
+}
+
+func (b plainBackend) First() (*core.Map, uint64, core.ValueHandle, bool) {
+	kr, h, ok := b.c.First()
+	return b.c, kr, h, ok
+}
+func (b plainBackend) Last() (*core.Map, uint64, core.ValueHandle, bool) {
+	kr, h, ok := b.c.Last()
+	return b.c, kr, h, ok
+}
+func (b plainBackend) Floor(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	kr, h, ok := b.c.Floor(k)
+	return b.c, kr, h, ok
+}
+func (b plainBackend) Ceiling(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	kr, h, ok := b.c.Ceiling(k)
+	return b.c, kr, h, ok
+}
+func (b plainBackend) Lower(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	kr, h, ok := b.c.Lower(k)
+	return b.c, kr, h, ok
+}
+func (b plainBackend) Higher(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	kr, h, ok := b.c.Higher(k)
+	return b.c, kr, h, ok
+}
+
+func (b plainBackend) Close()        { b.c.Close() }
+func (b plainBackend) Quiesce() bool { return b.c.QuiesceReclaim() }
+
+// plainCursor adapts core.Cursor to the entryCursor shape: the key handed
+// out is the cursor's owned resume copy, like the merged cursor's.
+type plainCursor struct {
+	c   *core.Map
+	cur *core.Cursor
+}
+
+func (p *plainCursor) Next() (*core.Map, []byte, uint64, core.ValueHandle, bool) {
+	kr, h, ok := p.cur.Next()
+	if !ok {
+		return nil, nil, 0, 0, false
+	}
+	return p.c, p.cur.Key(), kr, h, true
+}
+
+// --- sharded backend: hash-partitioned core maps with merged scans ---
+
+type shardedBackend struct {
+	s *sharded.Map
+}
+
+func (b shardedBackend) ShardFor(key []byte) *core.Map { return b.s.ShardFor(key) }
+func (b shardedBackend) Shards() []*core.Map           { return b.s.Shards() }
+
+func (b shardedBackend) Ascend(lo, hi []byte, yield scanFunc) {
+	b.s.Ascend(lo, hi, sharded.EntryFunc(yield))
+}
+
+func (b shardedBackend) Descend(lo, hi []byte, yield scanFunc) {
+	b.s.Descend(lo, hi, sharded.EntryFunc(yield))
+}
+
+func (b shardedBackend) NewCursor(lo, hi []byte, desc bool) entryCursor {
+	return b.s.NewCursor(lo, hi, desc)
+}
+
+func (b shardedBackend) First() (*core.Map, uint64, core.ValueHandle, bool) {
+	e, ok := b.s.First()
+	return e.Src, e.KeyRef, e.Handle, ok
+}
+func (b shardedBackend) Last() (*core.Map, uint64, core.ValueHandle, bool) {
+	e, ok := b.s.Last()
+	return e.Src, e.KeyRef, e.Handle, ok
+}
+func (b shardedBackend) Floor(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	e, ok := b.s.Floor(k)
+	return e.Src, e.KeyRef, e.Handle, ok
+}
+func (b shardedBackend) Ceiling(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	e, ok := b.s.Ceiling(k)
+	return e.Src, e.KeyRef, e.Handle, ok
+}
+func (b shardedBackend) Lower(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	e, ok := b.s.Lower(k)
+	return e.Src, e.KeyRef, e.Handle, ok
+}
+func (b shardedBackend) Higher(k []byte) (*core.Map, uint64, core.ValueHandle, bool) {
+	e, ok := b.s.Higher(k)
+	return e.Src, e.KeyRef, e.Handle, ok
+}
+
+func (b shardedBackend) Close()        { b.s.Close() }
+func (b shardedBackend) Quiesce() bool { return b.s.Quiesce() }

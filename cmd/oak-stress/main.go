@@ -10,6 +10,14 @@
 //	oak-stress -reclaim-headers -chunk 128   # stress the epoch extension
 //	oak-stress -faults -seed 7               # with fault injection armed
 //	oak-stress -metrics :9090 -progress 5s   # live Prometheus /metrics + stderr summaries
+//	oak-stress -shards 8 -zipf 1.2           # hash-sharded map under a skewed key mix
+//
+// With -shards N > 1 the map hash-partitions keys across N independent
+// core maps (per-shard arena and epoch domain); validation scans then
+// exercise the cross-shard k-way merge, and the shutdown summary breaks
+// the leak accounting out per shard. -zipf s > 1 draws worker keys from
+// a Zipf(s) distribution instead of uniform, concentrating the churn on
+// a few hot keys — with sharding, on a few hot shards.
 //
 // With -metrics, a Prometheus text endpoint is served at /metrics and
 // the expvar JSON snapshot at /debug/vars; -progress prints a periodic
@@ -31,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	mrand "math/rand" // v1: home of rand.Zipf
 	"math/rand/v2"
 	"net/http"
 	"os"
@@ -92,8 +101,13 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "PRNG seed for fault firing (reproducibility)")
 		metrics   = flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (enables telemetry)")
 		progress  = flag.Duration("progress", 0, "print a periodic telemetry summary to stderr (enables telemetry)")
+		shards    = flag.Int("shards", 0, "hash-shard the map across N core maps (0 or 1 = plain)")
+		zipf      = flag.Float64("zipf", 0, "draw worker keys from Zipf(s) instead of uniform (requires s > 1; 0 = uniform)")
 	)
 	flag.Parse()
+	if *zipf != 0 && *zipf <= 1 {
+		log.Fatalf("-zipf requires an exponent > 1 (got %g)", *zipf)
+	}
 
 	var tel *oakmap.Telemetry
 	if *metrics != "" || *progress > 0 {
@@ -107,6 +121,7 @@ func main() {
 			ReclaimHeaders:    *reclaimH,
 			DisableKeyReclaim: *noRecK,
 			Telemetry:         tel,
+			Shards:            *shards,
 		})
 	defer m.Close()
 	zc := m.ZC()
@@ -170,6 +185,13 @@ func main() {
 		go func(wseed uint64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(wseed, 0x57e55))
+			// Zipf lives in math/rand v1; each worker owns its generator
+			// (not safe for concurrent use).
+			var zg *mrand.Zipf
+			if *zipf > 1 {
+				zg = mrand.NewZipf(mrand.New(mrand.NewSource(int64(wseed))),
+					*zipf, 1, uint64(*keys-1))
+			}
 			val := make([]byte, *valSize)
 			for {
 				select {
@@ -177,7 +199,12 @@ func main() {
 					return
 				default:
 				}
-				k := rng.Uint64() % uint64(*keys)
+				var k uint64
+				if zg != nil {
+					k = zg.Uint64()
+				} else {
+					k = rng.Uint64() % uint64(*keys)
+				}
 				if k%10 == 0 {
 					k++ // never touch residents destructively
 				}
@@ -313,6 +340,13 @@ func main() {
 		s.FreeSpans, s.Fragmentation)
 	fmt.Printf("  epoch=%d pinned=%d limbo-items=%d limbo-bytes=%d key-leak=%d\n",
 		s.Epoch, s.PinnedReaders, s.LimboItems, s.LimboBytes, s.KeyLeakBytes)
+	if s.Shards > 1 {
+		fmt.Printf("  per-shard (len/key-leak/limbo-bytes/rebalances):")
+		for i, ss := range m.ShardStats() {
+			fmt.Printf(" %d=%d/%d/%d/%d", i, ss.Len, ss.KeyLeakBytes, ss.LimboBytes, ss.Rebalances)
+		}
+		fmt.Println()
+	}
 	if *faults {
 		printFaultCounters()
 	}
@@ -374,6 +408,7 @@ func armFaults(prob float64, seed uint64) {
 		"core/rebalance-freeze", "core/rebalance-split", "core/rebalance-index",
 		"core/header-lock", "core/deleted-bit", "core/put-race",
 		"epoch/advance", "epoch/drain",
+		"shard/route", "shard/scan-rotate",
 	} {
 		if err := faultpoint.Arm(name, jitter); err != nil {
 			log.Fatalf("arm %s: %v", name, err)

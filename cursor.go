@@ -1,15 +1,14 @@
 package oakmap
 
-import "oakmap/internal/core"
-
 // Iterator is a pull-style zero-copy scan: the Go rendering of the
 // iterators behind the paper's keySet()/entrySet() views. Obtain one
 // from ZeroCopyMap.Iterator; advance with Next. Iterators are not safe
 // for concurrent use by multiple goroutines (create one per goroutine),
 // but the map may be mutated concurrently — the usual non-atomic scan
-// guarantees apply.
+// guarantees apply. On a sharded map the iterator pulls from the k-way
+// merge cursor, so entries arrive in global key order.
 type Iterator[K, V any] struct {
-	cur    *core.Cursor
+	cur    entryCursor
 	m      *Map[K, V]
 	stream bool
 	kb, vb OakRBuffer // reused when stream is true
@@ -21,29 +20,27 @@ type Iterator[K, V any] struct {
 // semantics: do not retain the views).
 func (z ZeroCopyMap[K, V]) Iterator(from, to *K, descending, stream bool) *Iterator[K, V] {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	it := &Iterator[K, V]{
-		cur:    z.m.core.NewCursor(lo, hi, descending),
+	return &Iterator[K, V]{
+		cur:    z.m.be.NewCursor(lo, hi, descending),
 		m:      z.m,
 		stream: stream,
 	}
-	it.kb.m = z.m.core
-	it.vb.m = z.m.core
-	return it
 }
 
-// Next returns views of the next entry, or ok=false at the end.
+// Next returns views of the next entry, or ok=false at the end. Stream
+// key views read the cursor's owned key copy, valid until the next Next.
 func (it *Iterator[K, V]) Next() (key, value *OakRBuffer, ok bool) {
-	kr, h, ok := it.cur.Next()
+	src, kbytes, kr, h, ok := it.cur.Next()
 	if !ok {
 		return nil, nil, false
 	}
 	if it.stream {
-		it.kb.keyRef, it.kb.h = kr, h
-		it.vb.h = h
+		it.kb.view = kbytes
+		it.vb.m, it.vb.h = src, h
 		return &it.kb, &it.vb, true
 	}
-	return &OakRBuffer{m: it.m.core, keyRef: kr, h: h},
-		&OakRBuffer{m: it.m.core, h: h}, true
+	return &OakRBuffer{m: src, keyRef: kr, h: h},
+		&OakRBuffer{m: src, h: h}, true
 }
 
 // NextEntry returns the next entry deserialized (a convenience for
@@ -51,27 +48,20 @@ func (it *Iterator[K, V]) Next() (key, value *OakRBuffer, ok bool) {
 // deleted between the cursor step and the read are skipped.
 func (it *Iterator[K, V]) NextEntry() (k K, v V, ok bool) {
 	for {
-		kr, h, cok := it.cur.Next()
+		src, kbytes, _, h, cok := it.cur.Next()
 		if !cok {
 			return k, v, false
 		}
-		// Read the key under an epoch pin, validated against the entry's
-		// handle; if the mapping vanished since the cursor step, skip it
-		// like a deleted value.
-		if it.m.core.ReadKey(kr, h, func(b []byte) error {
-			k = it.m.keySer.Deserialize(b)
-			return nil
-		}) != nil {
-			continue
-		}
 		got := false
-		it.m.core.ReadValue(h, func(b []byte) error {
+		src.ReadValue(h, func(b []byte) error {
 			v = it.m.valSer.Deserialize(b)
 			got = true
 			return nil
 		})
-		if got {
-			return k, v, true
+		if !got {
+			continue // deleted between the cursor step and the read
 		}
+		k = it.m.keySer.Deserialize(kbytes)
+		return k, v, true
 	}
 }

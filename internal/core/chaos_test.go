@@ -27,6 +27,7 @@ import (
 	"oakmap/internal/chunk"
 	"oakmap/internal/epoch"
 	"oakmap/internal/faultpoint"
+	"oakmap/internal/lincheck"
 	"oakmap/internal/vheader"
 )
 
@@ -229,7 +230,7 @@ func TestChaosCASFailLinearizability(t *testing.T) {
 			m.Put(ik(i), iv(i)) // neighbour churn under CAS chaos
 		}
 		var clock atomic.Uint64
-		recs := make([][]opRecord, threads)
+		recs := make([][]lincheck.Op, threads)
 		var wg sync.WaitGroup
 		for g := 0; g < threads; g++ {
 			wg.Add(1)
@@ -237,7 +238,7 @@ func TestChaosCASFailLinearizability(t *testing.T) {
 				defer wg.Done()
 				rng := rand.New(rand.NewPCG(uint64(h*threads+g), 1234))
 				for i := 0; i < opsPerThread; i++ {
-					kind := opKindL(rng.Uint64() % 6)
+					kind := lincheck.Kind(rng.Uint64() % 6)
 					key := keys[rng.Uint64()%uint64(len(keys))]
 					arg := fmt.Sprintf("g%d-%d", g, i)
 					recs[g] = append(recs[g], runRecordedOp(t, m, &clock, kind, key, arg))
@@ -245,11 +246,11 @@ func TestChaosCASFailLinearizability(t *testing.T) {
 			}(g)
 		}
 		wg.Wait()
-		var all []opRecord
+		var all []lincheck.Op
 		for _, rs := range recs {
 			all = append(all, rs...)
 		}
-		if !linearizable(all) {
+		if !lincheck.Linearizable(all) {
 			for _, o := range all {
 				t.Logf("  %v", o)
 			}

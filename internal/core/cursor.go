@@ -95,6 +95,14 @@ func (cur *Cursor) repositionDesc() {
 	cur.it = cur.c.NewDescIter(b)
 }
 
+// Key returns the cursor's owned copy of the last key Next yielded (or
+// visited). The slice lives on-heap — never in arena space — so it stays
+// readable while the cursor is parked, but it is reused by the following
+// Next call: callers that keep it across steps must copy. It is the hook
+// merged multi-shard scans are built on: a k-way merge can compare the
+// heads of several cursors without holding any epoch pin.
+func (cur *Cursor) Key() []byte { return cur.resume }
+
 // Next returns the next live entry, or ok=false when the range is
 // exhausted. The returned handle is live (non-⊥, not deleted) at yield
 // time; the keyRef is guaranteed valid only until the next Next call

@@ -6,237 +6,75 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"oakmap/internal/lincheck"
 )
 
-// This file checks the paper's central correctness claim (§4.5): the
-// point operations are linearizable. We record concurrent histories of
-// operations — invocation/response ordering via a global logical clock —
-// and then search for a sequential witness (Wing & Gong style): a
-// permutation of the operations that (a) respects real-time order and
-// (b) is legal for a register with put / putIfAbsent / remove / get /
-// compute / upsert semantics.
-//
-// Histories may span multiple keys. Linearizability is compositional
-// (Herlihy & Wing's locality theorem): a history over a collection of
-// independent objects is linearizable iff each object's subhistory is.
-// Map keys are independent registers, so the checker partitions the
-// history by key and runs the single-register search on each part —
-// exact, and exponential only in the per-key operation count.
+// This file records concurrent histories against the real core map and
+// checks them with the Wing & Gong-style searcher in internal/lincheck
+// (extracted from here so the sharded front-end can reuse it — the
+// engine's own self-tests live with the package). The histories target
+// the paper's central correctness claim (§4.5): the point operations
+// are linearizable.
 
-type opKindL int
-
-const (
-	lPut opKindL = iota
-	lPutIfAbsent
-	lRemove
-	lGet
-	lUpsert  // putIfAbsentComputeIfPresent: insert arg, or append "|"+arg
-	lCompute // computeIfPresent: append "#"+arg if present
-)
-
-func (k opKindL) String() string {
-	return [...]string{"put", "putIfAbsent", "remove", "get", "upsert", "compute"}[k]
-}
-
-type opRecord struct {
-	key  string // subject key; histories are partitioned on it
-	kind opKindL
-	arg  string // value written (put/putIfAbsent) or appended (upsert/compute)
-	// results
-	retBool  bool   // putIfAbsent: inserted; remove: removed; get: found; compute: applied
-	retVal   string // get: observed value
-	inv, ret uint64 // logical timestamps
-}
-
-func (o opRecord) String() string {
-	return fmt.Sprintf("%s[%x](%s)=(%v,%q)@[%d,%d]", o.kind, o.key, o.arg, o.retBool, o.retVal, o.inv, o.ret)
-}
-
-// regState applies op to a sequential register; returns the new value
-// and whether the op's recorded results are legal from state v.
-func regApply(v string, present bool, o opRecord) (string, bool, bool) {
-	switch o.kind {
-	case lPut:
-		return o.arg, true, true
-	case lPutIfAbsent:
-		if present {
-			return v, true, !o.retBool
+// runRecordedOp executes one operation against m and returns its record
+// with invocation/response timestamps from clock. Operation errors are
+// reported through t (none of the recorded kinds should fail unless an
+// error-injecting fault point is armed, which recorded histories avoid).
+func runRecordedOp(t testing.TB, m *Map, clock *atomic.Uint64, kind lincheck.Kind, key []byte, arg string) lincheck.Op {
+	r := lincheck.Op{Key: string(key), Kind: kind, Arg: arg}
+	r.Inv = clock.Add(1)
+	switch kind {
+	case lincheck.Put:
+		if err := m.Put(key, []byte(arg)); err != nil {
+			t.Errorf("put: %v", err)
 		}
-		return o.arg, true, o.retBool
-	case lRemove:
-		if present {
-			return "", false, o.retBool
+	case lincheck.PutIfAbsent:
+		ok, err := m.PutIfAbsent(key, []byte(arg))
+		if err != nil {
+			t.Errorf("putIfAbsent: %v", err)
 		}
-		return "", false, !o.retBool
-	case lGet:
-		if present {
-			return v, true, o.retBool && o.retVal == v
+		r.RetBool = ok
+	case lincheck.Remove:
+		ok, err := m.Remove(key)
+		if err != nil {
+			t.Errorf("remove: %v", err)
 		}
-		return v, false, !o.retBool
-	case lUpsert:
-		if present {
-			return v + "|" + o.arg, true, true
-		}
-		return o.arg, true, true
-	case lCompute:
-		if present {
-			return v + "#" + o.arg, true, o.retBool
-		}
-		return v, false, !o.retBool
-	}
-	return v, present, false
-}
-
-// linearizable checks a (possibly multi-key) history: it partitions by
-// key and searches each per-key subhistory for a sequential witness.
-func linearizable(ops []opRecord) bool {
-	byKey := map[string][]opRecord{}
-	for _, o := range ops {
-		byKey[o.key] = append(byKey[o.key], o)
-	}
-	for _, sub := range byKey {
-		if !linearizableKey(sub) {
-			return false
-		}
-	}
-	return true
-}
-
-// linearizableKey searches for a sequential witness with memoized DFS
-// over (done-set bitmask, register value). Per-key history sizes stay
-// ≤ 16 ops.
-func linearizableKey(ops []opRecord) bool {
-	n := len(ops)
-	type memoKey struct {
-		mask    int
-		val     string
-		present bool
-	}
-	seen := map[memoKey]bool{}
-	var dfs func(mask int, val string, present bool) bool
-	dfs = func(mask int, val string, present bool) bool {
-		if mask == 1<<n-1 {
-			return true
-		}
-		k := memoKey{mask, val, present}
-		if seen[k] {
-			return false
-		}
-		seen[k] = true
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				continue
+		r.RetBool = ok
+	case lincheck.Get:
+		if hd, ok := m.Get(key); ok {
+			b, err := m.CopyValue(hd, nil)
+			if err == nil {
+				r.RetBool = true
+				r.RetVal = string(b)
 			}
-			// Real-time constraint: i may be linearized now only if no
-			// other undone op returned before i was invoked.
-			ok := true
-			for j := 0; j < n; j++ {
-				if j != i && mask&(1<<j) == 0 && ops[j].ret < ops[i].inv {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			nv, np, legal := regApply(val, present, ops[i])
-			if legal && dfs(mask|1<<i, nv, np) {
-				return true
-			}
+			// A read racing a remove between Get and CopyValue observes
+			// "absent": its linearization point is the failed read lock,
+			// still within [Inv, Ret].
 		}
-		return false
+	case lincheck.Upsert:
+		err := m.PutIfAbsentComputeIfPresent(key, []byte(arg),
+			func(w *WBuffer) error {
+				// Append "|arg", resizing in place — the compute runs
+				// atomically exactly once.
+				cur := append([]byte(nil), w.Bytes()...)
+				return w.Set(append(append(cur, '|'), arg...))
+			})
+		if err != nil {
+			t.Errorf("upsert: %v", err)
+		}
+	case lincheck.Compute:
+		ok, err := m.ComputeIfPresent(key, func(w *WBuffer) error {
+			cur := append([]byte(nil), w.Bytes()...)
+			return w.Set(append(append(cur, '#'), arg...))
+		})
+		if err != nil {
+			t.Errorf("compute: %v", err)
+		}
+		r.RetBool = ok
 	}
-	return dfs(0, "", false)
-}
-
-// TestLinearizabilityCheckerSelf sanity-checks the checker itself.
-func TestLinearizabilityCheckerSelf(t *testing.T) {
-	// Legal: put(a) then get=a, sequential.
-	ok := linearizable([]opRecord{
-		{kind: lPut, arg: "a", inv: 1, ret: 2},
-		{kind: lGet, retBool: true, retVal: "a", inv: 3, ret: 4},
-	})
-	if !ok {
-		t.Fatal("legal history rejected")
-	}
-	// Illegal: get observes a value never written.
-	ok = linearizable([]opRecord{
-		{kind: lPut, arg: "a", inv: 1, ret: 2},
-		{kind: lGet, retBool: true, retVal: "b", inv: 3, ret: 4},
-	})
-	if ok {
-		t.Fatal("illegal read accepted")
-	}
-	// Illegal: get misses after a completed put with no removes.
-	ok = linearizable([]opRecord{
-		{kind: lPut, arg: "a", inv: 1, ret: 2},
-		{kind: lGet, retBool: false, inv: 3, ret: 4},
-	})
-	if ok {
-		t.Fatal("lost update accepted")
-	}
-	// Illegal: two putIfAbsent both succeed with no remove between.
-	ok = linearizable([]opRecord{
-		{kind: lPutIfAbsent, arg: "a", retBool: true, inv: 1, ret: 2},
-		{kind: lPutIfAbsent, arg: "b", retBool: true, inv: 3, ret: 4},
-	})
-	if ok {
-		t.Fatal("double putIfAbsent accepted")
-	}
-	// Legal: overlapping put and get may order either way.
-	ok = linearizable([]opRecord{
-		{kind: lPut, arg: "a", inv: 1, ret: 5},
-		{kind: lGet, retBool: false, inv: 2, ret: 3},
-	})
-	if !ok {
-		t.Fatal("overlapping ops over-constrained")
-	}
-	// Legal: compute applies to the present value; get sees the result.
-	ok = linearizable([]opRecord{
-		{kind: lPut, arg: "a", inv: 1, ret: 2},
-		{kind: lCompute, arg: "x", retBool: true, inv: 3, ret: 4},
-		{kind: lGet, retBool: true, retVal: "a#x", inv: 5, ret: 6},
-	})
-	if !ok {
-		t.Fatal("legal compute history rejected")
-	}
-	// Illegal: compute claims success on an absent key.
-	ok = linearizable([]opRecord{
-		{kind: lRemove, retBool: false, inv: 1, ret: 2},
-		{kind: lCompute, arg: "x", retBool: true, inv: 3, ret: 4},
-	})
-	if ok {
-		t.Fatal("compute on absent key accepted")
-	}
-	// Illegal: compute's effect lost (get sees pre-compute value after
-	// a sequential successful compute).
-	ok = linearizable([]opRecord{
-		{kind: lPut, arg: "a", inv: 1, ret: 2},
-		{kind: lCompute, arg: "x", retBool: true, inv: 3, ret: 4},
-		{kind: lGet, retBool: true, retVal: "a", inv: 5, ret: 6},
-	})
-	if ok {
-		t.Fatal("lost compute accepted")
-	}
-	// Multi-key: keys are independent — a put on k1 must not satisfy a
-	// get on k2...
-	ok = linearizable([]opRecord{
-		{key: "k1", kind: lPut, arg: "a", inv: 1, ret: 2},
-		{key: "k2", kind: lGet, retBool: true, retVal: "a", inv: 3, ret: 4},
-	})
-	if ok {
-		t.Fatal("cross-key read accepted")
-	}
-	// ...and per-key legality composes.
-	ok = linearizable([]opRecord{
-		{key: "k1", kind: lPut, arg: "a", inv: 1, ret: 2},
-		{key: "k2", kind: lPut, arg: "b", inv: 1, ret: 2},
-		{key: "k2", kind: lGet, retBool: true, retVal: "b", inv: 3, ret: 4},
-		{key: "k1", kind: lGet, retBool: true, retVal: "a", inv: 3, ret: 4},
-	})
-	if !ok {
-		t.Fatal("legal multi-key history rejected")
-	}
+	r.Ret = clock.Add(1)
+	return r
 }
 
 // TestSingleKeyLinearizability runs many small concurrent histories on
@@ -259,7 +97,7 @@ func TestSingleKeyLinearizability(t *testing.T) {
 			m.Put(ik(i), iv(i))
 		}
 		var clock atomic.Uint64
-		recs := make([][]opRecord, threads)
+		recs := make([][]lincheck.Op, threads)
 		var wg sync.WaitGroup
 		for g := 0; g < threads; g++ {
 			wg.Add(1)
@@ -267,67 +105,18 @@ func TestSingleKeyLinearizability(t *testing.T) {
 				defer wg.Done()
 				rng := rand.New(rand.NewPCG(uint64(h*threads+g), 77))
 				for i := 0; i < opsPerThread; i++ {
-					var r opRecord
-					r.kind = opKindL(rng.Uint64() % 5)
-					r.arg = fmt.Sprintf("g%d-%d", g, i)
-					r.inv = clock.Add(1)
-					switch r.kind {
-					case lPut:
-						if err := m.Put(key, []byte(r.arg)); err != nil {
-							t.Errorf("put: %v", err)
-							return
-						}
-					case lPutIfAbsent:
-						ok, err := m.PutIfAbsent(key, []byte(r.arg))
-						if err != nil {
-							t.Errorf("putIfAbsent: %v", err)
-							return
-						}
-						r.retBool = ok
-					case lRemove:
-						ok, err := m.Remove(key)
-						if err != nil {
-							t.Errorf("remove: %v", err)
-							return
-						}
-						r.retBool = ok
-					case lGet:
-						if hd, ok := m.Get(key); ok {
-							b, err := m.CopyValue(hd, nil)
-							if err == nil {
-								r.retBool = true
-								r.retVal = string(b)
-							}
-							// A read that raced with a remove between
-							// Get and CopyValue observes "absent": its
-							// linearization point is the failed read
-							// lock, still within [inv, ret].
-						}
-					case lUpsert:
-						tag := r.arg
-						err := m.PutIfAbsentComputeIfPresent(key, []byte(tag),
-							func(w *WBuffer) error {
-								// Append "|tag", resizing in place — the
-								// compute runs atomically exactly once.
-								cur := append([]byte(nil), w.Bytes()...)
-								return w.Set(append(append(cur, '|'), tag...))
-							})
-						if err != nil {
-							t.Errorf("upsert: %v", err)
-							return
-						}
-					}
-					r.ret = clock.Add(1)
-					recs[g] = append(recs[g], r)
+					kind := lincheck.Kind(rng.Uint64() % 5) // put..upsert
+					arg := fmt.Sprintf("g%d-%d", g, i)
+					recs[g] = append(recs[g], runRecordedOp(t, m, &clock, kind, key, arg))
 				}
 			}(g)
 		}
 		wg.Wait()
-		var all []opRecord
+		var all []lincheck.Op
 		for _, rs := range recs {
 			all = append(all, rs...)
 		}
-		if !linearizable(all) {
+		if !lincheck.Linearizable(all) {
 			for _, o := range all {
 				t.Logf("  %v", o)
 			}
@@ -337,65 +126,7 @@ func TestSingleKeyLinearizability(t *testing.T) {
 	}
 }
 
-// runRecordedOp executes one operation against m and returns its record
-// with invocation/response timestamps from clock. Operation errors are
-// reported through t (none of the recorded kinds should fail unless an
-// error-injecting fault point is armed, which recorded histories avoid).
-func runRecordedOp(t testing.TB, m *Map, clock *atomic.Uint64, kind opKindL, key []byte, arg string) opRecord {
-	r := opRecord{key: string(key), kind: kind, arg: arg}
-	r.inv = clock.Add(1)
-	switch kind {
-	case lPut:
-		if err := m.Put(key, []byte(arg)); err != nil {
-			t.Errorf("put: %v", err)
-		}
-	case lPutIfAbsent:
-		ok, err := m.PutIfAbsent(key, []byte(arg))
-		if err != nil {
-			t.Errorf("putIfAbsent: %v", err)
-		}
-		r.retBool = ok
-	case lRemove:
-		ok, err := m.Remove(key)
-		if err != nil {
-			t.Errorf("remove: %v", err)
-		}
-		r.retBool = ok
-	case lGet:
-		if hd, ok := m.Get(key); ok {
-			b, err := m.CopyValue(hd, nil)
-			if err == nil {
-				r.retBool = true
-				r.retVal = string(b)
-			}
-			// A read racing a remove between Get and CopyValue observes
-			// "absent": its linearization point is the failed read lock,
-			// still within [inv, ret].
-		}
-	case lUpsert:
-		err := m.PutIfAbsentComputeIfPresent(key, []byte(arg),
-			func(w *WBuffer) error {
-				cur := append([]byte(nil), w.Bytes()...)
-				return w.Set(append(append(cur, '|'), arg...))
-			})
-		if err != nil {
-			t.Errorf("upsert: %v", err)
-		}
-	case lCompute:
-		ok, err := m.ComputeIfPresent(key, func(w *WBuffer) error {
-			cur := append([]byte(nil), w.Bytes()...)
-			return w.Set(append(append(cur, '#'), arg...))
-		})
-		if err != nil {
-			t.Errorf("compute: %v", err)
-		}
-		r.retBool = ok
-	}
-	r.ret = clock.Add(1)
-	return r
-}
-
-// TestMultiKeyLinearizability exercises the generalized checker: many
+// TestMultiKeyLinearizability exercises the multi-key checker: many
 // small concurrent histories over a handful of keys, with every modeled
 // operation kind including ComputeIfPresent, on a map with tiny chunks
 // so the keys' chunks split and merge under neighbour churn.
@@ -416,7 +147,7 @@ func TestMultiKeyLinearizability(t *testing.T) {
 			m.Put(ik(i), iv(i))
 		}
 		var clock atomic.Uint64
-		recs := make([][]opRecord, threads)
+		recs := make([][]lincheck.Op, threads)
 		var wg sync.WaitGroup
 		for g := 0; g < threads; g++ {
 			wg.Add(1)
@@ -424,7 +155,7 @@ func TestMultiKeyLinearizability(t *testing.T) {
 				defer wg.Done()
 				rng := rand.New(rand.NewPCG(uint64(h*threads+g), 99))
 				for i := 0; i < opsPerThread; i++ {
-					kind := opKindL(rng.Uint64() % 6)
+					kind := lincheck.Kind(rng.Uint64() % 6)
 					key := keys[rng.Uint64()%uint64(len(keys))]
 					arg := fmt.Sprintf("g%d-%d", g, i)
 					recs[g] = append(recs[g], runRecordedOp(t, m, &clock, kind, key, arg))
@@ -432,11 +163,11 @@ func TestMultiKeyLinearizability(t *testing.T) {
 			}(g)
 		}
 		wg.Wait()
-		var all []opRecord
+		var all []lincheck.Op
 		for _, rs := range recs {
 			all = append(all, rs...)
 		}
-		if !linearizable(all) {
+		if !lincheck.Linearizable(all) {
 			for _, o := range all {
 				t.Logf("  %v", o)
 			}
@@ -458,7 +189,7 @@ func TestSingleKeyLinearizabilityWithReclaim(t *testing.T) {
 		m := New(&Options{ChunkCapacity: 16, Pool: testPool(t), ReclaimHeaders: true})
 		var clock atomic.Uint64
 		var mu sync.Mutex
-		var all []opRecord
+		var all []lincheck.Op
 		var wg sync.WaitGroup
 		for g := 0; g < threads; g++ {
 			wg.Add(1)
@@ -466,35 +197,18 @@ func TestSingleKeyLinearizabilityWithReclaim(t *testing.T) {
 				defer wg.Done()
 				rng := rand.New(rand.NewPCG(uint64(h*31+g), 13))
 				for i := 0; i < 3; i++ {
-					var r opRecord
 					// Bias toward remove/insert churn to force slot reuse.
+					var kind lincheck.Kind
 					switch rng.Uint64() % 5 {
 					case 0, 1:
-						r.kind = lPutIfAbsent
+						kind = lincheck.PutIfAbsent
 					case 2, 3:
-						r.kind = lRemove
+						kind = lincheck.Remove
 					default:
-						r.kind = lGet
+						kind = lincheck.Get
 					}
-					r.arg = fmt.Sprintf("g%d-%d", g, i)
-					r.inv = clock.Add(1)
-					switch r.kind {
-					case lPutIfAbsent:
-						ok, _ := m.PutIfAbsent(key, []byte(r.arg))
-						r.retBool = ok
-					case lRemove:
-						ok, _ := m.Remove(key)
-						r.retBool = ok
-					case lGet:
-						if hd, ok := m.Get(key); ok {
-							b, err := m.CopyValue(hd, nil)
-							if err == nil {
-								r.retBool = true
-								r.retVal = string(b)
-							}
-						}
-					}
-					r.ret = clock.Add(1)
+					arg := fmt.Sprintf("g%d-%d", g, i)
+					r := runRecordedOp(t, m, &clock, kind, key, arg)
 					mu.Lock()
 					all = append(all, r)
 					mu.Unlock()
@@ -502,7 +216,7 @@ func TestSingleKeyLinearizabilityWithReclaim(t *testing.T) {
 			}(g)
 		}
 		wg.Wait()
-		if !linearizable(all) {
+		if !lincheck.Linearizable(all) {
 			for _, o := range all {
 				t.Logf("  %v", o)
 			}

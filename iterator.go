@@ -15,15 +15,16 @@ import "oakmap/internal/core"
 //
 // All scans are non-atomic: concurrently inserted or removed keys may or
 // may not be observed, but a key present throughout the scan is yielded
-// exactly once.
+// exactly once. On a sharded map the per-shard streams are merged back
+// into one globally ordered sequence; the same guarantees hold globally.
 
 // Ascend scans mappings with from ≤ key < to in ascending order (nil
 // bounds are open), creating fresh buffer views per entry.
 func (z ZeroCopyMap[K, V]) Ascend(from, to *K, f func(key, value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef, h: h},
-			&OakRBuffer{m: z.m.core, h: h})
+	z.m.be.Ascend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: src, keyRef: keyRef, h: h},
+			&OakRBuffer{m: src, h: h})
 	})
 }
 
@@ -31,28 +32,30 @@ func (z ZeroCopyMap[K, V]) Ascend(from, to *K, f func(key, value *OakRBuffer) bo
 // Oak's chunk-stack descending iterator (§4.2).
 func (z ZeroCopyMap[K, V]) Descend(from, to *K, f func(key, value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	z.m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef, h: h},
-			&OakRBuffer{m: z.m.core, h: h})
+	z.m.be.Descend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: src, keyRef: keyRef, h: h},
+			&OakRBuffer{m: src, h: h})
 	})
 }
 
 // AscendStream is Ascend with the stream API: the same two view objects
 // are re-filled for every entry.
 //
-// Stream key views carry no validation handle (h = 0): they are only
-// legal inside the callback, where the scan's epoch pin already keeps
-// the key bytes alive, so a key read never spuriously fails when the
-// entry is removed concurrently mid-callback. (Value views still fail
-// with ErrConcurrentModification after a delete — the value's space is
-// released under its own lock protocol, not the scan pin.)
+// Stream key views read the scan's own key slice directly (no handle
+// validation): the backend guarantees those bytes for exactly the
+// callback's duration — the plain scan's epoch pin keeps arena key bytes
+// alive, and the merged scan hands out its cursor-owned copy — so a key
+// read never spuriously fails when the entry is removed concurrently
+// mid-callback. (Value views still fail with ErrConcurrentModification
+// after a delete — the value's space is released under its own lock
+// protocol, not the scan pin.)
 func (z ZeroCopyMap[K, V]) AscendStream(from, to *K, f func(key, value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	kb := &OakRBuffer{m: z.m.core}
-	vb := &OakRBuffer{m: z.m.core}
-	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		kb.keyRef = keyRef
-		vb.h = h
+	kb := &OakRBuffer{}
+	vb := &OakRBuffer{}
+	z.m.be.Ascend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		kb.view = key
+		vb.m, vb.h = src, h
 		return f(kb, vb)
 	})
 }
@@ -60,11 +63,11 @@ func (z ZeroCopyMap[K, V]) AscendStream(from, to *K, f func(key, value *OakRBuff
 // DescendStream is Descend with the stream API.
 func (z ZeroCopyMap[K, V]) DescendStream(from, to *K, f func(key, value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	kb := &OakRBuffer{m: z.m.core}
-	vb := &OakRBuffer{m: z.m.core}
-	z.m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		kb.keyRef = keyRef // h stays 0: see AscendStream
-		vb.h = h
+	kb := &OakRBuffer{}
+	vb := &OakRBuffer{}
+	z.m.be.Descend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		kb.view = key // no handle: see AscendStream
+		vb.m, vb.h = src, h
 		return f(kb, vb)
 	})
 }
@@ -72,25 +75,25 @@ func (z ZeroCopyMap[K, V]) DescendStream(from, to *K, f func(key, value *OakRBuf
 // Keys scans keys only (ascending), with fresh views.
 func (z ZeroCopyMap[K, V]) Keys(from, to *K, f func(key *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		return f(&OakRBuffer{m: z.m.core, keyRef: keyRef, h: h})
+	z.m.be.Ascend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: src, keyRef: keyRef, h: h})
 	})
 }
 
 // Values scans values only (ascending), with fresh views.
 func (z ZeroCopyMap[K, V]) Values(from, to *K, f func(value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		return f(&OakRBuffer{m: z.m.core, h: h})
+	z.m.be.Ascend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		return f(&OakRBuffer{m: src, h: h})
 	})
 }
 
 // KeysStream is Keys with the stream API: one reused key view.
 func (z ZeroCopyMap[K, V]) KeysStream(from, to *K, f func(key *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	kb := &OakRBuffer{m: z.m.core}
-	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		kb.keyRef = keyRef // h stays 0: see AscendStream
+	kb := &OakRBuffer{}
+	z.m.be.Ascend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		kb.view = key // no handle: see AscendStream
 		return f(kb)
 	})
 }
@@ -98,9 +101,9 @@ func (z ZeroCopyMap[K, V]) KeysStream(from, to *K, f func(key *OakRBuffer) bool)
 // ValuesStream is Values with the stream API: one reused value view.
 func (z ZeroCopyMap[K, V]) ValuesStream(from, to *K, f func(value *OakRBuffer) bool) {
 	lo, hi := z.m.boundBytes(from), z.m.boundBytes(to)
-	vb := &OakRBuffer{m: z.m.core}
-	z.m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		vb.h = h
+	vb := &OakRBuffer{}
+	z.m.be.Ascend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		vb.m, vb.h = src, h
 		return f(vb)
 	})
 }

@@ -81,3 +81,81 @@ func TestLeakGateChurnDrains(t *testing.T) {
 		t.Fatalf("LiveBytes = %d after full drain (bound %d): reclamation leak", s.LiveBytes, liveBound)
 	}
 }
+
+// TestLeakGateShardedChurnDrains is the leak gate for the sharded
+// front-end: the same delete-heavy churn and full drain, but across 4
+// hash-partitioned shards, each with its own arena and epoch domain. The
+// gate is per shard, not just in aggregate — KeyLeakBytes must be
+// exactly zero and limbo empty on EVERY shard, so a single shard
+// leaking cannot hide behind the others' totals.
+func TestLeakGateShardedChurnDrains(t *testing.T) {
+	const shards = 4
+	m := New[uint64, []byte](Uint64Serializer{}, BytesSerializer{},
+		&Options{ChunkCapacity: 64, BlockSize: 1 << 20, ReclaimHeaders: true, Shards: shards})
+	defer m.Close()
+	zc := m.ZC()
+
+	const (
+		keySpace = 4096
+		workers  = 4
+		opsPer   = 50_000
+	)
+	val := make([]byte, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xC0FFEE))
+			v := make([]byte, len(val))
+			for i := 0; i < opsPer; i++ {
+				k := rng.Uint64N(keySpace)
+				switch op := rng.Uint64N(100); {
+				case op < 45:
+					zc.Put(k, v)
+				case op < 90:
+					zc.Remove(k)
+				default:
+					if buf := zc.Get(k); buf != nil {
+						buf.Len()
+					}
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+
+	for k := uint64(0); k < keySpace; k++ {
+		zc.Remove(k)
+	}
+	s, ok := m.StatsConsistent()
+	if !ok {
+		t.Fatal("StatsConsistent failed: some shard's limbo did not drain with no readers pinned")
+	}
+	if s.Shards != shards {
+		t.Fatalf("Stats.Shards = %d, want %d", s.Shards, shards)
+	}
+	if s.Len != 0 {
+		t.Fatalf("Len = %d after removing every key", s.Len)
+	}
+	per := m.ShardStats()
+	if len(per) != shards {
+		t.Fatalf("ShardStats returned %d entries, want %d", len(per), shards)
+	}
+	for i, ss := range per {
+		t.Logf("shard %d: len=%d live=%d keyLeak=%d limboItems=%d limboBytes=%d chunks=%d",
+			i, ss.Len, ss.LiveBytes, ss.KeyLeakBytes, ss.LimboItems, ss.LimboBytes, ss.Chunks)
+		if ss.KeyLeakBytes != 0 {
+			t.Fatalf("shard %d: KeyLeakBytes = %d with default key reclamation", i, ss.KeyLeakBytes)
+		}
+		if ss.LimboItems != 0 || ss.LimboBytes != 0 {
+			t.Fatalf("shard %d: limbo not drained: items=%d bytes=%d", i, ss.LimboItems, ss.LimboBytes)
+		}
+		// Per-shard residual tail: same chunk-metadata bound as the plain
+		// gate; each shard holds its own head chunk.
+		const liveBound = 16 * 1024
+		if ss.LiveBytes > liveBound {
+			t.Fatalf("shard %d: LiveBytes = %d after full drain (bound %d)", i, ss.LiveBytes, liveBound)
+		}
+	}
+}

@@ -17,6 +17,13 @@
 // All point operations — Get, Put, PutIfAbsent, Remove, ComputeIfPresent,
 // PutIfAbsentComputeIfPresent — are linearizable; update lambdas execute
 // atomically, exactly once. Scans are non-atomic, as in the paper.
+//
+// Setting Options.Shards hash-partitions the map across that many
+// independent Oak instances (per-shard arena, epoch domain and chunk
+// list) behind the same API: point operations route to one shard, and
+// ordered scans merge the per-shard streams back into one globally
+// sorted sequence. Sharding trades a small per-scan merge cost for
+// eliminating cross-core contention on the hottest structures.
 package oakmap
 
 import (
@@ -26,6 +33,7 @@ import (
 
 	"oakmap/internal/arena"
 	"oakmap/internal/core"
+	"oakmap/sharded"
 )
 
 // Comparator orders serialized keys. It must be consistent with the key
@@ -39,19 +47,27 @@ var ErrConcurrentModification = core.ErrConcurrentModification
 
 // Options configures a Map. The zero value (or nil) gives the paper's
 // defaults: 4096-entry chunks, rebalance at 50% unsorted, 100MB blocks
-// from the process-wide shared pool.
+// from the process-wide shared pool, one shard.
 type Options struct {
 	// ChunkCapacity is the number of entry slots per chunk.
 	ChunkCapacity int
 	// RebalanceRatio controls when a chunk reorganizes (see DESIGN.md).
 	RebalanceRatio float64
 	// BlockSize, when non-zero, gives this map a private block pool with
-	// the given block size instead of the shared 100MB-block pool.
+	// the given block size instead of the shared 100MB-block pool. With
+	// Shards > 1 the private pool is shared by all shards, so the map's
+	// off-heap budget stays global while each shard allocates from it
+	// independently.
 	BlockSize int
 	// PoolMaxBytes bounds the private pool (requires BlockSize).
 	PoolMaxBytes int64
 	// Comparator overrides the default bytes.Compare key order.
 	Comparator Comparator
+	// Shards, when > 1, hash-partitions the map across that many
+	// independent Oak instances. Keys route by a stable hash; ordered
+	// scans and navigation queries transparently merge the shards back
+	// into one globally sorted view. 0 and 1 mean a single instance.
+	Shards int
 	// DisableFirstFit disables free-space reuse (ablation studies).
 	DisableFirstFit bool
 	// FlatFreeList selects the paper's flat first-fit free list instead
@@ -70,14 +86,16 @@ type Options struct {
 	// map: sharded op counters, sampled op-latency histograms, structural
 	// gauges and a flight recorder of rebalance/epoch/arena events (see
 	// NewTelemetry). Nil — the default — disables telemetry entirely; the
-	// hot path then pays a single nil check per operation.
+	// hot path then pays a single nil check per operation. With
+	// Shards > 1 every shard feeds the same scope and the gauges roll the
+	// shards up (plus per-shard breakdowns for imbalance debugging).
 	Telemetry *Telemetry
 }
 
 // Map is an Oak map from K to V. Create instances with New; the zero
 // value is not usable. All methods are safe for concurrent use.
 type Map[K, V any] struct {
-	core   *core.Map
+	be     backend
 	keySer Serializer[K]
 	valSer Serializer[V]
 
@@ -102,23 +120,30 @@ func New[K, V any](keySer Serializer[K], valSer Serializer[V], opts *Options) *M
 		// interleave several maps' lifecycles into one recorder.
 		pool.SetTelemetry(rec)
 	}
-	m := &Map[K, V]{
-		core: core.New(&core.Options{
-			ChunkCapacity:     o.ChunkCapacity,
-			RebalanceRatio:    o.RebalanceRatio,
-			Pool:              pool,
-			Comparator:        cmp,
-			DisableFirstFit:   o.DisableFirstFit,
-			FlatFreeList:      o.FlatFreeList,
-			DisableKeyReclaim: o.DisableKeyReclaim,
-			ReclaimHeaders:    o.ReclaimHeaders,
-			Telemetry:         rec,
-		}),
-		keySer: keySer,
-		valSer: valSer,
+	copts := &core.Options{
+		ChunkCapacity:     o.ChunkCapacity,
+		RebalanceRatio:    o.RebalanceRatio,
+		Pool:              pool,
+		Comparator:        cmp,
+		DisableFirstFit:   o.DisableFirstFit,
+		FlatFreeList:      o.FlatFreeList,
+		DisableKeyReclaim: o.DisableKeyReclaim,
+		ReclaimHeaders:    o.ReclaimHeaders,
+		Telemetry:         rec,
 	}
-	if rec != nil {
-		registerMapGauges(rec, m.core)
+	m := &Map[K, V]{keySer: keySer, valSer: valSer}
+	if o.Shards > 1 {
+		s := sharded.New(o.Shards, copts)
+		m.be = shardedBackend{s: s}
+		if rec != nil {
+			registerShardedGauges(rec, s)
+		}
+	} else {
+		c := core.New(copts)
+		m.be = plainBackend{c: c}
+		if rec != nil {
+			registerMapGauges(rec, c)
+		}
 	}
 	m.keyBufs.New = func() any { b := make([]byte, 0, 64); return &b }
 	return m
@@ -154,19 +179,41 @@ func (m *Map[K, V]) valueWriter(v V) core.ValueWriter {
 	}
 }
 
-// Len returns the number of mappings.
-func (m *Map[K, V]) Len() int { return m.core.Len() }
+// Len returns the number of mappings (summed across shards).
+func (m *Map[K, V]) Len() int {
+	n := 0
+	for _, c := range m.be.Shards() {
+		n += c.Len()
+	}
+	return n
+}
 
 // Footprint returns the map's total off-heap memory in bytes — the fast
 // RAM-footprint estimate the paper calls out as a first-class feature.
-func (m *Map[K, V]) Footprint() int64 { return m.core.Footprint() }
+func (m *Map[K, V]) Footprint() int64 {
+	var n int64
+	for _, c := range m.be.Shards() {
+		n += c.Footprint()
+	}
+	return n
+}
 
 // LiveBytes returns the off-heap bytes currently holding keys and values.
-func (m *Map[K, V]) LiveBytes() int64 { return m.core.LiveBytes() }
+func (m *Map[K, V]) LiveBytes() int64 {
+	var n int64
+	for _, c := range m.be.Shards() {
+		n += c.LiveBytes()
+	}
+	return n
+}
+
+// NumShards returns the number of independent Oak instances behind the
+// map: 1 unless Options.Shards asked for more.
+func (m *Map[K, V]) NumShards() int { return len(m.be.Shards()) }
 
 // Close releases the map's off-heap blocks back to their pool. The map
 // and any outstanding buffer views become invalid.
-func (m *Map[K, V]) Close() { m.core.Close() }
+func (m *Map[K, V]) Close() { m.be.Close() }
 
 // ZC returns the map's zero-copy view (the paper's map.zc()).
 func (m *Map[K, V]) ZC() ZeroCopyMap[K, V] { return ZeroCopyMap[K, V]{m} }
@@ -177,11 +224,12 @@ func (m *Map[K, V]) ZC() ZeroCopyMap[K, V] { return ZeroCopyMap[K, V]{m} }
 func (m *Map[K, V]) Get(k K) (V, bool) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
+	c := m.be.ShardFor(*kb)
 	var out V
 	found := false
-	h, ok := m.core.Get(*kb)
+	h, ok := c.Get(*kb)
 	if ok {
-		err := m.core.ReadValue(h, func(b []byte) error {
+		err := c.ReadValue(h, func(b []byte) error {
 			out = m.valSer.Deserialize(b)
 			found = true
 			return nil
@@ -199,10 +247,11 @@ func (m *Map[K, V]) Put(k K, v V) (prev V, replaced bool, err error) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
 	vb := m.serializeVal(v)
+	c := m.be.ShardFor(*kb) // one route for the whole swap loop
 	for {
 		var old V
 		got := false
-		ok, cerr := m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+		ok, cerr := c.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
 			old = m.valSer.Deserialize(w.Bytes())
 			got = true
 			return w.Set(vb)
@@ -213,7 +262,7 @@ func (m *Map[K, V]) Put(k K, v V) (prev V, replaced bool, err error) {
 		if ok && got {
 			return old, true, nil
 		}
-		ins, perr := m.core.PutIfAbsent(*kb, vb)
+		ins, perr := c.PutIfAbsent(*kb, vb)
 		if perr != nil {
 			return prev, false, perr
 		}
@@ -230,20 +279,21 @@ func (m *Map[K, V]) PutIfAbsent(k K, v V) (existing V, inserted bool, err error)
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
 	vb := m.serializeVal(v)
+	c := m.be.ShardFor(*kb)
 	for {
-		ins, perr := m.core.PutIfAbsent(*kb, vb)
+		ins, perr := c.PutIfAbsent(*kb, vb)
 		if perr != nil {
 			return existing, false, perr
 		}
 		if ins {
 			return existing, true, nil
 		}
-		h, ok := m.core.Get(*kb)
+		h, ok := c.Get(*kb)
 		if !ok {
 			continue // removed in between; retry
 		}
 		var out V
-		rerr := m.core.ReadValue(h, func(b []byte) error {
+		rerr := c.ReadValue(h, func(b []byte) error {
 			out = m.valSer.Deserialize(b)
 			return nil
 		})
@@ -258,6 +308,7 @@ func (m *Map[K, V]) PutIfAbsent(k K, v V) (existing V, inserted bool, err error)
 func (m *Map[K, V]) Remove(k K) (prev V, removed bool, err error) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
+	c := m.be.ShardFor(*kb)
 	// Copy the value atomically at the removal point: computeIfPresent's
 	// lambda snapshots the value, then the remove races; to keep it
 	// one-shot we snapshot under the compute lock and remove after. If a
@@ -265,7 +316,7 @@ func (m *Map[K, V]) Remove(k K) (prev V, removed bool, err error) {
 	// "returned value was the mapped value at some point" contract holds.
 	var snap V
 	got := false
-	_, cerr := m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+	_, cerr := c.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
 		snap = m.valSer.Deserialize(w.Bytes())
 		got = true
 		return nil
@@ -273,7 +324,7 @@ func (m *Map[K, V]) Remove(k K) (prev V, removed bool, err error) {
 	if cerr != nil {
 		return prev, false, cerr
 	}
-	ok, rerr := m.core.Remove(*kb)
+	ok, rerr := c.Remove(*kb)
 	if rerr != nil {
 		return prev, false, rerr
 	}
@@ -289,7 +340,7 @@ func (m *Map[K, V]) Remove(k K) (prev V, removed bool, err error) {
 func (m *Map[K, V]) ComputeIfPresent(k K, f func(V) V) (bool, error) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
-	return m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+	return m.be.ShardFor(*kb).ComputeIfPresent(*kb, func(w *core.WBuffer) error {
 		nv := f(m.valSer.Deserialize(w.Bytes()))
 		return w.Set(m.serializeVal(nv))
 	})
@@ -301,7 +352,7 @@ func (m *Map[K, V]) Merge(k K, v V, f func(V) V) error {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
 	vb := m.serializeVal(v)
-	return m.core.PutIfAbsentComputeIfPresent(*kb, vb, func(w *core.WBuffer) error {
+	return m.be.ShardFor(*kb).PutIfAbsentComputeIfPresent(*kb, vb, func(w *core.WBuffer) error {
 		nv := f(m.valSer.Deserialize(w.Bytes()))
 		return w.Set(m.serializeVal(nv))
 	})
@@ -309,14 +360,15 @@ func (m *Map[K, V]) Merge(k K, v V, f func(V) V) error {
 
 // Range calls f for each mapping with from ≤ k < to in ascending order,
 // deserializing both key and value (the legacy scan). Nil bounds are
-// open. Returning false stops the scan.
+// open. Returning false stops the scan. With shards the per-shard
+// streams arrive merged: f still sees one globally ascending sequence.
 func (m *Map[K, V]) Range(from, to *K, f func(k K, v V) bool) {
 	lo, hi := m.boundBytes(from), m.boundBytes(to)
-	m.core.Ascend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		k := m.keySer.Deserialize(m.core.KeyBytes(keyRef))
+	m.be.Ascend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		k := m.keySer.Deserialize(key)
 		var v V
 		ok := false
-		m.core.ReadValue(h, func(b []byte) error {
+		src.ReadValue(h, func(b []byte) error {
 			v = m.valSer.Deserialize(b)
 			ok = true
 			return nil
@@ -331,11 +383,11 @@ func (m *Map[K, V]) Range(from, to *K, f func(k K, v V) bool) {
 // RangeDescending is Range in descending key order.
 func (m *Map[K, V]) RangeDescending(from, to *K, f func(k K, v V) bool) {
 	lo, hi := m.boundBytes(from), m.boundBytes(to)
-	m.core.Descend(lo, hi, func(keyRef uint64, h core.ValueHandle) bool {
-		k := m.keySer.Deserialize(m.core.KeyBytes(keyRef))
+	m.be.Descend(lo, hi, func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool {
+		k := m.keySer.Deserialize(key)
 		var v V
 		ok := false
-		m.core.ReadValue(h, func(b []byte) error {
+		src.ReadValue(h, func(b []byte) error {
 			v = m.valSer.Deserialize(b)
 			ok = true
 			return nil
@@ -359,40 +411,40 @@ func (m *Map[K, V]) boundBytes(k *K) []byte {
 // --- Navigation queries ---
 
 // FirstKey returns the smallest key.
-func (m *Map[K, V]) FirstKey() (K, bool) { return m.keyOf(m.core.First()) }
+func (m *Map[K, V]) FirstKey() (K, bool) { return m.keyOf(m.be.First()) }
 
 // LastKey returns the greatest key.
-func (m *Map[K, V]) LastKey() (K, bool) { return m.keyOf(m.core.Last()) }
+func (m *Map[K, V]) LastKey() (K, bool) { return m.keyOf(m.be.Last()) }
 
 // FloorKey returns the greatest key ≤ k.
 func (m *Map[K, V]) FloorKey(k K) (K, bool) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
-	return m.keyOf(m.core.Floor(*kb))
+	return m.keyOf(m.be.Floor(*kb))
 }
 
 // CeilingKey returns the smallest key ≥ k.
 func (m *Map[K, V]) CeilingKey(k K) (K, bool) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
-	return m.keyOf(m.core.Ceiling(*kb))
+	return m.keyOf(m.be.Ceiling(*kb))
 }
 
 // LowerKey returns the greatest key < k.
 func (m *Map[K, V]) LowerKey(k K) (K, bool) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
-	return m.keyOf(m.core.Lower(*kb))
+	return m.keyOf(m.be.Lower(*kb))
 }
 
 // HigherKey returns the smallest key > k.
 func (m *Map[K, V]) HigherKey(k K) (K, bool) {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
-	return m.keyOf(m.core.Higher(*kb))
+	return m.keyOf(m.be.Higher(*kb))
 }
 
-func (m *Map[K, V]) keyOf(keyRef uint64, h core.ValueHandle, ok bool) (K, bool) {
+func (m *Map[K, V]) keyOf(src *core.Map, keyRef uint64, h core.ValueHandle, ok bool) (K, bool) {
 	var zero K
 	if !ok {
 		return zero, false
@@ -401,7 +453,7 @@ func (m *Map[K, V]) keyOf(keyRef uint64, h core.ValueHandle, ok bool) (K, bool) 
 	// Deserialize under an epoch pin; a mapping deleted in the window
 	// since the navigation query is reported as absent rather than read
 	// from possibly-recycled bytes.
-	err := m.core.ReadKey(keyRef, h, func(b []byte) error {
+	err := src.ReadKey(keyRef, h, func(b []byte) error {
 		out = m.keySer.Deserialize(b)
 		return nil
 	})
@@ -412,6 +464,10 @@ func (m *Map[K, V]) keyOf(keyRef uint64, h core.ValueHandle, ok bool) (K, bool) 
 }
 
 // Stats exposes internal counters for observability and experiments.
+// For a sharded map the counters are rolled up: sums for sizes and
+// totals, the maximum for Epoch (domains advance independently), and a
+// footprint-weighted mean for Fragmentation. ShardStats exposes the
+// per-shard breakdown.
 type Stats struct {
 	Len          int
 	Footprint    int64
@@ -420,6 +476,9 @@ type Stats struct {
 	Chunks       int
 	KeyLeakBytes int64
 	HeaderCount  uint64
+	// Shards is the number of independent Oak instances rolled into this
+	// snapshot (1 for an unsharded map).
+	Shards int
 	// FreeSpans and Fragmentation summarize the allocator's free
 	// structures: parked spans awaiting reuse, and free-list bytes as a
 	// fraction of the footprint.
@@ -435,6 +494,28 @@ type Stats struct {
 	LimboBytes    int64
 }
 
+// statsOf snapshots one core map into the public Stats shape.
+func statsOf(c *core.Map) Stats {
+	as := c.ArenaStats()
+	rs := c.ReclaimStats()
+	return Stats{
+		Len:           c.Len(),
+		Footprint:     c.Footprint(),
+		LiveBytes:     c.LiveBytes(),
+		Rebalances:    c.Rebalances(),
+		Chunks:        c.NumChunks(),
+		KeyLeakBytes:  c.KeyLeakBytes(),
+		HeaderCount:   c.HeaderCount(),
+		Shards:        1,
+		FreeSpans:     as.FreeSpans,
+		Fragmentation: as.Fragmentation,
+		Epoch:         rs.Epoch,
+		PinnedReaders: rs.Pinned,
+		LimboItems:    rs.LimboItems,
+		LimboBytes:    rs.LimboBytes,
+	}
+}
+
 // Stats returns a snapshot of the map's internals.
 //
 // The snapshot is weak: each field is read atomically, but the fields
@@ -446,36 +527,58 @@ type Stats struct {
 // polling loops. Tests and invariant checks that compare fields against
 // each other should use StatsConsistent instead.
 func (m *Map[K, V]) Stats() Stats {
-	as := m.core.ArenaStats()
-	rs := m.core.ReclaimStats()
-	return Stats{
-		Len:           m.core.Len(),
-		Footprint:     m.core.Footprint(),
-		LiveBytes:     m.core.LiveBytes(),
-		Rebalances:    m.core.Rebalances(),
-		Chunks:        m.core.NumChunks(),
-		KeyLeakBytes:  m.core.KeyLeakBytes(),
-		HeaderCount:   m.core.HeaderCount(),
-		FreeSpans:     as.FreeSpans,
-		Fragmentation: as.Fragmentation,
-		Epoch:         rs.Epoch,
-		PinnedReaders: rs.Pinned,
-		LimboItems:    rs.LimboItems,
-		LimboBytes:    rs.LimboBytes,
+	var agg Stats
+	var fragWeighted float64
+	for _, c := range m.be.Shards() {
+		s := statsOf(c)
+		agg.Len += s.Len
+		agg.Footprint += s.Footprint
+		agg.LiveBytes += s.LiveBytes
+		agg.Rebalances += s.Rebalances
+		agg.Chunks += s.Chunks
+		agg.KeyLeakBytes += s.KeyLeakBytes
+		agg.HeaderCount += s.HeaderCount
+		agg.Shards++
+		agg.FreeSpans += s.FreeSpans
+		fragWeighted += s.Fragmentation * float64(s.Footprint)
+		if s.Epoch > agg.Epoch {
+			agg.Epoch = s.Epoch
+		}
+		agg.PinnedReaders += s.PinnedReaders
+		agg.LimboItems += s.LimboItems
+		agg.LimboBytes += s.LimboBytes
 	}
+	if agg.Footprint > 0 {
+		agg.Fragmentation = fragWeighted / float64(agg.Footprint)
+	}
+	return agg
+}
+
+// ShardStats returns one Stats snapshot per shard, index-stable; a
+// single-element slice for an unsharded map. Use it to spot routing
+// imbalance or a shard whose reclamation is lagging.
+func (m *Map[K, V]) ShardStats() []Stats {
+	shards := m.be.Shards()
+	out := make([]Stats, len(shards))
+	for i, c := range shards {
+		out[i] = statsOf(c)
+	}
+	return out
 }
 
 // Quiesce cycles the reclamation epoch until the deferred-free limbo
-// drains, reporting whether it emptied (false means a reader stayed
-// pinned throughout). Useful before footprint assertions and in tests.
-func (m *Map[K, V]) Quiesce() bool { return m.core.QuiesceReclaim() }
+// drains on every shard, reporting whether all emptied (false means a
+// reader stayed pinned somewhere). Useful before footprint assertions
+// and in tests.
+func (m *Map[K, V]) Quiesce() bool { return m.be.Quiesce() }
 
 // StatsConsistent returns a mutually consistent snapshot of the map's
 // internals: it quiesces reclamation, then re-reads Stats until two
 // consecutive reads are identical — at that point no counter moved
 // between the first field read and the last, so the fields describe one
 // moment and can be compared against each other (LiveBytes vs
-// Footprint, LimboItems == 0, ...).
+// Footprint, LimboItems == 0, ...). For a sharded map the fixpoint
+// covers every shard: no counter on any shard moved during the read.
 //
 // ok is false when consistency could not be established: either the
 // limbo would not drain (a reader stayed pinned) or concurrent mutators
@@ -484,7 +587,7 @@ func (m *Map[K, V]) Quiesce() bool { return m.core.QuiesceReclaim() }
 // barriers, shutdown); under sustained load it degrades to a weak
 // snapshot with ok=false.
 func (m *Map[K, V]) StatsConsistent() (Stats, bool) {
-	drained := m.core.QuiesceReclaim()
+	drained := m.be.Quiesce()
 	prev := m.Stats()
 	for i := 0; i < 16; i++ {
 		cur := m.Stats()
@@ -501,7 +604,7 @@ func (m *Map[K, V]) StatsConsistent() (Stats, bool) {
 func (m *Map[K, V]) ContainsKey(k K) bool {
 	kb := m.serializeKey(k)
 	defer m.releaseKey(kb)
-	_, ok := m.core.Get(*kb)
+	_, ok := m.be.ShardFor(*kb).Get(*kb)
 	return ok
 }
 
@@ -510,19 +613,19 @@ func (m *Map[K, V]) ContainsKey(k K) bool {
 // races, so concurrent pollers each receive distinct entries.
 func (m *Map[K, V]) PollFirst() (k K, v V, ok bool, err error) {
 	for {
-		keyRef, h, found := m.core.First()
+		src, keyRef, h, found := m.be.First()
 		if !found {
 			return k, v, false, nil
 		}
 		var key []byte
-		if m.core.ReadKey(keyRef, h, func(b []byte) error {
+		if src.ReadKey(keyRef, h, func(b []byte) error {
 			key = append(key, b...)
 			return nil
 		}) != nil {
 			continue // removed under us; retry
 		}
 		got := false
-		rerr := m.core.ReadValue(h, func(b []byte) error {
+		rerr := src.ReadValue(h, func(b []byte) error {
 			v = m.valSer.Deserialize(b)
 			got = true
 			return nil
@@ -530,7 +633,7 @@ func (m *Map[K, V]) PollFirst() (k K, v V, ok bool, err error) {
 		if rerr != nil {
 			continue // removed under us; retry
 		}
-		removed, rmErr := m.core.Remove(key)
+		removed, rmErr := src.Remove(key)
 		if rmErr != nil {
 			return k, v, false, rmErr
 		}
@@ -544,19 +647,19 @@ func (m *Map[K, V]) PollFirst() (k K, v V, ok bool, err error) {
 // PollLast atomically removes and returns the greatest entry.
 func (m *Map[K, V]) PollLast() (k K, v V, ok bool, err error) {
 	for {
-		keyRef, h, found := m.core.Last()
+		src, keyRef, h, found := m.be.Last()
 		if !found {
 			return k, v, false, nil
 		}
 		var key []byte
-		if m.core.ReadKey(keyRef, h, func(b []byte) error {
+		if src.ReadKey(keyRef, h, func(b []byte) error {
 			key = append(key, b...)
 			return nil
 		}) != nil {
 			continue // removed under us; retry
 		}
 		got := false
-		rerr := m.core.ReadValue(h, func(b []byte) error {
+		rerr := src.ReadValue(h, func(b []byte) error {
 			v = m.valSer.Deserialize(b)
 			got = true
 			return nil
@@ -564,7 +667,7 @@ func (m *Map[K, V]) PollLast() (k K, v V, ok bool, err error) {
 		if rerr != nil {
 			continue
 		}
-		removed, rmErr := m.core.Remove(key)
+		removed, rmErr := src.Remove(key)
 		if rmErr != nil {
 			return k, v, false, rmErr
 		}

@@ -1,0 +1,80 @@
+package sharded
+
+import (
+	"bytes"
+	"testing"
+
+	"oakmap/internal/arena"
+	"oakmap/internal/core"
+)
+
+// FuzzRouter feeds arbitrary keys and shard counts through the router
+// and a live sharded map, checking the properties everything above the
+// hash relies on:
+//
+//   - routing is pure: the same key maps to the same in-range shard on
+//     every call;
+//   - exactly one shard owns the key: after Put through the map, the
+//     routed shard's Get finds it and no other shard does;
+//   - the round trip is faithful: Get-after-Put returns the value, the
+//     merged scan yields the key exactly once, and Remove erases it
+//     everywhere.
+func FuzzRouter(f *testing.F) {
+	f.Add([]byte(""), uint8(0))
+	f.Add([]byte("a"), uint8(3))
+	f.Add([]byte("oak/sharded"), uint8(15))
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x2a}, uint8(4)) // ik(42)
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint8(255))
+	f.Fuzz(func(t *testing.T, key []byte, n uint8) {
+		if len(key) > 1<<12 {
+			key = key[:1<<12] // keep allocations inside the test pool's blocks
+		}
+		shards := 1 + int(n%16)
+		m := New(shards, &core.Options{ChunkCapacity: 16, Pool: arena.NewPool(1<<20, 0)})
+		defer m.Close()
+
+		idx := m.ShardIndex(key)
+		if idx < 0 || idx >= shards {
+			t.Fatalf("ShardIndex out of range: %d of %d", idx, shards)
+		}
+		for rep := 0; rep < 3; rep++ {
+			if got := m.ShardIndex(key); got != idx {
+				t.Fatalf("routing unstable: %d then %d", idx, got)
+			}
+		}
+
+		if err := m.Put(key, []byte("fuzz-value")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		h, ok := m.Get(key)
+		if !ok {
+			t.Fatal("Get after Put missed")
+		}
+		b, err := m.ShardFor(key).CopyValue(h, nil)
+		if err != nil || string(b) != "fuzz-value" {
+			t.Fatalf("round trip: %q, %v", b, err)
+		}
+		for i, s := range m.Shards() {
+			_, has := s.Get(key)
+			if has != (i == idx) {
+				t.Fatalf("shard %d presence=%v; owner is %d", i, has, idx)
+			}
+		}
+		seen := 0
+		m.Ascend(nil, nil, func(src *core.Map, k []byte, kr uint64, vh core.ValueHandle) bool {
+			if bytes.Equal(k, key) {
+				seen++
+			}
+			return true
+		})
+		if seen != 1 {
+			t.Fatalf("merged scan yielded the key %d times", seen)
+		}
+		if ok, err := m.Remove(key); !ok || err != nil {
+			t.Fatalf("Remove: %v, %v", ok, err)
+		}
+		if _, still := m.Get(key); still {
+			t.Fatal("key survived Remove")
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package sharded
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oakmap/internal/core"
+	"oakmap/internal/lincheck"
+)
+
+// These tests extend the Wing & Gong campaign (internal/lincheck) across
+// the sharding layer: point-op histories must stay linearizable when the
+// keys are scattered over shards, and merged ordered scans must be
+// per-step linearizable (every yielded value was current at some instant
+// inside its step) while staying globally sorted and duplicate-free.
+
+// runShardedOp mirrors core's runRecordedOp against the sharded map.
+func runShardedOp(t testing.TB, m *Map, clock *atomic.Uint64, kind lincheck.Kind, key []byte, arg string) lincheck.Op {
+	r := lincheck.Op{Key: string(key), Kind: kind, Arg: arg}
+	r.Inv = clock.Add(1)
+	switch kind {
+	case lincheck.Put:
+		if err := m.Put(key, []byte(arg)); err != nil {
+			t.Errorf("put: %v", err)
+		}
+	case lincheck.PutIfAbsent:
+		ok, err := m.PutIfAbsent(key, []byte(arg))
+		if err != nil {
+			t.Errorf("putIfAbsent: %v", err)
+		}
+		r.RetBool = ok
+	case lincheck.Remove:
+		ok, err := m.Remove(key)
+		if err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		r.RetBool = ok
+	case lincheck.Get:
+		s := m.ShardFor(key)
+		if hd, ok := s.Get(key); ok {
+			b, err := s.CopyValue(hd, nil)
+			if err == nil {
+				r.RetBool = true
+				r.RetVal = string(b)
+			}
+		}
+	case lincheck.Upsert:
+		err := m.PutIfAbsentComputeIfPresent(key, []byte(arg),
+			func(w *core.WBuffer) error {
+				cur := append([]byte(nil), w.Bytes()...)
+				return w.Set(append(append(cur, '|'), arg...))
+			})
+		if err != nil {
+			t.Errorf("upsert: %v", err)
+		}
+	case lincheck.Compute:
+		ok, err := m.ComputeIfPresent(key, func(w *core.WBuffer) error {
+			cur := append([]byte(nil), w.Bytes()...)
+			return w.Set(append(append(cur, '#'), arg...))
+		})
+		if err != nil {
+			t.Errorf("compute: %v", err)
+		}
+		r.RetBool = ok
+	}
+	r.Ret = clock.Add(1)
+	return r
+}
+
+// watchedKeys picks nKeys keys that provably land on distinct shards, so
+// the history truly crosses shard boundaries.
+func watchedKeys(t *testing.T, m *Map, nKeys int) [][]byte {
+	t.Helper()
+	var keys [][]byte
+	used := map[int]bool{}
+	for i := 0; len(keys) < nKeys; i++ {
+		if i > 1<<16 {
+			t.Fatal("could not find keys on distinct shards")
+		}
+		k := ik(i)
+		if s := m.ShardIndex(k); !used[s] {
+			used[s] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestShardedPointOpLinearizability records concurrent multi-key
+// histories whose keys are spread across distinct shards.
+func TestShardedPointOpLinearizability(t *testing.T) {
+	const histories = 80
+	const threads = 4
+	const opsPerThread = 4
+	for h := 0; h < histories; h++ {
+		m := New(3, &core.Options{ChunkCapacity: 16, Pool: testPool(t)})
+		keys := watchedKeys(t, m, 3)
+		// Neighbour churn so chunks rebalance in every shard.
+		for i := 100; i < 160; i++ {
+			m.Put(ik(i), iv(i))
+		}
+		var clock atomic.Uint64
+		recs := make([][]lincheck.Op, threads)
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(h*threads+g), 55))
+				for i := 0; i < opsPerThread; i++ {
+					kind := lincheck.Kind(rng.Uint64() % 6)
+					key := keys[rng.Uint64()%uint64(len(keys))]
+					arg := fmt.Sprintf("g%d-%d", g, i)
+					recs[g] = append(recs[g], runShardedOp(t, m, &clock, kind, key, arg))
+				}
+			}(g)
+		}
+		wg.Wait()
+		var all []lincheck.Op
+		for _, rs := range recs {
+			all = append(all, rs...)
+		}
+		if !lincheck.Linearizable(all) {
+			for _, o := range all {
+				t.Logf("  %v", o)
+			}
+			t.Fatalf("sharded history %d is not linearizable", h)
+		}
+		m.Close()
+	}
+}
+
+// TestShardedScanLinearizability adds merged cross-shard scans to the
+// history: each scan step is recorded with its own timestamps, converted
+// to a Get by lincheck.ScanOps, and checked together with the writers'
+// ops; the raw step sequence is separately checked for global order.
+func TestShardedScanLinearizability(t *testing.T) {
+	const histories = 40
+	const threads = 3
+	const opsPerThread = 3
+	for h := 0; h < histories; h++ {
+		m := New(3, &core.Options{ChunkCapacity: 16, Pool: testPool(t)})
+		keys := watchedKeys(t, m, 3)
+		watched := map[string]bool{}
+		for _, k := range keys {
+			watched[string(k)] = true
+		}
+		// Background residents so merged scans actually interleave
+		// shards around the watched keys.
+		for i := 100; i < 140; i++ {
+			m.Put(ik(i), iv(i))
+		}
+		var clock atomic.Uint64
+		var mu sync.Mutex
+		var all []lincheck.Op
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(h*threads+g), 66))
+				for i := 0; i < opsPerThread; i++ {
+					kind := lincheck.Kind(rng.Uint64() % 6)
+					key := keys[rng.Uint64()%uint64(len(keys))]
+					arg := fmt.Sprintf("g%d-%d", g, i)
+					r := runShardedOp(t, m, &clock, kind, key, arg)
+					mu.Lock()
+					all = append(all, r)
+					mu.Unlock()
+				}
+			}(g)
+		}
+		// Scanner: two merged passes per history, recorded step by step
+		// through the pull cursor so each step gets a tight window.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 2; pass++ {
+				desc := pass%2 == 1
+				cur := m.NewCursor(nil, nil, desc)
+				var steps []lincheck.ScanStep  // every yield, for order
+				var valued []lincheck.ScanStep // yields whose value read succeeded
+				for {
+					inv := clock.Add(1)
+					src, key, _, hd, ok := cur.Next()
+					if !ok {
+						break
+					}
+					st := lincheck.ScanStep{Key: string(key), Inv: inv}
+					val, err := src.CopyValue(hd, nil)
+					st.Ret = clock.Add(1)
+					steps = append(steps, st)
+					if err == nil {
+						st.Val = string(val)
+						valued = append(valued, st)
+					}
+				}
+				if i := lincheck.ScanOrdered(steps, desc, bytes.Compare); i != -1 {
+					mu.Lock()
+					t.Errorf("history %d: scan step %d out of global order (desc=%v)", h, i, desc)
+					mu.Unlock()
+					return
+				}
+				ops := lincheck.ScanOps(valued, func(k string) bool { return watched[k] })
+				mu.Lock()
+				all = append(all, ops...)
+				mu.Unlock()
+			}
+		}()
+		wg.Wait()
+		if !lincheck.Linearizable(all) {
+			for _, o := range all {
+				t.Logf("  %v", o)
+			}
+			t.Fatalf("sharded scan history %d is not linearizable", h)
+		}
+		m.Close()
+	}
+}

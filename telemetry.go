@@ -9,6 +9,7 @@ import (
 	"oakmap/internal/core"
 	"oakmap/internal/telemetry"
 	"oakmap/internal/telemetry/export"
+	"oakmap/sharded"
 )
 
 // Telemetry is the map's observability scope: sharded op counters,
@@ -199,5 +200,68 @@ func registerMapGauges(r *telemetry.Recorder, c *core.Map) {
 			func() float64 { return float64(c.ArenaStats().Classes[idx].Spans) })
 		reg(fmt.Sprintf("oak_arena_class_bytes{class=%q}", fmt.Sprint(cs.Size)), telemetry.KindGauge,
 			func() float64 { return float64(c.ArenaStats().Classes[idx].Bytes) })
+	}
+}
+
+// registerShardedGauges wires a sharded map's read-outs into the
+// recorder: the same oak_* names as a plain map carrying the rollup
+// across shards (sums; oak_epoch reports the max shard epoch), plus an
+// oak_shards gauge and per-shard labeled gauges for the signals that
+// matter per partition — occupancy, live bytes, key-leak accounting,
+// and rebalance pressure. Per-class arena gauges are deliberately not
+// exported per shard: the cardinality (shards × classes) drowns scrapes
+// for no diagnostic gain.
+func registerShardedGauges(r *telemetry.Recorder, s *sharded.Map) {
+	shards := s.Shards()
+	reg := func(name string, kind telemetry.GaugeKind, f func() float64) {
+		r.RegisterGauge(name, kind, f)
+	}
+	sum := func(per func(c *core.Map) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, c := range shards {
+				t += per(c)
+			}
+			return t
+		}
+	}
+
+	reg("oak_shards", telemetry.KindGauge, func() float64 { return float64(len(shards)) })
+
+	reg("oak_len", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.Len()) }))
+	reg("oak_footprint_bytes", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.Footprint()) }))
+	reg("oak_live_bytes", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.LiveBytes()) }))
+	reg("oak_chunks", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.NumChunks()) }))
+	reg("oak_rebalances_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.Rebalances()) }))
+	reg("oak_key_leak_bytes", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.KeyLeakBytes()) }))
+	reg("oak_header_count", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.HeaderCount()) }))
+
+	reg("oak_epoch", telemetry.KindCounter, func() float64 {
+		var m uint64
+		for _, c := range shards {
+			if e := c.ReclaimStats().Epoch; e > m {
+				m = e
+			}
+		}
+		return float64(m)
+	})
+	reg("oak_pinned_readers", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().Pinned) }))
+	reg("oak_limbo_items", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().LimboItems) }))
+	reg("oak_limbo_bytes", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().LimboBytes) }))
+	reg("oak_epoch_advances_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().Advances) }))
+	reg("oak_epoch_drains_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().Drains) }))
+	reg("oak_epoch_slot_overflows_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().SlotOverflows) }))
+
+	reg("oak_arena_blocks", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.ArenaStats().Blocks) }))
+	reg("oak_arena_free_spans", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.ArenaStats().FreeSpans) }))
+	reg("oak_arena_alloc_calls_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ArenaStats().AllocCalls) }))
+
+	for i, c := range shards {
+		c := c
+		lbl := fmt.Sprintf("{shard=%q}", fmt.Sprint(i))
+		reg("oak_shard_len"+lbl, telemetry.KindGauge, func() float64 { return float64(c.Len()) })
+		reg("oak_shard_live_bytes"+lbl, telemetry.KindGauge, func() float64 { return float64(c.LiveBytes()) })
+		reg("oak_shard_key_leak_bytes"+lbl, telemetry.KindGauge, func() float64 { return float64(c.KeyLeakBytes()) })
+		reg("oak_shard_rebalances_total"+lbl, telemetry.KindCounter, func() float64 { return float64(c.Rebalances()) })
 	}
 }

@@ -19,6 +19,13 @@ type OakRBuffer struct {
 	h      core.ValueHandle
 	keyRef uint64 // non-zero for key buffers
 	snap   []byte // non-nil for detached snapshots made by Copy
+	// view, when non-nil, is a scope-bound borrowed slice the buffer
+	// reads directly — the stream-scan key representation. Unlike snap it
+	// is NOT owned: it aliases memory (a scan's pinned arena bytes or a
+	// merge cursor's reused resume copy) that is only valid inside the
+	// callback or until the next iterator step, exactly the lifetime the
+	// stream API grants its views. Copy() detaches it into a real snap.
+	view []byte
 }
 
 // Read runs f on the buffer's current bytes, atomically with respect to
@@ -27,6 +34,9 @@ type OakRBuffer struct {
 func (b *OakRBuffer) Read(f func([]byte) error) error {
 	if b.snap != nil {
 		return f(b.snap)
+	}
+	if b.view != nil {
+		return f(b.view)
 	}
 	if b.keyRef != 0 {
 		// Key view: read under an epoch pin, validated against the
@@ -151,11 +161,12 @@ type ZeroCopyMap[K, V any] struct {
 func (z ZeroCopyMap[K, V]) Get(k K) *OakRBuffer {
 	kb := z.m.serializeKey(k)
 	defer z.m.releaseKey(kb)
-	h, ok := z.m.core.Get(*kb)
+	c := z.m.be.ShardFor(*kb)
+	h, ok := c.Get(*kb)
 	if !ok {
 		return nil
 	}
-	return &OakRBuffer{m: z.m.core, h: h}
+	return &OakRBuffer{m: c, h: h}
 }
 
 // Put maps k to v, serializing v directly into off-heap memory. Unlike
@@ -163,21 +174,21 @@ func (z ZeroCopyMap[K, V]) Get(k K) *OakRBuffer {
 func (z ZeroCopyMap[K, V]) Put(k K, v V) error {
 	kb := z.m.serializeKey(k)
 	defer z.m.releaseKey(kb)
-	return z.m.core.PutWriter(*kb, z.m.valueWriter(v))
+	return z.m.be.ShardFor(*kb).PutWriter(*kb, z.m.valueWriter(v))
 }
 
 // PutIfAbsent inserts k→v if absent, reporting whether it inserted.
 func (z ZeroCopyMap[K, V]) PutIfAbsent(k K, v V) (bool, error) {
 	kb := z.m.serializeKey(k)
 	defer z.m.releaseKey(kb)
-	return z.m.core.PutIfAbsentWriter(*kb, z.m.valueWriter(v))
+	return z.m.be.ShardFor(*kb).PutIfAbsentWriter(*kb, z.m.valueWriter(v))
 }
 
 // Remove deletes the mapping for k without returning the old value.
 func (z ZeroCopyMap[K, V]) Remove(k K) error {
 	kb := z.m.serializeKey(k)
 	defer z.m.releaseKey(kb)
-	_, err := z.m.core.Remove(*kb)
+	_, err := z.m.be.ShardFor(*kb).Remove(*kb)
 	return err
 }
 
@@ -187,7 +198,7 @@ func (z ZeroCopyMap[K, V]) Remove(k K) error {
 func (z ZeroCopyMap[K, V]) ComputeIfPresent(k K, f func(OakWBuffer) error) (bool, error) {
 	kb := z.m.serializeKey(k)
 	defer z.m.releaseKey(kb)
-	return z.m.core.ComputeIfPresent(*kb, func(w *core.WBuffer) error {
+	return z.m.be.ShardFor(*kb).ComputeIfPresent(*kb, func(w *core.WBuffer) error {
 		return f(OakWBuffer{w})
 	})
 }
@@ -199,7 +210,7 @@ func (z ZeroCopyMap[K, V]) ComputeIfPresent(k K, f func(OakWBuffer) error) (bool
 func (z ZeroCopyMap[K, V]) PutIfAbsentComputeIfPresent(k K, v V, f func(OakWBuffer) error) error {
 	kb := z.m.serializeKey(k)
 	defer z.m.releaseKey(kb)
-	return z.m.core.PutIfAbsentComputeIfPresentWriter(*kb, z.m.valueWriter(v), func(w *core.WBuffer) error {
+	return z.m.be.ShardFor(*kb).PutIfAbsentComputeIfPresentWriter(*kb, z.m.valueWriter(v), func(w *core.WBuffer) error {
 		return f(OakWBuffer{w})
 	})
 }
