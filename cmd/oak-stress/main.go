@@ -103,10 +103,22 @@ func main() {
 		progress  = flag.Duration("progress", 0, "print a periodic telemetry summary to stderr (enables telemetry)")
 		shards    = flag.Int("shards", 0, "hash-shard the map across N core maps (0 or 1 = plain)")
 		zipf      = flag.Float64("zipf", 0, "draw worker keys from Zipf(s) instead of uniform (requires s > 1; 0 = uniform)")
+		netAddr   = flag.String("net", "", "drive an oak-server at this address over RESP instead of an in-process map")
 	)
 	flag.Parse()
 	if *zipf != 0 && *zipf <= 1 {
 		log.Fatalf("-zipf requires an exponent > 1 (got %g)", *zipf)
+	}
+	if *netAddr != "" {
+		runNet(netConfig{
+			addr:     *netAddr,
+			duration: *duration,
+			workers:  *workers,
+			keys:     *keys,
+			valSize:  *valSize,
+			zipf:     *zipf,
+		})
+		return
 	}
 
 	var tel *oakmap.Telemetry

@@ -1,0 +1,290 @@
+package main
+
+// The -net mode points the soak at an oak-server over loopback (or any
+// network) instead of an in-process map: same zipfian/uniform key
+// generators, same resident invariant, but every operation crosses the
+// RESP protocol as a pipelined batch. It measures what the wire costs
+// relative to direct calls (EXPERIMENTS.md records both) and doubles as
+// the CI smoke that a server under concurrent pipelined load keeps the
+// global scan order and never loses a resident.
+//
+// The in-process compute/counter atomicity checks don't apply here —
+// the protocol has no compute verb — so net mode checks what the wire
+// can express: reply shape per command, strict global byte order across
+// full SCAN passes, and resident presence.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	mrand "math/rand" // v1: home of rand.Zipf
+	"math/rand/v2"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oakmap/internal/server"
+)
+
+type netConfig struct {
+	addr     string
+	duration time.Duration
+	workers  int
+	keys     int
+	valSize  int
+	zipf     float64
+}
+
+// netPipeline is the commands-per-batch depth workers drive. Deep enough
+// to amortize syscalls and exercise the server's batched flushing, small
+// enough that a batch drains well inside the write timeout.
+const netPipeline = 32
+
+// netKey encodes a key so that byte order equals numeric order — SCAN
+// order checks then need no decoding beyond bytes.Compare.
+func netKey(k uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], k)
+	return b[:]
+}
+
+func runNet(cfg netConfig) {
+	log.Printf("net mode: driving %s (%d workers, pipeline %d, zipf=%g)",
+		cfg.addr, cfg.workers, netPipeline, cfg.zipf)
+
+	var viol violations
+	var ops atomic.Int64
+	var validations atomic.Int64
+
+	// Residents: same invariant as in-process mode — keys 0, 10, 20, ...
+	// are seeded once and never touched destructively; every full SCAN
+	// pass must see each exactly once, in order.
+	residents := cfg.keys / 10
+	seed, err := server.Dial(cfg.addr, 5*time.Second)
+	if err != nil {
+		log.Fatalf("dial %s: %v", cfg.addr, err)
+	}
+	val := make([]byte, cfg.valSize)
+	// Seed in pipelined batches, reading the replies batch-by-batch so
+	// neither side's socket buffer has to absorb the whole keyspace.
+	for base := 0; base < residents; base += netPipeline {
+		n := netPipeline
+		if base+n > residents {
+			n = residents - base
+		}
+		for i := base; i < base+n; i++ {
+			seed.Send([]byte("SET"), netKey(uint64(i*10)), val)
+		}
+		if err := seed.Flush(); err != nil {
+			log.Fatalf("seed flush: %v", err)
+		}
+		for i := base; i < base+n; i++ {
+			r, err := seed.Recv()
+			if err != nil {
+				log.Fatalf("seed resident %d: %v", i, err)
+			}
+			if !r.IsOK() {
+				log.Fatalf("seed resident %d: %s", i, r)
+			}
+		}
+	}
+	seed.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(wseed uint64) {
+			defer wg.Done()
+			cl, err := server.Dial(cfg.addr, 5*time.Second)
+			if err != nil {
+				viol.reportf("worker dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewPCG(wseed, 0x57e55))
+			var zg *mrand.Zipf
+			if cfg.zipf > 1 {
+				zg = mrand.NewZipf(mrand.New(mrand.NewSource(int64(wseed))),
+					cfg.zipf, 1, uint64(cfg.keys-1))
+			}
+			key := func() []byte {
+				var k uint64
+				if zg != nil {
+					k = zg.Uint64()
+				} else {
+					k = rng.Uint64() % uint64(cfg.keys)
+				}
+				if k%10 == 0 {
+					k++ // never touch residents destructively
+				}
+				return netKey(k)
+			}
+			// want[i] records the reply check for slot i of the batch:
+			// 's' = +OK, 'i' = integer, 'g' = bulk or nil, 'a' = array.
+			want := make([]byte, 0, netPipeline)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				want = want[:0]
+				for len(want) < netPipeline {
+					switch rng.Uint64() % 10 {
+					case 0, 1, 2:
+						cl.Send([]byte("SET"), key(), val)
+						want = append(want, 's')
+					case 3:
+						cl.Send([]byte("DEL"), key())
+						want = append(want, 'i')
+					case 4:
+						cl.Send([]byte("EXISTS"), key(), key())
+						want = append(want, 'i')
+					case 5:
+						cl.Send([]byte("MGET"), key(), key(), key(), key())
+						want = append(want, 'a')
+					default:
+						cl.Send([]byte("GET"), key())
+						want = append(want, 'g')
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					viol.reportf("worker flush: %v", err)
+					return
+				}
+				for _, w := range want {
+					r, err := cl.Recv()
+					if err != nil {
+						viol.reportf("worker recv: %v", err)
+						return
+					}
+					switch {
+					case r.Kind == server.ReplyError:
+						viol.reportf("command error reply: %s", r)
+					case w == 's' && !r.IsOK():
+						viol.reportf("SET reply not +OK: %s", r)
+					case w == 'i' && r.Kind != server.ReplyInt:
+						viol.reportf("integer reply expected, got %s", r)
+					case w == 'g' && r.Kind != server.ReplyBulk && r.Kind != server.ReplyNil:
+						viol.reportf("bulk-or-nil reply expected, got %s", r)
+					case w == 'a' && r.Kind != server.ReplyArray:
+						viol.reportf("array reply expected, got %s", r)
+					}
+				}
+				ops.Add(netPipeline)
+			}
+		}(uint64(w + 1))
+	}
+
+	// Validator: full SCAN passes over the wire while the storm rages,
+	// checking strict global byte order and resident presence — the same
+	// invariants the in-process validator proves, through the protocol's
+	// cursor pagination (and, with -shards on the server, through the
+	// cross-shard merge).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl, err := server.Dial(cfg.addr, 5*time.Second)
+		if err != nil {
+			viol.reportf("validator dial: %v", err)
+			return
+		}
+		defer cl.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			netValidate(cl, residents, &viol)
+			validations.Add(1)
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Post-storm: one quiet SCAN pass so a racing page boundary can't be
+	// blamed for a missing resident, then DBSIZE for the summary.
+	cl, err := server.Dial(cfg.addr, 5*time.Second)
+	var dbsize int64
+	if err != nil {
+		viol.reportf("final dial: %v", err)
+	} else {
+		netValidate(cl, residents, &viol)
+		validations.Add(1)
+		if r, err := cl.DoStrings("DBSIZE"); err == nil && r.Kind == server.ReplyInt {
+			dbsize = r.Int
+		}
+		cl.Close()
+	}
+
+	verdict := "PASS"
+	if viol.total() > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Printf("%s: %d ops in %s (%.0f Kops/s over the wire), %d scan passes, %d violations\n",
+		verdict, ops.Load(), elapsed.Round(time.Millisecond),
+		float64(ops.Load())/elapsed.Seconds()/1000, validations.Load(), viol.total())
+	fmt.Printf("  server=%s workers=%d pipeline=%d dbsize=%d residents=%d\n",
+		cfg.addr, cfg.workers, netPipeline, dbsize, residents)
+	if viol.total() > 0 {
+		fmt.Printf("violations (%d total, first %d with context):\n", viol.total(), len(viol.msgs))
+		for _, msg := range viol.msgs {
+			fmt.Printf("  VIOLATION: %s\n", msg)
+		}
+		os.Exit(1)
+	}
+}
+
+// netValidate runs one full keyspace pass via SCAN pagination: every
+// page must be internally ordered and start strictly after the previous
+// page's last key, and every resident must appear exactly once.
+func netValidate(cl *server.Client, residents int, viol *violations) {
+	cursor := []byte("0")
+	var prev []byte
+	first := true
+	seenResidents := 0
+	ordered := true
+	for {
+		r, err := cl.Do([]byte("SCAN"), cursor, []byte("COUNT"), []byte("512"))
+		if err != nil {
+			viol.reportf("validator scan: %v", err)
+			return
+		}
+		if r.Kind != server.ReplyArray || len(r.Elems) != 2 ||
+			r.Elems[0].Kind != server.ReplyBulk || r.Elems[1].Kind != server.ReplyArray {
+			viol.reportf("validator scan: malformed reply %s", r)
+			return
+		}
+		for _, el := range r.Elems[1].Elems {
+			key := el.Str
+			if !first && bytes.Compare(key, prev) <= 0 {
+				viol.reportf("ORDER VIOLATION: key %x scanned after %x", key, prev)
+				ordered = false
+			}
+			prev, first = key, false
+			if len(key) == 8 {
+				k := binary.BigEndian.Uint64(key)
+				if k%10 == 0 && k < uint64(residents*10) {
+					seenResidents++
+				}
+			}
+		}
+		cursor = r.Elems[0].Str
+		if len(cursor) == 1 && cursor[0] == '0' {
+			break
+		}
+	}
+	if ordered && seenResidents != residents {
+		viol.reportf("RESIDENT VIOLATION: saw %d of %d resident keys over the wire",
+			seenResidents, residents)
+	}
+}

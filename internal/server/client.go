@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Client is a minimal pipelining RESP client, shared by the server
+// tests and oak-stress's -net mode. It is synchronous and single-owner:
+// Send buffers commands, Flush writes them, Recv reads one reply —
+// callers interleave them to pipeline (N Sends, Flush, N Recvs). Not
+// safe for concurrent use; each worker owns one Client.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	w    *respWriter
+}
+
+// Dial connects to an oak-server (or any RESP2 server) at addr.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+	}
+	c.w = newRespWriter(conn)
+	c.bw = c.w.bw
+	return c
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Conn exposes the underlying connection (tests set deadlines or
+// close it mid-pipeline on purpose).
+func (c *Client) Conn() net.Conn { return c.conn }
+
+// Send buffers one command frame.
+func (c *Client) Send(args ...[]byte) {
+	c.w.writeArrayHeader(len(args))
+	for _, a := range args {
+		c.w.writeBulk(a)
+	}
+}
+
+// SendStrings is Send for string arguments.
+func (c *Client) SendStrings(args ...string) {
+	c.w.writeArrayHeader(len(args))
+	for _, a := range args {
+		c.w.writeBulkString(a)
+	}
+}
+
+// Flush writes every buffered command to the socket.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// ReplyKind discriminates Reply.
+type ReplyKind byte
+
+const (
+	ReplySimple ReplyKind = '+'
+	ReplyError  ReplyKind = '-'
+	ReplyInt    ReplyKind = ':'
+	ReplyBulk   ReplyKind = '$'
+	ReplyArray  ReplyKind = '*'
+	ReplyNil    ReplyKind = '0' // nil bulk or nil array
+)
+
+// Reply is one parsed server reply. Bulk/Simple/Error payloads are in
+// Str (owned, safe to retain); arrays nest in Elems.
+type Reply struct {
+	Kind  ReplyKind
+	Str   []byte
+	Int   int64
+	Elems []Reply
+}
+
+// IsOK reports a "+OK" reply.
+func (r Reply) IsOK() bool { return r.Kind == ReplySimple && string(r.Str) == "OK" }
+
+// Recv reads one reply (blocking).
+func (c *Client) Recv() (Reply, error) { return readReply(c.br, 0) }
+
+// Do sends one command, flushes, and reads its reply.
+func (c *Client) Do(args ...[]byte) (Reply, error) {
+	c.Send(args...)
+	if err := c.Flush(); err != nil {
+		return Reply{}, err
+	}
+	return c.Recv()
+}
+
+// DoStrings is Do for string arguments.
+func (c *Client) DoStrings(args ...string) (Reply, error) {
+	c.SendStrings(args...)
+	if err := c.Flush(); err != nil {
+		return Reply{}, err
+	}
+	return c.Recv()
+}
+
+// maxReplyDepth bounds nested arrays; the protocol we speak never nests
+// past 2, so anything deeper is a framing bug, not data.
+const maxReplyDepth = 8
+
+func readReply(br *bufio.Reader, depth int) (Reply, error) {
+	if depth > maxReplyDepth {
+		return Reply{}, protoErrf("reply nesting too deep")
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	line, err := readReplyLine(br)
+	if err != nil {
+		return Reply{}, err
+	}
+	switch kind {
+	case '+', '-':
+		return Reply{Kind: ReplyKind(kind), Str: append([]byte(nil), line...)}, nil
+	case ':':
+		n, err := parseLen(line)
+		if err != nil {
+			return Reply{}, protoErrf("bad integer reply")
+		}
+		return Reply{Kind: ReplyInt, Int: int64(n)}, nil
+	case '$':
+		n, err := parseLen(line)
+		if err != nil || n > DefaultMaxBulk {
+			return Reply{}, protoErrf("bad bulk length")
+		}
+		if n < 0 {
+			return Reply{Kind: ReplyNil}, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return Reply{}, err
+		}
+		var crlf [2]byte
+		if _, err := io.ReadFull(br, crlf[:]); err != nil {
+			return Reply{}, err
+		}
+		if crlf != [2]byte{'\r', '\n'} {
+			return Reply{}, protoErrf("missing CRLF after bulk")
+		}
+		return Reply{Kind: ReplyBulk, Str: payload}, nil
+	case '*':
+		n, err := parseLen(line)
+		if err != nil || n > 1<<20 {
+			return Reply{}, protoErrf("bad array length")
+		}
+		if n < 0 {
+			return Reply{Kind: ReplyNil}, nil
+		}
+		out := Reply{Kind: ReplyArray, Elems: make([]Reply, 0, n)}
+		for i := 0; i < n; i++ {
+			el, err := readReply(br, depth+1)
+			if err != nil {
+				return Reply{}, err
+			}
+			out.Elems = append(out.Elems, el)
+		}
+		return out, nil
+	default:
+		return Reply{}, protoErrf("bad reply type %q", kind)
+	}
+}
+
+func readReplyLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, protoErrf("malformed reply line")
+	}
+	return line[:len(line)-2], nil
+}
+
+// String renders a reply for test failure messages.
+func (r Reply) String() string {
+	switch r.Kind {
+	case ReplySimple:
+		return "+" + string(r.Str)
+	case ReplyError:
+		return "-" + string(r.Str)
+	case ReplyInt:
+		return fmt.Sprintf(":%d", r.Int)
+	case ReplyBulk:
+		return fmt.Sprintf("$%q", r.Str)
+	case ReplyNil:
+		return "(nil)"
+	case ReplyArray:
+		return fmt.Sprintf("*%v", r.Elems)
+	}
+	return "?"
+}

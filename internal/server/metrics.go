@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"oakmap/internal/telemetry"
+)
+
+// cmdKind indexes the verb set for per-command counters and latency
+// histograms. parse failures and unknown verbs land on cmdOther.
+type cmdKind uint8
+
+const (
+	cmdGet cmdKind = iota
+	cmdSet
+	cmdSetNX
+	cmdDel
+	cmdExists
+	cmdMGet
+	cmdMSet
+	cmdScan
+	cmdDBSize
+	cmdPing
+	cmdInfo
+	cmdShutdown
+	cmdOther
+	numCmds
+)
+
+var cmdNames = [numCmds]string{
+	"get", "set", "setnx", "del", "exists", "mget", "mset",
+	"scan", "dbsize", "ping", "info", "shutdown", "other",
+}
+
+func (c cmdKind) String() string { return cmdNames[c] }
+
+// cmdSampleMask makes command latency a 1-in-64 sampled measurement,
+// the same shift the map's hot ops use (telemetry.DefaultSampleShift):
+// the sharded counter's Add return is per-stripe monotonic, which is
+// exactly what the 1-in-N test needs.
+const cmdSampleMask = 1<<telemetry.DefaultSampleShift - 1
+
+// metrics aggregates the server's observable state. Counters are the
+// sharded telemetry kind (many handler goroutines bump them); gauges
+// are registered on the map's Telemetry scope at construction so the
+// existing /metrics exporter carries the oak_server_* family without
+// the exporter learning anything server-specific.
+type metrics struct {
+	conns       atomic.Int64 // currently served connections
+	connsTotal  atomic.Int64 // accepted over the server's lifetime
+	rejected    atomic.Int64 // turned away at the MaxConns gate
+	panics      atomic.Int64 // handler panics recovered
+	timeouts    atomic.Int64 // connections dropped on read/write deadlines
+	protoErrors atomic.Int64 // connections dropped on framing violations
+
+	cmds    [numCmds]telemetry.Counter
+	cmdHist [numCmds]telemetry.AtomicHist
+
+	pipeline telemetry.AtomicHist // commands per flushed batch
+}
+
+// depthUnit maps a pipeline depth onto the latency histogram's bucket
+// layout: depth d is observed as d×100ns, so the log-bucketed quantiles
+// read back as depths after dividing the unit out (≤~41% relative
+// error, plenty for a batching-behavior signal).
+const depthUnit = 100 * time.Nanosecond
+
+func (m *metrics) observeDepth(depth int) {
+	m.pipeline.Observe(time.Duration(depth) * depthUnit)
+}
+
+func depthOf(d time.Duration) float64 { return float64(d) / float64(depthUnit) }
+
+// observe counts one command and, on the sampled subset, returns a
+// non-zero start time for latency recording via done.
+func (m *metrics) observe(c cmdKind) time.Time {
+	n := m.cmds[c].Add(1)
+	if uint64(n)&cmdSampleMask != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *metrics) done(c cmdKind, start time.Time) {
+	if !start.IsZero() {
+		m.cmdHist[c].Observe(time.Since(start))
+	}
+}
+
+// register exposes the server family on the map's telemetry scope.
+// Histograms surface as quantile gauges computed from the sampled
+// AtomicHist at scrape time — the same machinery as Telemetry.Summary.
+func (s *Server) registerMetrics() {
+	t := s.cfg.Telemetry
+	if t == nil {
+		return
+	}
+	m := &s.metrics
+	t.RegisterGauge("oak_server_connections", false, func() float64 { return float64(m.conns.Load()) })
+	t.RegisterGauge("oak_server_connections_total", true, func() float64 { return float64(m.connsTotal.Load()) })
+	t.RegisterGauge("oak_server_rejected_total", true, func() float64 { return float64(m.rejected.Load()) })
+	t.RegisterGauge("oak_server_panics_total", true, func() float64 { return float64(m.panics.Load()) })
+	t.RegisterGauge("oak_server_timeouts_total", true, func() float64 { return float64(m.timeouts.Load()) })
+	t.RegisterGauge("oak_server_proto_errors_total", true, func() float64 { return float64(m.protoErrors.Load()) })
+
+	for c := cmdKind(0); c < numCmds; c++ {
+		c := c
+		t.RegisterGauge(`oak_server_commands_total{cmd="`+c.String()+`"}`, true,
+			func() float64 { return float64(m.cmds[c].Load()) })
+		for _, q := range []struct {
+			label string
+			f     float64
+		}{{"0.5", 0.50}, {"0.99", 0.99}} {
+			q := q
+			t.RegisterGauge(`oak_server_cmd_latency_seconds{cmd="`+c.String()+`",quantile="`+q.label+`"}`, false,
+				func() float64 { return m.cmdHist[c].Snapshot().Quantile(q.f).Seconds() })
+		}
+	}
+
+	t.RegisterGauge(`oak_server_pipeline_depth{quantile="0.5"}`, false,
+		func() float64 { return depthOf(m.pipeline.Snapshot().Quantile(0.50)) })
+	t.RegisterGauge(`oak_server_pipeline_depth{quantile="0.99"}`, false,
+		func() float64 { return depthOf(m.pipeline.Snapshot().Quantile(0.99)) })
+	t.RegisterGauge("oak_server_pipeline_batches_total", true,
+		func() float64 { return float64(m.pipeline.Snapshot().Count) })
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func reader(s string) *respReader { return newRespReader(strings.NewReader(s), 0, 0) }
+
+func mustRead(t *testing.T, r *respReader) [][]byte {
+	t.Helper()
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatalf("ReadCommand: %v", err)
+	}
+	return args
+}
+
+func argsEq(args [][]byte, want ...string) bool {
+	if len(args) != len(want) {
+		return false
+	}
+	for i := range args {
+		if string(args[i]) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadCommandArray(t *testing.T) {
+	r := reader("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n")
+	if args := mustRead(t, r); !argsEq(args, "SET", "k", "hello") {
+		t.Fatalf("got %q", args)
+	}
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("want EOF after single frame, got %v", err)
+	}
+}
+
+func TestReadCommandEmptyBulk(t *testing.T) {
+	r := reader("*2\r\n$3\r\nGET\r\n$0\r\n\r\n")
+	if args := mustRead(t, r); !argsEq(args, "GET", "") {
+		t.Fatalf("got %q", args)
+	}
+}
+
+func TestReadCommandPipelined(t *testing.T) {
+	r := reader("*1\r\n$4\r\nPING\r\n*2\r\n$3\r\nGET\r\n$1\r\na\r\n")
+	if args := mustRead(t, r); !argsEq(args, "PING") {
+		t.Fatalf("got %q", args)
+	}
+	// strings.Reader delivers everything on the first fill, so the second
+	// frame is already in memory — buffered() is the pipelining signal.
+	if !r.buffered() {
+		t.Fatal("second frame should still be buffered")
+	}
+	if args := mustRead(t, r); !argsEq(args, "GET", "a") {
+		t.Fatalf("got %q", args)
+	}
+	if r.buffered() {
+		t.Fatal("no further frames should be buffered")
+	}
+}
+
+// The reader reuses its frame across calls — a handler that retained
+// args past the next ReadCommand would see them rewritten. This test
+// pins the aliasing contract (and documents it) rather than fighting it.
+func TestReadCommandReusesFrame(t *testing.T) {
+	r := reader("*2\r\n$3\r\nSET\r\n$3\r\naaa\r\n*2\r\n$3\r\nGET\r\n$3\r\nbbb\r\n")
+	first := mustRead(t, r)
+	keep := first[1] // aliases r.argBuf
+	second := mustRead(t, r)
+	if !argsEq(second, "GET", "bbb") {
+		t.Fatalf("got %q", second)
+	}
+	if string(keep) == "aaa" {
+		t.Fatal("expected first frame's backing bytes to be reused (contract change?)")
+	}
+}
+
+func TestReadInline(t *testing.T) {
+	r := reader("PING\r\n  SET   key  val \r\nquit\n")
+	if args := mustRead(t, r); !argsEq(args, "PING") {
+		t.Fatalf("got %q", args)
+	}
+	if args := mustRead(t, r); !argsEq(args, "SET", "key", "val") {
+		t.Fatalf("got %q", args)
+	}
+	// Bare LF (netcat convenience) is tolerated for inline commands.
+	if args := mustRead(t, r); !argsEq(args, "quit") {
+		t.Fatalf("got %q", args)
+	}
+}
+
+func TestReadInlineEmptyLine(t *testing.T) {
+	r := reader("\r\nPING\r\n")
+	if args := mustRead(t, r); len(args) != 0 {
+		t.Fatalf("empty line should yield an empty frame, got %q", args)
+	}
+	if args := mustRead(t, r); !argsEq(args, "PING") {
+		t.Fatalf("got %q", args)
+	}
+}
+
+func TestReadCommandProtocolErrors(t *testing.T) {
+	cases := map[string]string{
+		"negative multibulk": "*-1\r\n",
+		"plus-sign length":   "*+2\r\n$3\r\nGET\r\n$1\r\na\r\n",
+		"leading-zero bulk":  "*1\r\n$04\r\nPING\r\n",
+		"overflow length":    "*1\r\n$99999999999999999999\r\n",
+		"negative bulk":      "*1\r\n$-1\r\n",
+		"wrong marker":       "*1\r\n:123\r\n",
+		"missing CRLF":       "*1\r\n$4\r\nPINGxx",
+		"oversized bulk":     "*1\r\n$9000000\r\n",
+		"too many args":      "*2000\r\n",
+	}
+	for name, in := range cases {
+		r := reader(in)
+		_, err := r.ReadCommand()
+		if err == nil || !IsProtocolError(err) {
+			t.Errorf("%s: want protocol error, got %v", name, err)
+		}
+	}
+}
+
+func TestReadCommandTruncated(t *testing.T) {
+	// Truncation is an I/O condition (the peer died), not a protocol
+	// error — the handler closes quietly instead of replying.
+	for _, in := range []string{"*2\r\n$3\r\nGET\r\n", "*1\r\n$5\r\nhel", "*3\r\n"} {
+		r := reader(in)
+		_, err := r.ReadCommand()
+		if err == nil || IsProtocolError(err) {
+			t.Errorf("%q: want io error, got %v", in, err)
+		}
+	}
+}
+
+func TestReadCommandRespectsLimits(t *testing.T) {
+	r := newRespReader(strings.NewReader("*3\r\n$1\r\na\r\n$1\r\nb\r\n$1\r\nc\r\n"), 2, 0)
+	if _, err := r.ReadCommand(); !IsProtocolError(err) {
+		t.Fatalf("maxArgs=2 should reject a 3-arg frame, got %v", err)
+	}
+	r = newRespReader(strings.NewReader("*1\r\n$5\r\nhello\r\n"), 0, 4)
+	if _, err := r.ReadCommand(); !IsProtocolError(err) {
+		t.Fatalf("maxBulk=4 should reject a 5-byte bulk, got %v", err)
+	}
+}
+
+func TestParseLen(t *testing.T) {
+	good := map[string]int{"0": 0, "5": 5, "123": 123, "-1": -1, "2147483647": 1<<31 - 1}
+	for in, want := range good {
+		if n, err := parseLen([]byte(in)); err != nil || n != want {
+			t.Errorf("parseLen(%q) = %d, %v; want %d", in, n, err, want)
+		}
+	}
+	for _, in := range []string{"", "-", "+5", "05", "1e3", " 1", "99999999999999999999"} {
+		if _, err := parseLen([]byte(in)); err == nil {
+			t.Errorf("parseLen(%q) should fail", in)
+		}
+	}
+}
+
+func TestWriterFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := newRespWriter(&buf)
+	w.writeSimple("OK")
+	w.writeError("boom")
+	w.writeInt(-42)
+	w.writeNil()
+	w.writeBulk([]byte("hi"))
+	w.writeBulkString("")
+	w.writeArrayHeader(2)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR boom\r\n:-42\r\n$-1\r\n$2\r\nhi\r\n$0\r\n\r\n*2\r\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// Regression: the integer-formatting buffer must not alias scratch. A
+// value copied into scratch and passed to writeBulk would otherwise be
+// clobbered by its own length header.
+func TestWriterScratchNotClobbered(t *testing.T) {
+	var buf bytes.Buffer
+	w := newRespWriter(&buf)
+	w.scratch = append(w.scratch[:0], "precious-value"...)
+	out := w.scratch
+	w.writeBulk(out)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if want := "$14\r\nprecious-value\r\n"; buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// FuzzRESPParse drives the frame reader with arbitrary bytes under small
+// limits: it must never panic, never allocate past its limits, and
+// always terminate (every iteration ends in a frame or an error).
+func FuzzRESPParse(f *testing.F) {
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$1\r\na\r\n*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("PING\r\nSET a b\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n"))     // truncated frame
+	f.Add([]byte("*1\r\n$5\r\nhel"))         // truncated payload
+	f.Add([]byte("*1\r\n$99999999\r\n"))     // oversized bulk
+	f.Add([]byte("*99999999\r\n"))           // oversized multibulk
+	f.Add([]byte("*-1\r\n"))                 // negative multibulk
+	f.Add([]byte("*1\r\n$-1\r\n"))           // negative bulk
+	f.Add([]byte("*0\r\n*0\r\nPING\r\n"))    // empty frames then inline
+	f.Add([]byte("$5\r\nhello\r\n"))         // reply-typed frame as input
+	f.Add(bytes.Repeat([]byte{'*'}, 1024))   // marker spam
+	f.Add([]byte("*1\r\n$3\r\nabc\nxx\r\n")) // corrupt terminator
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newRespReader(bytes.NewReader(data), 16, 1024)
+		for i := 0; i < 64; i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				// From a pure byte stream only three error classes are
+				// legitimate: a framing violation, clean EOF, or EOF
+				// mid-frame. Anything else is a reader bug.
+				if !IsProtocolError(err) && !errors.Is(err, io.EOF) &&
+					!errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(args) > 16 {
+				t.Fatalf("frame exceeds maxArgs: %d", len(args))
+			}
+			for _, a := range args {
+				if len(a) > 1024 {
+					t.Fatalf("arg exceeds maxBulk: %d", len(a))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"oakmap"
+)
+
+// execScan implements the ordered range scan:
+//
+//	SCAN cursor [COUNT n] [END hi]
+//
+// Unlike Redis's hash-bucket SCAN, oak's keyspace is ordered, so the
+// cursor walks it in global key order (on a sharded map: merged across
+// shards). cursor is "0" to start; every reply carries the cursor for
+// the next batch ("0" when the range is exhausted). Cursors are opaque
+// to clients: internally they encode "resume strictly after key K", so
+// a batch boundary never skips or repeats keys even while writers
+// churn. END bounds the scan to keys < hi, which makes SCAN a paged
+// range query. Replies are [next-cursor, [key, ...]]; values are
+// fetched with MGET (or per-key GET) so a scan moves only the bytes the
+// client asked for.
+func (s *Server) execScan(w *respWriter, args [][]byte) {
+	if len(args) < 2 {
+		w.writeError("wrong number of arguments for 'scan' command")
+		return
+	}
+	var after []byte
+	switch cur := args[1]; {
+	case len(cur) == 1 && cur[0] == '0':
+		// fresh scan
+	case len(cur) > 1 && cur[0] == 'k':
+		after = cur[1:]
+	default:
+		w.writeError("invalid cursor")
+		return
+	}
+	count := s.cfg.ScanDefaultCount
+	var hi *[]byte
+	for i := 2; i < len(args); i += 2 {
+		if i+1 >= len(args) {
+			w.writeError("syntax error")
+			return
+		}
+		switch {
+		case eqFold(args[i], "COUNT"):
+			n, err := parseLen(args[i+1])
+			if err != nil || n <= 0 {
+				w.writeError("value is not an integer or out of range")
+				return
+			}
+			if n > s.cfg.ScanMaxCount {
+				n = s.cfg.ScanMaxCount
+			}
+			count = n
+		case eqFold(args[i], "END"):
+			end := args[i+1]
+			hi = &end
+		default:
+			w.writeError("syntax error")
+			return
+		}
+	}
+
+	// Collect up to count keys into one owned buffer (offs marks the
+	// boundaries). The stream view's bytes are only valid inside the
+	// callback, so each key is copied out exactly once, here.
+	var (
+		buf      []byte
+		offs     = []int{0}
+		from     *[]byte
+		firstDup = false // first yielded key may equal the resume key
+	)
+	if after != nil {
+		a := after
+		from = &a
+		firstDup = true
+	}
+	n := 0
+	s.zc.KeysStream(from, hi, func(key *oakmap.OakRBuffer) bool {
+		if firstDup {
+			firstDup = false
+			eq := false
+			key.Read(func(b []byte) error { eq = bytes.Equal(b, after); return nil })
+			if eq {
+				return true // resume key itself: already delivered last batch
+			}
+		}
+		out, err := key.AppendTo(buf)
+		if err != nil {
+			return true // deleted mid-yield: skip
+		}
+		buf = out
+		offs = append(offs, len(buf))
+		n++
+		return n < count
+	})
+
+	exhausted := n < count
+	w.writeArrayHeader(2)
+	if exhausted || n == 0 {
+		w.writeBulkString("0")
+	} else {
+		last := buf[offs[n-1]:offs[n]]
+		w.writeBulkHeader(1 + len(last))
+		w.bw.WriteByte('k')
+		w.bw.Write(last)
+		w.bw.WriteString("\r\n")
+	}
+	w.writeArrayHeader(n)
+	for i := 0; i < n; i++ {
+		w.writeBulk(buf[offs[i]:offs[i+1]])
+	}
+}
+
+// execInfo renders the INFO text: server totals, then the map rollup
+// and the per-shard leak/imbalance signals — the same numbers the
+// /metrics endpoint exports, in human-readable form.
+func (s *Server) execInfo(w *respWriter) {
+	var b bytes.Buffer
+	m := &s.metrics
+	fmt.Fprintf(&b, "# Server\r\n")
+	fmt.Fprintf(&b, "uptime_seconds:%d\r\n", int64(time.Since(s.start).Seconds()))
+	fmt.Fprintf(&b, "connected_clients:%d\r\n", m.conns.Load())
+	fmt.Fprintf(&b, "total_connections_received:%d\r\n", m.connsTotal.Load())
+	fmt.Fprintf(&b, "rejected_connections:%d\r\n", m.rejected.Load())
+	fmt.Fprintf(&b, "handler_panics:%d\r\n", m.panics.Load())
+	var total int64
+	for c := cmdKind(0); c < numCmds; c++ {
+		total += m.cmds[c].Load()
+	}
+	fmt.Fprintf(&b, "total_commands_processed:%d\r\n", total)
+
+	st := s.m.Stats()
+	fmt.Fprintf(&b, "# Keyspace\r\n")
+	fmt.Fprintf(&b, "keys:%d\r\n", st.Len)
+	fmt.Fprintf(&b, "shards:%d\r\n", st.Shards)
+	fmt.Fprintf(&b, "offheap_footprint_bytes:%d\r\n", st.Footprint)
+	fmt.Fprintf(&b, "offheap_live_bytes:%d\r\n", st.LiveBytes)
+	fmt.Fprintf(&b, "chunks:%d\r\n", st.Chunks)
+	fmt.Fprintf(&b, "rebalances:%d\r\n", st.Rebalances)
+	fmt.Fprintf(&b, "epoch:%d\r\n", st.Epoch)
+	fmt.Fprintf(&b, "limbo_bytes:%d\r\n", st.LimboBytes)
+	fmt.Fprintf(&b, "key_leak_bytes:%d\r\n", st.KeyLeakBytes)
+	for i, ss := range s.m.ShardStats() {
+		fmt.Fprintf(&b, "shard%d:keys=%d,key_leak_bytes=%d,rebalances=%d\r\n",
+			i, ss.Len, ss.KeyLeakBytes, ss.Rebalances)
+	}
+	w.writeBulk(b.Bytes())
+}

@@ -1,0 +1,108 @@
+package sharded
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"oakmap/internal/core"
+)
+
+// Edge cases for the merged cursor that the property tests' random
+// populations can miss by construction: the degenerate single-shard
+// tree, and a tree where every leaf is exhausted from the start.
+
+func TestNewCursorSingleShard(t *testing.T) {
+	m := New(1, &core.Options{ChunkCapacity: 16, Pool: testPool(t)})
+	t.Cleanup(m.Close)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := m.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// k=1 degenerates the loser tree to a single leaf; the cursor must
+	// still yield every key in order, with both bounds honored.
+	cur := m.NewCursor(nil, nil, false)
+	var prev []byte
+	count := 0
+	for {
+		src, key, keyRef, h, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if src == nil || keyRef == 0 || h == 0 {
+			t.Fatalf("entry %d: zero source/ref/handle", count)
+		}
+		if prev != nil && bytes.Compare(key, prev) <= 0 {
+			t.Fatalf("order violation at %q after %q", key, prev)
+		}
+		prev = append(prev[:0], key...)
+		count++
+	}
+	if count != n {
+		t.Fatalf("single-shard cursor yielded %d keys, want %d", count, n)
+	}
+
+	// Bounded and descending over the same degenerate tree.
+	cur = m.NewCursor([]byte("k010"), []byte("k020"), false)
+	count = 0
+	for {
+		_, key, _, _, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if string(key) < "k010" || string(key) >= "k020" {
+			t.Fatalf("bounded cursor leaked %q", key)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("bounded single-shard cursor yielded %d keys, want 10", count)
+	}
+
+	cur = m.NewCursor(nil, nil, true)
+	prev = nil
+	count = 0
+	for {
+		_, key, _, _, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(key, prev) >= 0 {
+			t.Fatalf("descending order violation at %q after %q", key, prev)
+		}
+		prev = append(prev[:0], key...)
+		count++
+	}
+	if count != n {
+		t.Fatalf("descending single-shard cursor yielded %d keys, want %d", count, n)
+	}
+}
+
+func TestNewCursorAllShardsEmpty(t *testing.T) {
+	for _, shards := range []int{1, 2, 7} {
+		m := New(shards, &core.Options{ChunkCapacity: 16, Pool: testPool(t)})
+		for _, desc := range []bool{false, true} {
+			cur := m.NewCursor(nil, nil, desc)
+			if _, key, _, _, ok := cur.Next(); ok {
+				t.Errorf("shards=%d desc=%v: empty map yielded %q", shards, desc, key)
+			}
+			// Next after exhaustion stays exhausted (no resurrection).
+			if _, _, _, _, ok := cur.Next(); ok {
+				t.Errorf("shards=%d desc=%v: cursor resurrected after exhaustion", shards, desc)
+			}
+		}
+		// A bounded window that excludes everything behaves the same even
+		// when the map is populated.
+		if err := m.Put([]byte("zzz"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		cur := m.NewCursor([]byte("a"), []byte("b"), false)
+		if _, key, _, _, ok := cur.Next(); ok {
+			t.Errorf("shards=%d: out-of-window cursor yielded %q", shards, key)
+		}
+		m.Close()
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
+	"oakmap/internal/arena"
 	"oakmap/internal/core"
 	"oakmap/internal/telemetry"
 	"oakmap/internal/telemetry/export"
@@ -60,8 +62,16 @@ func (t *Telemetry) recorder() *telemetry.Recorder {
 	return t.rec
 }
 
+// Every exported Telemetry method is safe on a nil receiver, exactly
+// like the internal Recorder: a nil *Telemetry means "telemetry
+// disabled" and every read-out degrades to its empty form (no events,
+// zero counts, empty summary, a /metrics page that says so). Tools that
+// thread an optional telemetry scope (oak-stress, oak-server) rely on
+// this so their reporting paths need no nil branches.
+
 // MetricsHandler serves the Prometheus text-format exposition — mount
-// it at /metrics.
+// it at /metrics. On a nil scope the handler reports telemetry
+// disabled rather than panicking at serve time.
 func (t *Telemetry) MetricsHandler() http.Handler {
 	return export.Handler(t.recorder())
 }
@@ -79,9 +89,24 @@ func (t *Telemetry) PublishExpvar(name string) {
 }
 
 // Summary renders a human-readable per-op latency table (empty when
-// nothing has been recorded).
+// nothing has been recorded, or when t is nil).
 func (t *Telemetry) Summary() string {
 	return export.SummaryTable(t.recorder())
+}
+
+// RegisterGauge registers (or replaces) a named read-out on the scope,
+// exported through MetricsHandler/WriteMetrics alongside the map's own
+// gauges. counter marks cumulative totals (Prometheus TYPE counter);
+// name may carry labels (`oak_server_commands_total{cmd="get"}`).
+// Subsystems layered over the map — oak-server is the canonical one —
+// use this to ride the existing exporter instead of running their own.
+// No-op on a nil scope.
+func (t *Telemetry) RegisterGauge(name string, counter bool, read func() float64) {
+	kind := telemetry.KindGauge
+	if counter {
+		kind = telemetry.KindCounter
+	}
+	t.recorder().RegisterGauge(name, kind, read)
 }
 
 // TelemetryEvent is one flight-recorder entry. A, B and C are
@@ -109,10 +134,14 @@ func (e TelemetryEvent) String() string {
 }
 
 // DumpEvents returns the flight recorder's surviving events oldest
-// first. Safe to call concurrently with live operations: events being
-// overwritten at that instant are skipped, never returned torn.
+// first (nil for a nil scope). Safe to call concurrently with live
+// operations: events being overwritten at that instant are skipped,
+// never returned torn.
 func (t *Telemetry) DumpEvents() []TelemetryEvent {
 	evs := t.recorder().Events()
+	if evs == nil {
+		return nil
+	}
 	out := make([]TelemetryEvent, len(evs))
 	for i, ev := range evs {
 		out[i] = TelemetryEvent{
@@ -190,17 +219,59 @@ func registerMapGauges(r *telemetry.Recorder, c *core.Map) {
 	reg("oak_epoch_drains_total", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().Drains) })
 	reg("oak_epoch_slot_overflows_total", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().SlotOverflows) })
 
-	reg("oak_arena_blocks", telemetry.KindGauge, func() float64 { return float64(c.ArenaStats().Blocks) })
-	reg("oak_arena_free_spans", telemetry.KindGauge, func() float64 { return float64(c.ArenaStats().FreeSpans) })
-	reg("oak_arena_fragmentation_ratio", telemetry.KindGauge, func() float64 { return c.ArenaStats().Fragmentation })
-	reg("oak_arena_alloc_calls_total", telemetry.KindCounter, func() float64 { return float64(c.ArenaStats().AllocCalls) })
+	// One ArenaStats snapshot feeds every arena gauge. ArenaStats walks
+	// the allocator's per-class locks, so letting each of the ~2×classes
+	// closures call it independently per scrape was an O(classes²) lock
+	// storm; the cache refreshes once and the whole scrape family reads
+	// the same consistent snapshot.
+	snap := &arenaSnap{c: c}
+	reg("oak_arena_blocks", telemetry.KindGauge, func() float64 { return float64(snap.get().Blocks) })
+	reg("oak_arena_free_spans", telemetry.KindGauge, func() float64 { return float64(snap.get().FreeSpans) })
+	reg("oak_arena_fragmentation_ratio", telemetry.KindGauge, func() float64 { return snap.get().Fragmentation })
+	reg("oak_arena_alloc_calls_total", telemetry.KindCounter, func() float64 { return float64(snap.get().AllocCalls) })
 	for i, cs := range c.ArenaStats().Classes {
 		idx := i // capture
 		reg(fmt.Sprintf("oak_arena_class_spans{class=%q}", fmt.Sprint(cs.Size)), telemetry.KindGauge,
-			func() float64 { return float64(c.ArenaStats().Classes[idx].Spans) })
+			func() float64 {
+				if st := snap.get(); idx < len(st.Classes) {
+					return float64(st.Classes[idx].Spans)
+				}
+				return 0
+			})
 		reg(fmt.Sprintf("oak_arena_class_bytes{class=%q}", fmt.Sprint(cs.Size)), telemetry.KindGauge,
-			func() float64 { return float64(c.ArenaStats().Classes[idx].Bytes) })
+			func() float64 {
+				if st := snap.get(); idx < len(st.Classes) {
+					return float64(st.Classes[idx].Bytes)
+				}
+				return 0
+			})
 	}
+}
+
+// arenaSnapTTL is how long one ArenaStats snapshot serves gauge reads.
+// A scrape enumerates every gauge within microseconds, so 2ms collapses
+// a scrape's O(gauges) ArenaStats calls into one while staying far
+// below any scrape interval — back-to-back scrapes still see fresh
+// numbers.
+const arenaSnapTTL = 2 * time.Millisecond
+
+// arenaSnap memoizes one shard's ArenaStats for the duration of a
+// scrape (see arenaSnapTTL).
+type arenaSnap struct {
+	c  *core.Map
+	mu sync.Mutex
+	at time.Time
+	st arena.Stats
+}
+
+func (a *arenaSnap) get() arena.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.at.IsZero() || time.Since(a.at) > arenaSnapTTL {
+		a.st = a.c.ArenaStats()
+		a.at = time.Now()
+	}
+	return a.st
 }
 
 // registerShardedGauges wires a sharded map's read-outs into the
@@ -252,9 +323,55 @@ func registerShardedGauges(r *telemetry.Recorder, s *sharded.Map) {
 	reg("oak_epoch_drains_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().Drains) }))
 	reg("oak_epoch_slot_overflows_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().SlotOverflows) }))
 
-	reg("oak_arena_blocks", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.ArenaStats().Blocks) }))
-	reg("oak_arena_free_spans", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.ArenaStats().FreeSpans) }))
-	reg("oak_arena_alloc_calls_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ArenaStats().AllocCalls) }))
+	// Arena rollups read through per-shard snapshots (one ArenaStats
+	// call per shard per scrape, not per gauge — see arenaSnap).
+	snaps := make([]*arenaSnap, len(shards))
+	for i, c := range shards {
+		snaps[i] = &arenaSnap{c: c}
+	}
+	reg("oak_arena_blocks", telemetry.KindGauge, func() float64 {
+		var t float64
+		for _, s := range snaps {
+			t += float64(s.get().Blocks)
+		}
+		return t
+	})
+	reg("oak_arena_free_spans", telemetry.KindGauge, func() float64 {
+		var t float64
+		for _, s := range snaps {
+			t += float64(s.get().FreeSpans)
+		}
+		return t
+	})
+	reg("oak_arena_alloc_calls_total", telemetry.KindCounter, func() float64 {
+		var t float64
+		for _, s := range snaps {
+			t += float64(s.get().AllocCalls)
+		}
+		return t
+	})
+	// Fragmentation is a ratio, so the rollup weights each shard's ratio
+	// by its live bytes: a near-empty shard's (noisy) ratio must not
+	// swamp the signal from the shards actually holding data. Falls back
+	// to a plain mean while every shard is empty. Plain maps export the
+	// same name from registerMapGauges, so dashboards keep the series
+	// across a Shards config change.
+	reg("oak_arena_fragmentation_ratio", telemetry.KindGauge, func() float64 {
+		var weighted, live, plain float64
+		for _, s := range snaps {
+			st := s.get()
+			weighted += st.Fragmentation * float64(st.LiveBytes)
+			live += float64(st.LiveBytes)
+			plain += st.Fragmentation
+		}
+		if live > 0 {
+			return weighted / live
+		}
+		if n := len(snaps); n > 0 {
+			return plain / float64(n)
+		}
+		return 0
+	})
 
 	for i, c := range shards {
 		c := c

@@ -192,6 +192,15 @@ func (z ZeroCopyMap[K, V]) Remove(k K) error {
 	return err
 }
 
+// Delete deletes the mapping for k and reports whether it was present —
+// Remove with the presence bit, still without copying the old value out
+// (the network DEL path wants the count but not the bytes).
+func (z ZeroCopyMap[K, V]) Delete(k K) (bool, error) {
+	kb := z.m.serializeKey(k)
+	defer z.m.releaseKey(kb)
+	return z.m.be.ShardFor(*kb).Remove(*kb)
+}
+
 // ComputeIfPresent atomically applies f to k's value in place. The
 // lambda runs exactly once, under the value's write lock, and may resize
 // the value. Returns false if k is absent.

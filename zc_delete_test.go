@@ -1,0 +1,30 @@
+package oakmap
+
+import "testing"
+
+// TestZeroCopyDelete covers the presence-reporting remove: Delete is
+// Remove plus the "was it there" bit, still without copying the old
+// value out (the network DEL path counts removals but never reads them).
+func TestZeroCopyDelete(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		m := New[uint64, []byte](Uint64Serializer{}, BytesSerializer{},
+			&Options{ChunkCapacity: 32, BlockSize: 1 << 20, Shards: shards})
+		zc := m.ZC()
+
+		if err := zc.Put(7, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := zc.Delete(7)
+		if err != nil || !ok {
+			t.Fatalf("shards=%d: Delete(present) = %v, %v; want true, nil", shards, ok, err)
+		}
+		ok, err = zc.Delete(7)
+		if err != nil || ok {
+			t.Fatalf("shards=%d: Delete(absent) = %v, %v; want false, nil", shards, ok, err)
+		}
+		if m.Len() != 0 {
+			t.Fatalf("shards=%d: Len = %d after deletes", shards, m.Len())
+		}
+		m.Close()
+	}
+}
