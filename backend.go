@@ -40,8 +40,30 @@ type backend interface {
 	Lower(k []byte) (*core.Map, uint64, core.ValueHandle, bool)
 	Higher(k []byte) (*core.Map, uint64, core.ValueHandle, bool)
 
+	// Snapshot acquires a stabilized point-in-time view of the whole
+	// backend (all shards, consistent with atomic batches); ApplyBatch
+	// installs ops all-or-nothing. Both speak serialized keys/values —
+	// the generic wrappers live on Map.Snapshot / Map.ApplyBatch.
+	Snapshot() beSnapshot
+	ApplyBatch(ops []core.BatchOp) error
+
 	Close()
 	Quiesce() bool
+}
+
+// beSnapshot is a backend point-in-time view. Get appends the frozen
+// value to dst; Cursor scans the frozen view in key order. Close
+// releases the retention horizon — exactly once, enforced by the facade.
+type beSnapshot interface {
+	Get(key, dst []byte) ([]byte, bool)
+	Cursor(lo, hi []byte, desc bool) beSnapCursor
+	Close()
+}
+
+// beSnapCursor pulls frozen entries; key and val are owned by the
+// cursor and valid until the following Next call.
+type beSnapCursor interface {
+	Next() (key, val []byte, ok bool)
 }
 
 // scanFunc is the backend scan callback; see the backend contract for
@@ -105,8 +127,33 @@ func (b plainBackend) Higher(k []byte) (*core.Map, uint64, core.ValueHandle, boo
 	return b.c, kr, h, ok
 }
 
+func (b plainBackend) Snapshot() beSnapshot {
+	s := b.c.BeginSnapshot()
+	b.c.StabilizeSnapshot(s)
+	return &plainSnapshot{c: b.c, ver: s}
+}
+
+func (b plainBackend) ApplyBatch(ops []core.BatchOp) error { return b.c.ApplyBatch(ops) }
+
 func (b plainBackend) Close()        { b.c.Close() }
 func (b plainBackend) Quiesce() bool { return b.c.QuiesceReclaim() }
+
+// plainSnapshot adapts one core map's snapshot protocol to the backend
+// view shape.
+type plainSnapshot struct {
+	c   *core.Map
+	ver uint64
+}
+
+func (s *plainSnapshot) Get(key, dst []byte) ([]byte, bool) {
+	return s.c.SnapGet(s.ver, key, dst)
+}
+
+func (s *plainSnapshot) Cursor(lo, hi []byte, desc bool) beSnapCursor {
+	return s.c.NewSnapCursor(s.ver, lo, hi, desc)
+}
+
+func (s *plainSnapshot) Close() { s.c.EndSnapshot(s.ver) }
 
 // plainCursor adapts core.Cursor to the entryCursor shape: the key handed
 // out is the cursor's owned resume copy, like the merged cursor's.
@@ -169,5 +216,22 @@ func (b shardedBackend) Higher(k []byte) (*core.Map, uint64, core.ValueHandle, b
 	return e.Src, e.KeyRef, e.Handle, ok
 }
 
+func (b shardedBackend) Snapshot() beSnapshot {
+	return shardedSnapshot{sn: b.s.Snapshot()}
+}
+
+func (b shardedBackend) ApplyBatch(ops []core.BatchOp) error { return b.s.ApplyBatch(ops) }
+
 func (b shardedBackend) Close()        { b.s.Close() }
 func (b shardedBackend) Quiesce() bool { return b.s.Quiesce() }
+
+// shardedSnapshot adapts the cross-shard version-vector snapshot.
+type shardedSnapshot struct{ sn *sharded.Snapshot }
+
+func (s shardedSnapshot) Get(key, dst []byte) ([]byte, bool) { return s.sn.Get(key, dst) }
+
+func (s shardedSnapshot) Cursor(lo, hi []byte, desc bool) beSnapCursor {
+	return s.sn.NewCursor(lo, hi, desc)
+}
+
+func (s shardedSnapshot) Close() { s.sn.Close() }

@@ -11,6 +11,7 @@
 //	oak-stress -faults -seed 7               # with fault injection armed
 //	oak-stress -metrics :9090 -progress 5s   # live Prometheus /metrics + stderr summaries
 //	oak-stress -shards 8 -zipf 1.2           # hash-sharded map under a skewed key mix
+//	oak-stress -snapshots 2 -faults          # MVCC soak: frozen-view validators under churn
 //
 // With -shards N > 1 the map hash-partitions keys across N independent
 // core maps (per-shard arena and epoch domain); validation scans then
@@ -25,6 +26,14 @@
 // layer (op histograms, structural gauges, and the flight recorder,
 // whose tail is dumped at shutdown).
 //
+// With -snapshots N > 0, N validator goroutines continuously open MVCC
+// snapshots and check the frozen-view invariants: a snapshot's scan is
+// ordered and sees every resident, its reads are stable (two reads of
+// one key inside one snapshot agree even mid-churn), and the counter
+// sum observed by successive snapshots of one validator never goes
+// backwards. At shutdown the retained-version store must have drained
+// to zero — an MVCC retention leak fails the run.
+//
 // With -faults, the named fault-injection points (internal/faultpoint)
 // fire with seeded probability: allocation failures surface as tolerated
 // errors, entry-link CAS and publish losses force the retry paths, and
@@ -33,6 +42,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"expvar"
@@ -56,6 +66,7 @@ import (
 
 type stats struct {
 	puts, gets, removes, computes, scans, validations atomic.Int64
+	snapshots                                         atomic.Int64
 	injected                                          atomic.Int64
 }
 
@@ -102,6 +113,7 @@ func main() {
 		metrics   = flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (enables telemetry)")
 		progress  = flag.Duration("progress", 0, "print a periodic telemetry summary to stderr (enables telemetry)")
 		shards    = flag.Int("shards", 0, "hash-shard the map across N core maps (0 or 1 = plain)")
+		snapshots = flag.Int("snapshots", 0, "concurrent snapshot validators checking frozen-view invariants (0 = off)")
 		zipf      = flag.Float64("zipf", 0, "draw worker keys from Zipf(s) instead of uniform (requires s > 1; 0 = uniform)")
 		netAddr   = flag.String("net", "", "drive an oak-server at this address over RESP instead of an in-process map")
 	)
@@ -285,6 +297,35 @@ func main() {
 		}
 	}()
 
+	// Snapshot validators: each continuously freezes a view and checks
+	// the MVCC contract against it while the storm rages.
+	for w := 0; w < *snapshots; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastSum := int64(-1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum, ok := snapValidate(m, residents, counters, counterBase, &viol)
+				if ok {
+					// Counters only grow, and a later snapshot's version is
+					// never older: the observed sum must be monotone per
+					// validator.
+					if lastSum >= 0 && sum < lastSum {
+						viol.reportf("SNAPSHOT MONOTONICITY VIOLATION: counter sum went from %d back to %d",
+							lastSum, sum)
+					}
+					lastSum = sum
+				}
+				st.snapshots.Add(1)
+			}
+		}()
+	}
+
 	if *progress > 0 {
 		wg.Add(1)
 		go func() {
@@ -334,6 +375,15 @@ func main() {
 			sum, computeTotal.Load())
 	}
 
+	// With every snapshot closed, the retained-version store must be
+	// empty: anything left is an MVCC retention leak.
+	if *snapshots > 0 {
+		if ms := m.Stats(); ms.OpenSnapshots != 0 || ms.RetainedBytes != 0 || ms.RetainedSpans != 0 {
+			viol.reportf("SNAPSHOT LEAK: open=%d retained=%dB in %d spans after all snapshots closed",
+				ms.OpenSnapshots, ms.RetainedBytes, ms.RetainedSpans)
+		}
+	}
+
 	s := m.Stats()
 	totalOps := st.puts.Load() + st.gets.Load() + st.removes.Load() +
 		st.computes.Load() + st.scans.Load()
@@ -347,6 +397,10 @@ func main() {
 	fmt.Printf("  puts=%d gets=%d removes=%d computes=%d scans=%d injected-errors=%d\n",
 		st.puts.Load(), st.gets.Load(), st.removes.Load(),
 		st.computes.Load(), st.scans.Load(), st.injected.Load())
+	if *snapshots > 0 {
+		fmt.Printf("  snapshots=%d retained-now=%dB/%d-spans open-now=%d\n",
+			st.snapshots.Load(), s.RetainedBytes, s.RetainedSpans, s.OpenSnapshots)
+	}
 	fmt.Printf("  len=%d chunks=%d rebalances=%d headers=%d footprint=%.1fMB free-spans=%d frag=%.3f\n",
 		s.Len, s.Chunks, s.Rebalances, s.HeaderCount, float64(s.Footprint)/(1<<20),
 		s.FreeSpans, s.Fragmentation)
@@ -421,6 +475,7 @@ func armFaults(prob float64, seed uint64) {
 		"core/header-lock", "core/deleted-bit", "core/put-race",
 		"epoch/advance", "epoch/drain",
 		"shard/route", "shard/scan-rotate",
+		"mvcc/retain", "mvcc/horizon",
 	} {
 		if err := faultpoint.Arm(name, jitter); err != nil {
 			log.Fatalf("arm %s: %v", name, err)
@@ -443,6 +498,56 @@ func printFaultCounters() {
 		}
 	}
 	fmt.Println()
+}
+
+// snapValidate freezes one view and checks the MVCC contract inside
+// it: the frozen scan is ordered and complete over the residents, and
+// two reads of one counter within the snapshot agree byte-for-byte no
+// matter what the writers are doing. Returns the frozen counter sum
+// and whether it is trustworthy for the caller's monotonicity check.
+func snapValidate(m *oakmap.Map[uint64, []byte], residents, counters, counterBase int, viol *violations) (int64, bool) {
+	sn := m.Snapshot()
+	defer sn.Close()
+
+	var prev uint64
+	first := true
+	seenResidents := 0
+	ordered := true
+	sn.Ascend(nil, nil, func(k uint64, _ []byte) bool {
+		if !first && k <= prev {
+			viol.reportf("SNAPSHOT ORDER VIOLATION: key %d scanned after %d", k, prev)
+			ordered = false
+			return false
+		}
+		prev, first = k, false
+		if k%10 == 0 && k < uint64(residents*10) {
+			seenResidents++
+		}
+		return true
+	})
+	if ordered && seenResidents != residents {
+		viol.reportf("SNAPSHOT RESIDENT VIOLATION: frozen view saw %d of %d residents",
+			seenResidents, residents)
+	}
+
+	var sum int64
+	stable := ordered
+	for i := 0; i < counters; i++ {
+		k := uint64(counterBase + i)
+		v1, ok1 := sn.Get(k)
+		v2, ok2 := sn.Get(k)
+		switch {
+		case ok1 != ok2 || (ok1 && !bytes.Equal(v1, v2)):
+			viol.reportf("SNAPSHOT STABILITY VIOLATION: counter %d changed within one frozen view", i)
+			stable = false
+		case !ok1:
+			viol.reportf("SNAPSHOT RESIDENT VIOLATION: counter %d missing from frozen view", i)
+			stable = false
+		default:
+			sum += int64(binary.BigEndian.Uint64(v1))
+		}
+	}
+	return sum, stable
 }
 
 // validate runs one full-scan invariant pass.

@@ -32,6 +32,7 @@ import (
 	"oakmap/internal/analysis/faultpointid"
 	"oakmap/internal/analysis/load"
 	"oakmap/internal/analysis/pinbalance"
+	"oakmap/internal/analysis/snaplife"
 	"oakmap/internal/analysis/unsafespan"
 	"oakmap/internal/analysis/zcescape"
 )
@@ -41,6 +42,7 @@ var all = []*analysis.Analyzer{
 	pinbalance.Analyzer,
 	unsafespan.Analyzer,
 	faultpointid.Analyzer,
+	snaplife.Analyzer,
 }
 
 func main() {

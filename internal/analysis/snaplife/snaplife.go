@@ -1,0 +1,252 @@
+// Package snaplife proves that every MVCC snapshot is closed — the
+// compile-time form of the retention discipline behind Snapshot()
+// (DESIGN.md §13).
+//
+// A snapshot pins the version horizon: while it is open, every
+// overwrite and delete of an entry it can see is retained instead of
+// retired, so a forgotten Close turns steady-state churn into an
+// unbounded off-heap leak (the runtime leak gate catches it only if a
+// test happens to drive that path). The analyzer enforces, per
+// acquisition of a Snapshot (the oakmap facade's or the sharded
+// front-end's):
+//
+//   - the snapshot must not be discarded or assigned to blank — such a
+//     snapshot can never be closed;
+//   - a snapshot bound to a local variable must register defer
+//     sn.Close() (directly or inside a deferred closure) — the only
+//     form that survives panics and early returns;
+//   - a snapshot that leaves the acquiring function — returned, stored
+//     into a field/map/global, sent on a channel, captured by a
+//     goroutine, or passed to another function — transfers ownership,
+//     and the analyzer stays silent: lifetime then belongs to a
+//     registry (the server's snapshot-cursor table is the canonical
+//     case) and is checked at runtime by the leak gate.
+//
+// A deliberate non-deferred Close (e.g. a tight sequential helper) is
+// annotated //oak:allow snaplife with a rationale, the same
+// defer-or-flag contract pinbalance applies to epoch pins.
+package snaplife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"oakmap/internal/analysis"
+)
+
+// Analyzer is the snaplife analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "snaplife",
+	Doc:  "flag MVCC snapshots that can leak: Snapshot() without a deferred (or ownership-transferring, or flagged) Close",
+	Run:  run,
+}
+
+// snapshotPkgs are the packages whose Snapshot constructors are
+// tracked. They are also exempt from the check themselves: the facade
+// and the sharded front-end wrap and hand out snapshots as part of
+// their implementation.
+var snapshotPkgs = map[string]bool{
+	"oakmap":         true,
+	"oakmap/sharded": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if snapshotPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	parents := analysis.Parents(pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSnapshotCall(pass.TypesInfo, call) {
+				return true
+			}
+			checkSnapshot(pass, parents, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSnapshotCall matches method calls named Snapshot declared in one
+// of the snapshot-bearing packages. (Map.Snapshot is the only such
+// method in both; matching by name keeps the rule stable if the
+// receiver types are ever renamed.)
+func isSnapshotCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Name() != "Snapshot" || fn.Pkg() == nil {
+		return false
+	}
+	if !snapshotPkgs[fn.Pkg().Path()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// isCloseCallOn matches sn.Close() for the tracked variable.
+func isCloseCallOn(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Name() != "Close" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// checkSnapshot verifies one acquisition.
+func checkSnapshot(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := analysis.EnclosingFunc(parents, call)
+	if fn == nil {
+		return // package-level init: no lifetime discipline expressible
+	}
+
+	switch p := parents[call].(type) {
+	case *ast.ExprStmt:
+		pass.Report(call.Pos(), "Snapshot result discarded: the snapshot can never be closed and pins retained versions until the map dies")
+		return
+	case *ast.AssignStmt:
+		obj := boundLocal(info, p, call)
+		if obj == blankBinding {
+			pass.Report(call.Pos(), "Snapshot result assigned to blank: the snapshot can never be closed and pins retained versions until the map dies")
+			return
+		}
+		if obj == nil {
+			return // stored straight into a field/index/etc.: ownership transferred
+		}
+		body := analysis.FuncBody(fn)
+		if hasDeferredClose(info, body, obj) {
+			return // panic-safe on every path
+		}
+		if transfersOwnership(info, parents, fn, obj) {
+			return // a registry or caller now owns the Close
+		}
+		if hasAnyClose(info, body, obj) {
+			pass.Report(call.Pos(), "snapshot Close is not deferred: a panic or early return before it leaks the snapshot's retained versions; use defer sn.Close() or annotate //oak:allow snaplife with a rationale")
+		} else {
+			pass.Report(call.Pos(), "missing Close: the snapshot is never closed on any path, pinning retained versions until the map dies")
+		}
+	default:
+		// Direct use as an argument, composite-literal value, return
+		// operand, …: the snapshot is handed off at birth.
+		return
+	}
+}
+
+// blankBinding is the sentinel boundLocal returns for `_ = m.Snapshot()`.
+var blankBinding types.Object = types.NewLabel(0, nil, "_blank_")
+
+// boundLocal returns the local variable the call's result is bound to,
+// blankBinding for a blank assignment, or nil when the result goes
+// somewhere other than a plain identifier.
+func boundLocal(info *types.Info, as *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	for i, r := range as.Rhs {
+		if r != call || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if id.Name == "_" {
+			return blankBinding
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// hasDeferredClose reports whether body registers a deferred Close of
+// obj: defer sn.Close(), or a deferred closure whose body calls it.
+func hasDeferredClose(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isCloseCallOn(info, d.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && isCloseCallOn(info, c, obj) {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// hasAnyClose reports whether body contains a non-deferred sn.Close().
+func hasAnyClose(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isCloseCallOn(info, c, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// transfersOwnership reports whether obj leaves the acquiring function:
+// returned, stored into memory that outlives the frame, sent on a
+// channel, passed to another call, aliased, or captured by a
+// goroutine. Any such use moves the Close obligation to the receiver,
+// where the runtime leak gate takes over.
+func transfersOwnership(info *types.Info, parents map[ast.Node]ast.Node, fn ast.Node, obj types.Object) bool {
+	transferred := false
+	ast.Inspect(analysis.FuncBody(fn), func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.ReturnStmt, *ast.SendStmt, *ast.KeyValueExpr, *ast.CompositeLit:
+			transferred = true
+		case *ast.AssignStmt:
+			for _, r := range p.Rhs {
+				if r == id {
+					transferred = true // alias or store: the new name owns it
+				}
+			}
+		case *ast.CallExpr:
+			// An argument position (not the sn.Close()/sn.Get() receiver
+			// spelled via SelectorExpr — those parent as SelectorExpr).
+			for _, a := range p.Args {
+				if a == id {
+					transferred = true
+				}
+			}
+		}
+		if !transferred {
+			// Capture by a go statement's closure.
+			for q := parents[id]; q != nil && q != fn; q = parents[q] {
+				if lit, ok := q.(*ast.FuncLit); ok {
+					if c, ok := parents[lit].(*ast.CallExpr); ok && c.Fun == lit {
+						if _, isGo := parents[c].(*ast.GoStmt); isGo {
+							transferred = true
+						}
+					}
+				}
+			}
+		}
+		return !transferred
+	})
+	return transferred
+}

@@ -1,0 +1,13 @@
+package snaplife_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oakmap/internal/analysis/analysistest"
+	"oakmap/internal/analysis/snaplife"
+)
+
+func TestSnapLife(t *testing.T) {
+	analysistest.Run(t, snaplife.Analyzer, filepath.Join("testdata", "src", "a"))
+}

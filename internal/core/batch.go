@@ -1,0 +1,481 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"oakmap/internal/arena"
+	"oakmap/internal/chunk"
+)
+
+// Atomic batch updates. A batch installs a set of Put/Delete operations
+// so that readers observe either none of them or all of them:
+//
+//  1. Prepare: the clock ratchets by 2, giving the batch a base version
+//     no normal write ever stamps, and the install record is registered
+//     in the pending registry.
+//  2. Install: each op is applied under its value's write lock, but its
+//     version word is stamped base|pending (plus tomb for deletes) and
+//     the pre-state is recorded. Readers that hit a flagged word resolve
+//     through the registry: pre-state while the batch is undecided,
+//     post-state once committed. Normal writers wait out flagged values
+//     (lockStable), so no write intervenes between install and
+//     finalize.
+//  3. Commit: one atomic store of the descriptor's state flips every
+//     installed op from invisible to visible at once — the batch's
+//     linearization point. (On error, Abort + rollback restores the
+//     pre-state instead.)
+//  4. Finalize: flags are cleared value by value (tombstones become real
+//     deletes), pre-image spans are retired or retained for snapshots,
+//     and the registry entry is dropped.
+//
+// Deadlock freedom: ops within a batch are installed in key order
+// (NormalizeBatch) and, in the sharded map, shards are installed in
+// index order — a total order over all values any two batches touch, so
+// a cyclic install-wait is impossible.
+
+// Batch descriptor states.
+const (
+	batchPending uint32 = iota
+	batchCommitted
+	batchAborted
+)
+
+// BatchDesc is a batch's shared decision point. In the sharded map one
+// descriptor spans every shard's install record, so all shards flip
+// together.
+type BatchDesc struct {
+	state atomic.Uint32
+	done  chan struct{} // closed when state leaves pending
+}
+
+// NewBatchDesc creates a pending batch descriptor.
+func NewBatchDesc() *BatchDesc {
+	return &BatchDesc{done: make(chan struct{})}
+}
+
+// Commit flips the batch visible: the linearization point of the whole
+// batch. Exactly one of Commit/Abort may be called, once.
+func (d *BatchDesc) Commit() {
+	d.state.Store(batchCommitted)
+	close(d.done)
+}
+
+// Abort marks the batch rolled back. Exactly one of Commit/Abort may be
+// called, once.
+func (d *BatchDesc) Abort() {
+	d.state.Store(batchAborted)
+	close(d.done)
+}
+
+// batchRec is one installed op's pre-state, kept for reader resolution
+// (pre-commit reads see the old value) and finalize/rollback.
+type batchRec struct {
+	key      []byte // owned copy
+	h        ValueHandle
+	del      bool      // tombstone (batch delete)
+	hadOld   bool      // a committed value existed before the install
+	inserted bool      // entry newly inserted by this batch (rollback removes it)
+	oldRef   arena.Ref // pre-image span (puts only; tombs leave data in place)
+	oldVer   uint64    // pre-image's committed version
+}
+
+// BatchInstall is one map's (or shard's) install record for a batch.
+// Install methods are driven by a single goroutine; the internal lock
+// only guards concurrent reader lookups against record appends.
+type BatchInstall struct {
+	m    *Map
+	desc *BatchDesc
+	base uint64
+
+	mu   sync.RWMutex
+	recs []batchRec
+	byH  map[ValueHandle]int
+}
+
+// lookup returns the install record for handle h, nil if the batch did
+// not touch it (or it was touched as a fresh insert the caller cannot
+// have seen).
+func (bi *BatchInstall) lookup(h ValueHandle) *batchRec {
+	bi.mu.RLock()
+	defer bi.mu.RUnlock()
+	if i, ok := bi.byH[h]; ok {
+		return &bi.recs[i]
+	}
+	return nil
+}
+
+func (bi *BatchInstall) add(r batchRec) {
+	bi.mu.Lock()
+	bi.byH[r.h] = len(bi.recs)
+	bi.recs = append(bi.recs, r)
+	bi.mu.Unlock()
+}
+
+// drop removes the most recently added record (a fresh insert whose
+// publish CAS failed).
+func (bi *BatchInstall) drop(h ValueHandle) {
+	bi.mu.Lock()
+	if i, ok := bi.byH[h]; ok && i == len(bi.recs)-1 {
+		delete(bi.byH, h)
+		bi.recs = bi.recs[:i]
+	}
+	bi.mu.Unlock()
+}
+
+// Base returns the batch's base version on this map.
+func (bi *BatchInstall) Base() uint64 { return bi.base }
+
+// PrepareBatch allocates a base version for a batch on this map and
+// registers its install record. The clock ratchets by 2 so the base is
+// never stamped by a normal write — flagged version words therefore
+// identify their batch uniquely. desc may be shared across shards.
+func (m *Map) PrepareBatch(desc *BatchDesc) *BatchInstall {
+	bi := &BatchInstall{
+		m:    m,
+		desc: desc,
+		base: m.mvcc.clock.Add(2) - 1,
+		byH:  make(map[ValueHandle]int),
+	}
+	st := &m.mvcc
+	st.pendMu.Lock()
+	st.pending[bi.base] = bi
+	st.pendMu.Unlock()
+	return bi
+}
+
+// unregisterBatch drops the batch from the pending registry — only
+// after every installed value's flags are cleared, so readers that hold
+// a flagged version word can always resolve it.
+func (m *Map) unregisterBatch(bi *BatchInstall) {
+	st := &m.mvcc
+	st.pendMu.Lock()
+	delete(st.pending, bi.base)
+	st.pendMu.Unlock()
+}
+
+// InstallBatchPut installs one put into the batch: the new value is
+// written and published, but stamped base|pending so readers resolve it
+// through the batch descriptor. Calls for one batch must be made by a
+// single goroutine in key order.
+func (m *Map) InstallBatchPut(bi *BatchInstall, key, val []byte) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	var keyRef uint64
+	defer func() { m.releaseKeyRef(&keyRef) }()
+	for attempt := 0; ; attempt++ {
+		retryPause(attempt)
+		out, err := m.batchPutAttempt(bi, key, val, &keyRef)
+		if err != nil {
+			return err
+		}
+		if out.full != nil {
+			m.rebalance(out.full)
+		}
+		if out.done {
+			if out.grew != nil {
+				m.maybeRebalance(out.grew)
+			}
+			return nil
+		}
+	}
+}
+
+// batchPutAttempt is putAttempt's batch twin: same chunk walk and entry
+// linking, but the value is stamped pending and the pre-state recorded.
+func (m *Map) batchPutAttempt(bi *BatchInstall, key, val []byte, keyRef *uint64) (putOutcome, error) {
+	g := m.reclaim.Pin()
+	defer g.Unpin()
+	c := m.locateChunk(key)
+	ei := c.LookUp(key)
+	var h ValueHandle
+	if ei >= 0 {
+		h = ValueHandle(c.ValHandle(ei))
+	}
+
+	if h != 0 && !m.IsDeleted(h) {
+		// Present: overwrite in place, recording the pre-image. lockStable
+		// waits out other batches; ours cannot appear here (one op per key
+		// after NormalizeBatch).
+		oldVer, ok := m.lockStable(h)
+		if !ok {
+			return putOutcome{}, nil // deleted concurrently: retry into insert
+		}
+		old := arena.Ref(m.headers.LoadData(uint64(h)))
+		nref, err := m.alloc.Alloc(len(val))
+		if err != nil {
+			m.headers.WriteUnlock(uint64(h))
+			return putOutcome{}, err
+		}
+		copy(m.alloc.Bytes(nref), val)
+		m.headers.StoreData(uint64(h), uint64(nref))
+		// Register the record before the flagged stamp becomes loadable
+		// (the reader's read lock excludes us until WriteUnlock anyway).
+		bi.add(batchRec{
+			key:    append([]byte(nil), key...),
+			h:      h,
+			hadOld: true,
+			oldRef: old,
+			oldVer: oldVer,
+		})
+		m.headers.StoreVersion(uint64(h), bi.base|verPendingBit)
+		m.headers.WriteUnlock(uint64(h))
+		return putOutcome{done: true}, nil
+	}
+
+	// Absent: insert a fresh pending value (putAttempt case 2).
+	if ei < 0 {
+		if *keyRef == 0 {
+			ref, err := m.alloc.Write(key)
+			if err != nil {
+				return putOutcome{}, err
+			}
+			*keyRef = uint64(ref)
+		}
+		nei, st := c.AllocateEntry(*keyRef)
+		if st == chunk.Full {
+			return putOutcome{full: c}, nil
+		}
+		if st != chunk.OK {
+			return putOutcome{}, nil
+		}
+		lei, st := c.PutIfAbsentInList(nei)
+		if st == chunk.Frozen {
+			return putOutcome{}, nil
+		}
+		ei = lei
+		if st == chunk.OK {
+			*keyRef = 0
+		}
+		h = ValueHandle(c.ValHandle(ei))
+		if h != 0 && !m.IsDeleted(h) {
+			return putOutcome{}, nil // racing insert won; retry into case 1
+		}
+	}
+
+	newH, err := m.allocValue(BytesValue(val), bi.base|verPendingBit)
+	if err != nil {
+		return putOutcome{}, err
+	}
+	bi.add(batchRec{
+		key:      append([]byte(nil), key...),
+		h:        newH,
+		inserted: true,
+	})
+	if !c.Publish() {
+		bi.drop(newH)
+		m.discardValue(newH)
+		return putOutcome{}, nil
+	}
+	ok := c.CASValHandle(ei, uint64(h), uint64(newH))
+	c.Unpublish()
+	if !ok {
+		bi.drop(newH)
+		m.discardValue(newH)
+		return putOutcome{}, nil
+	}
+	if h != 0 {
+		m.retireHeader(h)
+	}
+	m.size.Add(1)
+	c.IncLive()
+	return putOutcome{done: true, grew: c}, nil
+}
+
+// InstallBatchDelete installs one delete into the batch: a present
+// value is stamped base|pending|tomb (its data stays in place as the
+// pre-image); an absent key is a no-op. Single-goroutine, key order.
+func (m *Map) InstallBatchDelete(bi *BatchInstall, key []byte) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	for attempt := 0; ; attempt++ {
+		retryPause(attempt)
+		done := func() bool {
+			g := m.reclaim.Pin()
+			defer g.Unpin()
+			c := m.locateChunk(key)
+			ei := c.LookUp(key)
+			if ei < 0 {
+				return true // absent: deleting nothing succeeds
+			}
+			h := ValueHandle(c.ValHandle(ei))
+			if h == 0 || m.IsDeleted(h) {
+				return true
+			}
+			oldVer, ok := m.lockStable(h)
+			if !ok {
+				return true // deleted concurrently: absent now
+			}
+			bi.add(batchRec{
+				key:    append([]byte(nil), key...),
+				h:      h,
+				del:    true,
+				hadOld: true,
+				oldRef: arena.Ref(m.headers.LoadData(uint64(h))),
+				oldVer: oldVer,
+			})
+			m.headers.StoreVersion(uint64(h), bi.base|verPendingBit|verTombBit)
+			m.headers.WriteUnlock(uint64(h))
+			return true
+		}()
+		if done {
+			return nil
+		}
+	}
+}
+
+// FinalizeBatch clears the pending flags after Commit: puts get their
+// committed version stamp, tombstones become real deletes, pre-image
+// spans are retired or retained for open snapshots. Must be called
+// exactly once after desc.Commit, by the installing goroutine.
+func (m *Map) FinalizeBatch(bi *BatchInstall) {
+	for i := range bi.recs {
+		rec := &bi.recs[i]
+		if rec.del {
+			m.finalizeBatchTomb(bi, rec)
+		} else {
+			m.finalizeBatchPut(bi, rec)
+		}
+	}
+	// Unregister only after every flag is cleared: a reader holding a
+	// flagged version word must always find the record.
+	m.unregisterBatch(bi)
+}
+
+func (m *Map) finalizeBatchPut(bi *BatchInstall, rec *batchRec) {
+	// The write lock waits out readers still resolving the flagged word
+	// through rec (their read of oldRef must complete before the span is
+	// handed off below). Normal writers cannot intervene: they wait for
+	// the flags to clear.
+	if m.headers.TryWriteLock(uint64(rec.h)) {
+		m.headers.StoreVersion(uint64(rec.h), bi.base)
+		m.headers.WriteUnlock(uint64(rec.h))
+	}
+	if rec.hadOld {
+		m.retireOrRetain(rec.key, rec.oldRef, rec.oldVer, bi.base)
+	}
+}
+
+func (m *Map) finalizeBatchTomb(bi *BatchInstall, rec *batchRec) {
+	var c *chunk.Chunk
+	func() {
+		g := m.reclaim.Pin()
+		defer g.Unpin()
+		c = m.locateChunk(rec.key)
+		if !m.headers.TryWriteLock(uint64(rec.h)) {
+			return // already deleted (cannot happen: writers wait on flags)
+		}
+		// Same privatize-then-DeleteLocked order as valueRemove.
+		ref := arena.Ref(m.headers.LoadData(uint64(rec.h)))
+		m.headers.StoreData(uint64(rec.h), 0)
+		m.headers.DeleteLocked(uint64(rec.h))
+		m.size.Add(-1)
+		c.DecLive()
+		m.retireOrRetain(rec.key, ref, rec.oldVer, bi.base)
+	}()
+	m.finalizeRemove(rec.key, rec.h)
+	m.maybeMerge(c)
+}
+
+// AbortBatch rolls the install back after desc.Abort: pre-images are
+// restored, fresh inserts are removed, and new spans freed. Must be
+// called exactly once after desc.Abort, by the installing goroutine.
+func (m *Map) AbortBatch(bi *BatchInstall) {
+	for i := range bi.recs {
+		rec := &bi.recs[i]
+		switch {
+		case rec.del:
+			// Un-stamp the tombstone; the value was never touched.
+			if m.headers.TryWriteLock(uint64(rec.h)) {
+				m.headers.StoreVersion(uint64(rec.h), rec.oldVer)
+				m.headers.WriteUnlock(uint64(rec.h))
+			}
+		case rec.hadOld:
+			// Restore the pre-image and retire the never-visible new span.
+			if m.headers.TryWriteLock(uint64(rec.h)) {
+				nref := arena.Ref(m.headers.LoadData(uint64(rec.h)))
+				m.headers.StoreData(uint64(rec.h), uint64(rec.oldRef))
+				m.headers.StoreVersion(uint64(rec.h), rec.oldVer)
+				m.headers.WriteUnlock(uint64(rec.h))
+				m.alloc.Retire(nref)
+			}
+		default:
+			// Remove the fresh insert entirely; it was never visible.
+			m.rollbackInsert(rec)
+		}
+	}
+	m.unregisterBatch(bi)
+}
+
+// rollbackInsert deletes a batch-inserted entry that never committed.
+func (m *Map) rollbackInsert(rec *batchRec) {
+	var c *chunk.Chunk
+	func() {
+		g := m.reclaim.Pin()
+		defer g.Unpin()
+		c = m.locateChunk(rec.key)
+		if m.valueRemove(nil, rec.h) {
+			m.size.Add(-1)
+			c.DecLive()
+		}
+	}()
+	m.finalizeRemove(rec.key, rec.h)
+	m.maybeMerge(c)
+}
+
+// BatchOp is one operation in an atomic batch.
+type BatchOp struct {
+	Key []byte
+	Val []byte // ignored when Delete is set
+	// Delete removes Key; deleting an absent key is a no-op.
+	Delete bool
+}
+
+// NormalizeBatch dedupes ops by key (last one wins) and sorts them by
+// cmp — the install order that makes concurrent batches deadlock-free.
+// The returned slice is freshly allocated; ops is not modified.
+func NormalizeBatch(ops []BatchOp, cmp Comparator) []BatchOp {
+	last := make(map[string]int, len(ops))
+	for i := range ops {
+		last[string(ops[i].Key)] = i
+	}
+	out := make([]BatchOp, 0, len(last))
+	for i := range ops {
+		if last[string(ops[i].Key)] == i {
+			out = append(out, ops[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return cmp(out[i].Key, out[j].Key) < 0 })
+	return out
+}
+
+// ApplyBatch applies ops as one atomic batch on this map: readers (and
+// snapshots) observe all of them or none. Duplicate keys collapse to
+// the last op. On error nothing is applied.
+func (m *Map) ApplyBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	norm := NormalizeBatch(ops, m.cmp)
+	desc := NewBatchDesc()
+	bi := m.PrepareBatch(desc)
+	for _, op := range norm {
+		var err error
+		if op.Delete {
+			err = m.InstallBatchDelete(bi, op.Key)
+		} else {
+			err = m.InstallBatchPut(bi, op.Key, op.Val)
+		}
+		if err != nil {
+			desc.Abort()
+			m.AbortBatch(bi)
+			return err
+		}
+	}
+	desc.Commit()
+	m.FinalizeBatch(bi)
+	return nil
+}

@@ -112,6 +112,10 @@ type Map struct {
 	// at construction, so instrumented paths read it without atomics.
 	tel *telemetry.Recorder
 
+	// mvcc is the map's version clock, snapshot registry, and retained-
+	// version store (see mvcc.go).
+	mvcc mvccState
+
 	// size/rebalances/keyLeak are sharded counters: size moves on every
 	// put/remove from every worker, and a single atomic word was the
 	// map's hottest shared cache line after the chunk metadata itself.
@@ -143,6 +147,7 @@ func New(o *Options) *Map {
 		index:   skiplist.New[*chunk.Chunk](skiplist.Comparator(opts.Comparator)),
 		tel:     opts.Telemetry,
 	}
+	m.mvcc.init()
 	m.alloc.SetTelemetry(opts.Telemetry)
 	m.reclaim = epoch.NewDomain(func(items []epoch.Retired) {
 		for _, r := range items {

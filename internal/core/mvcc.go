@@ -1,0 +1,373 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"oakmap/internal/arena"
+	"oakmap/internal/faultpoint"
+)
+
+// This file is the MVCC heart of the map: a per-map version clock, the
+// open-snapshot registry that ratchets the reclaim horizon, and the
+// retained-version store that keeps copy-on-write pre-images alive for
+// open snapshots.
+//
+// Versioning scheme. Every mutation stamps the value header's version
+// word with the clock's current value; the clock itself only moves when
+// a snapshot or a batch is created:
+//
+//   - Snapshot: S = clock.Add(1)-1. Writers that loaded the clock before
+//     the ratchet stamp ≤ S (inside the snapshot), writers after stamp
+//     > S (outside). A write stamped ≤ S may still be mid-install when
+//     Snapshot returns, so snapshot creation waits one epoch grace
+//     period (every stamp happens under an epoch pin): after the grace,
+//     all ≤ S installs are complete and the view is frozen.
+//   - Batch: base = clock.Add(2)-1. The skipped value means no normal
+//     write ever stamps a batch's base version — base uniquely
+//     identifies the batch in flagged version words.
+//
+// Version word layout (stored via vheader.StoreVersion):
+//
+//	bit 63    verPendingBit — installed by a batch, not yet finalized
+//	bit 62    verTombBit    — batch delete (pending tombstone)
+//	bits 0-61 base version
+//
+// Flag-free words are plain committed versions; flagged words route
+// readers through the pending-batch registry, which resolves them to the
+// batch's pre-state before commit and post-state after — that single
+// indirection is what makes ApplyBatch all-or-nothing.
+const (
+	verPendingBit = uint64(1) << 63
+	verTombBit    = uint64(1) << 62
+	verFlagMask   = verPendingBit | verTombBit
+	verBaseMask   = verTombBit - 1
+)
+
+// Fault-injection points on the MVCC layer (no-ops unless armed).
+var (
+	// fpMvccRetain is hit when a superseded value span is about to enter
+	// the retained store (instead of being retired): pausing here widens
+	// the window between the new version's install and the pre-image
+	// becoming findable by snapshot scans.
+	fpMvccRetain = faultpoint.New("mvcc/retain")
+	// fpMvccHorizon is hit at the start of a horizon sweep (snapshot
+	// close recomputing the reclaim horizon and releasing newly invisible
+	// retained spans): pausing here holds the horizon back while writers
+	// keep retaining against the old floor.
+	fpMvccHorizon = faultpoint.New("mvcc/horizon")
+)
+
+// retEntry is one retained pre-image: the value's bytes as of version
+// ver, superseded (overwritten or deleted) at version super. It is
+// visible to a snapshot S iff ver ≤ S < super.
+type retEntry struct {
+	ver   uint64
+	super uint64
+	ref   arena.Ref
+}
+
+// retChain is a key's retained version chain, entries ascending by ver.
+type retChain struct {
+	entries []retEntry
+}
+
+// mvccState is the per-map MVCC bookkeeping. Hot paths touch only the
+// two atomics (clock on every write, retainFloor as the retention gate);
+// everything else is cold-path state behind mu.
+type mvccState struct {
+	clock       atomic.Uint64 // next write stamps this value; starts at 1
+	retainFloor atomic.Uint64 // max open snapshot + 1; 0 = no open snapshots
+	openCount   atomic.Int64
+	retBytes    atomic.Int64 // bytes held by the retained store
+	retSpans    atomic.Int64 // spans held by the retained store
+
+	mu   sync.Mutex
+	open []uint64 // open snapshot versions, ascending (duplicates allowed)
+
+	// Retained store: chains keyed by an owned copy of the serialized
+	// key. Chains are keyed by key bytes (not value handles) because a
+	// remove + re-insert swaps the entry's handle while the key's
+	// version history must stay one chain. keys mirrors byKey in sorted
+	// order for the snapshot scans' ceiling/floor queries.
+	byKey map[string]*retChain
+	keys  [][]byte
+
+	// Pending-batch registry: base version → install record. Readers
+	// that hit a flagged version word resolve it here (cold path).
+	pendMu  sync.RWMutex
+	pending map[uint64]*BatchInstall
+}
+
+func (st *mvccState) init() {
+	st.clock.Store(1)
+	st.byKey = make(map[string]*retChain)
+	st.pending = make(map[uint64]*BatchInstall)
+}
+
+// visibleLocked reports whether some open snapshot S satisfies
+// ver ≤ S < super. Callers hold st.mu.
+func (st *mvccState) visibleLocked(ver, super uint64) bool {
+	i := sort.Search(len(st.open), func(i int) bool { return st.open[i] >= ver })
+	return i < len(st.open) && st.open[i] < super
+}
+
+// lookupBatch resolves a flagged version word's base to its pending
+// install record, nil once the batch has finalized.
+func (m *Map) lookupBatch(base uint64) *BatchInstall {
+	st := &m.mvcc
+	st.pendMu.RLock()
+	bi := st.pending[base]
+	st.pendMu.RUnlock()
+	return bi
+}
+
+// BeginSnapshot ratchets the version clock and registers an open
+// snapshot, returning its version S. The view is not stable until
+// StabilizeSnapshot(S) has been called; every BeginSnapshot must be
+// paired with exactly one EndSnapshot.
+func (m *Map) BeginSnapshot() uint64 {
+	st := &m.mvcc
+	st.mu.Lock()
+	s := st.clock.Add(1) - 1
+	st.open = append(st.open, s) // clock is monotone: append keeps order
+	st.retainFloor.Store(s + 1)
+	st.openCount.Add(1)
+	st.mu.Unlock()
+	return s
+}
+
+// StabilizeSnapshot makes snapshot S's view immutable: it waits out any
+// batch whose base version is ≤ S and still undecided (its commit would
+// otherwise flip inside the view), then waits one epoch grace period so
+// every writer that stamped a version ≤ S has finished its install.
+// Must not be called while holding an epoch pin on this map.
+func (m *Map) StabilizeSnapshot(s uint64) {
+	st := &m.mvcc
+	for {
+		var wait *BatchInstall
+		st.pendMu.RLock()
+		for base, bi := range st.pending {
+			if base <= s && bi.desc.state.Load() == batchPending {
+				wait = bi
+				break
+			}
+		}
+		st.pendMu.RUnlock()
+		if wait == nil {
+			break
+		}
+		<-wait.desc.done
+	}
+	m.reclaim.Grace()
+}
+
+// EndSnapshot closes snapshot S: it leaves the open set, the reclaim
+// horizon advances, and retained spans no open snapshot can see are
+// retired through the epoch domain.
+func (m *Map) EndSnapshot(s uint64) {
+	st := &m.mvcc
+	st.mu.Lock()
+	i := sort.Search(len(st.open), func(i int) bool { return st.open[i] >= s })
+	if i < len(st.open) && st.open[i] == s {
+		st.open = append(st.open[:i], st.open[i+1:]...)
+		st.openCount.Add(-1)
+	}
+	if n := len(st.open); n == 0 {
+		st.retainFloor.Store(0)
+	} else {
+		st.retainFloor.Store(st.open[n-1] + 1)
+	}
+	m.sweepRetainedLocked()
+	st.mu.Unlock()
+}
+
+// sweepRetainedLocked drops every retained entry that no open snapshot
+// can see, retiring its span through the epoch domain. Called with
+// st.mu held (snapshot close — the horizon only advances there).
+func (m *Map) sweepRetainedLocked() {
+	st := &m.mvcc
+	fpMvccHorizon.Fire()
+	keptKeys := st.keys[:0]
+	for _, key := range st.keys {
+		chain := st.byKey[string(key)]
+		kept := chain.entries[:0]
+		for _, e := range chain.entries {
+			if st.visibleLocked(e.ver, e.super) {
+				kept = append(kept, e)
+				continue
+			}
+			st.retBytes.Add(-int64(e.ref.Len()))
+			st.retSpans.Add(-1)
+			m.alloc.Retire(e.ref)
+		}
+		chain.entries = kept
+		if len(kept) == 0 {
+			delete(st.byKey, string(key))
+			continue
+		}
+		keptKeys = append(keptKeys, key)
+	}
+	st.keys = keptKeys
+}
+
+// retireOrRetain disposes of a superseded value span: if some open
+// snapshot can still see version oldVer (it was overwritten or deleted
+// at version super), the span enters the retained store; otherwise it is
+// retired through the epoch domain. key nil means the value was never
+// visible (a discarded unpublished allocation) and is always retired.
+// The fast path is one atomic load: with no open snapshots retainFloor
+// is 0 and nothing is ever retained.
+func (m *Map) retireOrRetain(key []byte, ref arena.Ref, oldVer, super uint64) {
+	if ref == 0 {
+		return
+	}
+	if key == nil || oldVer >= m.mvcc.retainFloor.Load() {
+		m.alloc.Retire(ref)
+		return
+	}
+	fpMvccRetain.Fire()
+	st := &m.mvcc
+	st.mu.Lock()
+	// Precise re-check under the registry lock: the floor is a racy gate
+	// and may have moved; retaining for a just-closed snapshot would
+	// leak until the next sweep — or forever, if it was the last one.
+	if !st.visibleLocked(oldVer, super) {
+		st.mu.Unlock()
+		m.alloc.Retire(ref)
+		return
+	}
+	chain := st.byKey[string(key)]
+	if chain == nil {
+		owned := append([]byte(nil), key...)
+		chain = &retChain{}
+		st.byKey[string(owned)] = chain
+		i := sort.Search(len(st.keys), func(i int) bool { return m.cmp(st.keys[i], owned) >= 0 })
+		st.keys = append(st.keys, nil)
+		copy(st.keys[i+1:], st.keys[i:])
+		st.keys[i] = owned
+	}
+	// Entries stay ver-ascending: a later retain's ver is ≥ the earlier
+	// retain's super for the same key, but insert defensively.
+	e := retEntry{ver: oldVer, super: super, ref: ref}
+	j := len(chain.entries)
+	for j > 0 && chain.entries[j-1].ver > e.ver {
+		j--
+	}
+	chain.entries = append(chain.entries, retEntry{})
+	copy(chain.entries[j+1:], chain.entries[j:])
+	chain.entries[j] = e
+	st.retBytes.Add(int64(ref.Len()))
+	st.retSpans.Add(1)
+	st.mu.Unlock()
+}
+
+// MVCCStats is the observability snapshot of the MVCC layer.
+type MVCCStats struct {
+	OpenSnapshots int64  // currently open snapshot views
+	RetainedBytes int64  // bytes held by the retained-version store
+	RetainedSpans int64  // spans held by the retained-version store
+	HorizonLag    uint64 // current version − oldest open snapshot (0 if none)
+}
+
+// MVCCStats returns the MVCC layer's counters.
+func (m *Map) MVCCStats() MVCCStats {
+	st := &m.mvcc
+	out := MVCCStats{
+		OpenSnapshots: st.openCount.Load(),
+		RetainedBytes: st.retBytes.Load(),
+		RetainedSpans: st.retSpans.Load(),
+	}
+	st.mu.Lock()
+	if len(st.open) > 0 {
+		out.HorizonLag = st.clock.Load() - 1 - st.open[0]
+	}
+	st.mu.Unlock()
+	return out
+}
+
+// lockStable acquires h's write lock and waits out any batch-flagged
+// version: a pending or unfinalized batch owns the value's next state,
+// and a normal write slipping in between install and commit would tear
+// the batch's atomicity (readers could observe the overwrite before the
+// batch's other keys). Returns the current committed version; ok=false
+// iff the value is deleted. May block on the owning batch's decision —
+// batches never wait on individual writers, so there is no cycle.
+func (m *Map) lockStable(h ValueHandle) (uint64, bool) {
+	for spins := 0; ; spins++ {
+		if !m.headers.TryWriteLock(uint64(h)) {
+			return 0, false
+		}
+		v := m.headers.LoadVersion(uint64(h))
+		if v&verFlagMask == 0 {
+			return v, true
+		}
+		m.headers.WriteUnlock(uint64(h))
+		if bi := m.lookupBatch(v & verBaseMask); bi != nil {
+			<-bi.desc.done // decided; finalize/rollback clears the flags shortly
+		}
+		retryPause(spins + 5)
+	}
+}
+
+// pendingPresent decides key-presence for a batch-flagged handle: the
+// batch's pre-state before commit, its post-state after. v is a version
+// word previously loaded from h.
+func (m *Map) pendingPresent(h ValueHandle, v uint64) bool {
+	for {
+		bi := m.lookupBatch(v & verBaseMask)
+		if bi == nil {
+			// Finalized between the version load and the lookup.
+			v = m.headers.LoadVersion(uint64(h))
+			if v&verFlagMask == 0 {
+				return !m.IsDeleted(h)
+			}
+			continue
+		}
+		committed := bi.desc.state.Load() == batchCommitted
+		if v&verTombBit != 0 {
+			return !committed // a pending tombstone is still present
+		}
+		if committed {
+			return true
+		}
+		rec := bi.lookup(h)
+		return rec != nil && rec.hadOld
+	}
+}
+
+// readFlagged resolves a batch-flagged value under the read lock held by
+// the caller: pre-state before commit, post-state after. The read lock
+// excludes the finalizer (which needs the write lock), so the install
+// record and the pre-image span both outlive this call.
+func (m *Map) readFlagged(h ValueHandle, v uint64, f func([]byte) error) error {
+	for {
+		bi := m.lookupBatch(v & verBaseMask)
+		if bi == nil {
+			v = m.headers.LoadVersion(uint64(h))
+			if v&verFlagMask == 0 {
+				ref := arena.Ref(m.headers.LoadData(uint64(h)))
+				return f(m.alloc.Bytes(ref))
+			}
+			continue
+		}
+		committed := bi.desc.state.Load() == batchCommitted
+		if v&verTombBit != 0 {
+			if committed {
+				return ErrConcurrentModification // deleted at commit
+			}
+			ref := arena.Ref(m.headers.LoadData(uint64(h))) // pre-delete bytes
+			return f(m.alloc.Bytes(ref))
+		}
+		if committed {
+			ref := arena.Ref(m.headers.LoadData(uint64(h)))
+			return f(m.alloc.Bytes(ref))
+		}
+		rec := bi.lookup(h)
+		if rec == nil || !rec.hadOld {
+			return ErrConcurrentModification // absent before the batch
+		}
+		return f(m.alloc.Bytes(rec.oldRef))
+	}
+}

@@ -38,6 +38,12 @@ func (m *Map) getPinned(key []byte) (ValueHandle, bool) {
 	if h == 0 || m.IsDeleted(h) {
 		return 0, false
 	}
+	// MVCC slow path: a batch-flagged version word means presence is
+	// decided by the owning batch's state (pre-state before commit,
+	// post-state after), keeping ApplyBatch all-or-nothing for readers.
+	if v := m.headers.LoadVersion(uint64(h)); v&verFlagMask != 0 && !m.pendingPresent(h, v) {
+		return 0, false
+	}
 	return h, true
 }
 
@@ -157,7 +163,7 @@ func (m *Map) putAttempt(key []byte, vw ValueWriter, f func(*WBuffer) error, op 
 		case opPutIfAbsent:
 			return putOutcome{done: true, ok: false}, nil
 		case opPut:
-			ok, err := m.valuePut(h, vw)
+			ok, err := m.valuePut(key, h, vw)
 			if err != nil {
 				return putOutcome{}, err
 			}
@@ -165,7 +171,7 @@ func (m *Map) putAttempt(key []byte, vw ValueWriter, f func(*WBuffer) error, op 
 				return putOutcome{done: true, ok: true}, nil
 			}
 		case opPutIfAbsentComputeIfPresent:
-			ok, err := m.valueCompute(h, f)
+			ok, err := m.valueCompute(key, h, f)
 			if err != nil {
 				return putOutcome{}, err
 			}
@@ -211,7 +217,10 @@ func (m *Map) putAttempt(key []byte, vw ValueWriter, f func(*WBuffer) error, op 
 		}
 	}
 
-	newH, err := m.allocValue(vw)
+	// Fresh inserts are stamped with the current version before the
+	// entry CAS publishes them, so a snapshot taken before this write
+	// (version ≤ S fails ⇒ resolves older ⇒ absent) never sees it.
+	newH, err := m.allocValue(vw, m.mvcc.clock.Load())
 	if err != nil {
 		return putOutcome{}, err
 	}
@@ -250,9 +259,10 @@ func (m *Map) releaseKeyRef(keyRef *uint64) {
 }
 
 // discardValue reclaims a value that was never published: its data
-// space, and (under the reclaiming policy) its header slot.
+// space, and (under the reclaiming policy) its header slot. The nil key
+// marks the span never-visible, so it is retired rather than retained.
 func (m *Map) discardValue(h ValueHandle) {
-	m.valueRemove(h)
+	m.valueRemove(nil, h)
 	m.headers.Release(uint64(h))
 }
 
@@ -332,7 +342,7 @@ func (m *Map) ifPresentAttempt(key []byte, f func(*WBuffer) error, op nonInsertO
 	if !m.IsDeleted(h) {
 		// Case 1: value exists and is not deleted.
 		if op == opCompute {
-			ok, err := m.valueCompute(h, f)
+			ok, err := m.valueCompute(key, h, f)
 			if err != nil {
 				return ifPresentOutcome{}, err
 			}
@@ -340,7 +350,7 @@ func (m *Map) ifPresentAttempt(key []byte, f func(*WBuffer) error, op nonInsertO
 				return ifPresentOutcome{done: true, ok: true}, nil // l.p.: successful v.compute (line 46)
 			}
 		} else {
-			if m.valueRemove(h) {
+			if m.valueRemove(key, h) {
 				// l.p.: v.remove set the deleted bit (line 48).
 				m.size.Add(-1)
 				c.DecLive()

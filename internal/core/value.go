@@ -75,11 +75,19 @@ func (m *Map) IsDeleted(h ValueHandle) bool {
 // method-call-granularity concurrency control, §2.2). It returns
 // ErrConcurrentModification if the value was deleted. f must not retain
 // the slice beyond the call.
+//
+// A batch-flagged version word (the MVCC slow path, one extra atomic
+// load on the fast path) routes through the pending-batch registry so
+// the caller observes the batch all-or-nothing: its pre-state before
+// commit, its post-state after.
 func (m *Map) ReadValue(h ValueHandle, f func([]byte) error) error {
 	if !m.headers.TryReadLock(uint64(h)) {
 		return ErrConcurrentModification
 	}
 	defer m.headers.ReadUnlock(uint64(h))
+	if v := m.headers.LoadVersion(uint64(h)); v&verFlagMask != 0 {
+		return m.readFlagged(h, v, f)
+	}
 	ref := arena.Ref(m.headers.LoadData(uint64(h)))
 	return f(m.alloc.Bytes(ref))
 }
@@ -108,15 +116,30 @@ func (m *Map) CopyValue(h ValueHandle, dst []byte) ([]byte, error) {
 // atomically. Returns false iff the value is deleted. If the new content
 // has a different size, the buffer is reallocated and the old space is
 // freed (the paper's "return to the free list upon ... value resize").
-func (m *Map) valuePut(h ValueHandle, vw ValueWriter) (bool, error) {
-	if !m.headers.TryWriteLock(uint64(h)) {
+//
+// MVCC: the write stamps the clock's current version. The version must
+// be loaded BEFORE the retention gate — if a snapshot S ratchets the
+// floor between the two loads, then S ≥ newVer and the snapshot sees
+// this write, so the pre-image is not needed; any interleaving where
+// the pre-image IS needed has the floor already raised at the gate
+// load. When some open snapshot can see the old version, the in-place
+// path is disabled (copy-on-write: the old span's bytes must survive)
+// and the superseded span is retained instead of retired. key is the
+// serialized key for the retained-chain index; nil means the value was
+// never visible and retention never applies.
+func (m *Map) valuePut(key []byte, h ValueHandle, vw ValueWriter) (bool, error) {
+	oldVer, ok := m.lockStable(h)
+	if !ok {
 		return false, nil
 	}
 	defer m.headers.WriteUnlock(uint64(h))
 	fpHeaderLock.Fire()
+	newVer := m.mvcc.clock.Load()
+	retain := key != nil && oldVer < m.mvcc.retainFloor.Load()
 	old := arena.Ref(m.headers.LoadData(uint64(h)))
-	if old.Len() == vw.N {
+	if old.Len() == vw.N && !retain {
 		vw.Write(m.alloc.Bytes(old))
+		m.headers.StoreVersion(uint64(h), newVer)
 		return true, nil
 	}
 	nref, err := m.alloc.Alloc(vw.N)
@@ -125,22 +148,41 @@ func (m *Map) valuePut(h ValueHandle, vw ValueWriter) (bool, error) {
 	}
 	vw.Write(m.alloc.Bytes(nref))
 	m.headers.StoreData(uint64(h), uint64(nref))
+	m.headers.StoreVersion(uint64(h), newVer)
 	// The write lock excludes in-protocol readers, but the old span is
 	// retired (not freed) so any path that loaded the ref under an
-	// epoch pin stays safe until the grace period elapses.
-	m.alloc.Retire(old)
+	// epoch pin stays safe until the grace period elapses — or retained,
+	// if an open snapshot can still see version oldVer.
+	m.retireOrRetain(key, old, oldVer, newVer)
 	return true, nil
 }
 
 // valueCompute implements v.compute(func) (§3.3): run the user's update
 // lambda on the value in place, atomically, exactly once. Returns false
 // iff the value is deleted.
-func (m *Map) valueCompute(h ValueHandle, f func(*WBuffer) error) (bool, error) {
-	if !m.headers.TryWriteLock(uint64(h)) {
+//
+// MVCC: when an open snapshot can see the current version, the span is
+// privatized first (copy-on-write) so the lambda's in-place mutation
+// cannot destroy snapshot-visible bytes; the pre-image is retained.
+func (m *Map) valueCompute(key []byte, h ValueHandle, f func(*WBuffer) error) (bool, error) {
+	oldVer, ok := m.lockStable(h)
+	if !ok {
 		return false, nil
 	}
 	defer m.headers.WriteUnlock(uint64(h))
 	fpHeaderLock.Fire()
+	newVer := m.mvcc.clock.Load()
+	if key != nil && oldVer < m.mvcc.retainFloor.Load() {
+		old := arena.Ref(m.headers.LoadData(uint64(h)))
+		nref, err := m.alloc.Alloc(old.Len())
+		if err != nil {
+			return false, err
+		}
+		copy(m.alloc.Bytes(nref), m.alloc.Bytes(old))
+		m.headers.StoreData(uint64(h), uint64(nref))
+		m.retireOrRetain(key, old, oldVer, newVer)
+	}
+	m.headers.StoreVersion(uint64(h), newVer)
 	w := WBuffer{m: m, h: h}
 	if err := f(&w); err != nil {
 		return false, err
@@ -152,10 +194,17 @@ func (m *Map) valueCompute(h ValueHandle, f func(*WBuffer) error) (bool, error) 
 // deleted. Returns false iff it was already deleted. On success the data
 // space returns to the free list; the header is retained (default
 // reclamation policy, §3.3) or recycled later via Release.
-func (m *Map) valueRemove(h ValueHandle) bool {
-	if !m.headers.TryWriteLock(uint64(h)) {
+//
+// MVCC: the delete happens at the clock's current version; if an open
+// snapshot can see the removed value, its span is retained (the
+// snapshot resolves the key through the retained chain — the deleted
+// header carries no data).
+func (m *Map) valueRemove(key []byte, h ValueHandle) bool {
+	oldVer, ok := m.lockStable(h)
+	if !ok {
 		return false
 	}
+	delVer := m.mvcc.clock.Load()
 	// Privatize the data reference while still holding the write lock,
 	// and only then set the deleted bit (which releases the lock). The
 	// order is load-bearing under header reclamation: the moment the
@@ -168,7 +217,7 @@ func (m *Map) valueRemove(h ValueHandle) bool {
 	m.headers.StoreData(uint64(h), 0)
 	m.headers.DeleteLocked(uint64(h))
 	fpDeletedBit.Fire()
-	m.alloc.Retire(ref)
+	m.retireOrRetain(key, ref, oldVer, delVer)
 	return true
 }
 
@@ -188,8 +237,9 @@ func BytesValue(val []byte) ValueWriter {
 }
 
 // allocValue allocates a fresh value (header + off-heap data), fills it
-// via vw, and returns its handle.
-func (m *Map) allocValue(vw ValueWriter) (ValueHandle, error) {
+// via vw, stamps the version word with ver, and returns its handle. The
+// header is unpublished, so the stores need no lock.
+func (m *Map) allocValue(vw ValueWriter, ver uint64) (ValueHandle, error) {
 	ref, err := m.alloc.Alloc(vw.N)
 	if err != nil {
 		return 0, err
@@ -197,6 +247,7 @@ func (m *Map) allocValue(vw ValueWriter) (ValueHandle, error) {
 	vw.Write(m.alloc.Bytes(ref))
 	h := m.headers.Alloc()
 	m.headers.StoreData(h, uint64(ref))
+	m.headers.StoreVersion(h, ver)
 	return ValueHandle(h), nil
 }
 

@@ -2,8 +2,6 @@ package druid
 
 import (
 	"sort"
-
-	"oakmap"
 )
 
 // Query layer: the three query families Druid serves from an incremental
@@ -88,29 +86,22 @@ func timeseries(layout *rowLayout, scan rowVisitor, t1, t2, bucket int64, agg in
 	return out
 }
 
-// scanRange is Index's rowVisitor: a zero-copy stream scan. The row
-// bytes passed to visit alias Oak's buffer and are only valid during the
-// callback (the same contract as OakRBuffer.Read).
+// scanRange is Index's rowVisitor, served from a map snapshot: the
+// whole scan reads one frozen, mutually consistent view, so a groupBy,
+// timeseries or segment persist is an atomic picture of the index even
+// while ingestion continues. (The previous stream scan could mix row
+// states from different instants — a tuple ingested mid-query might
+// count in one bucket's aggregate and not another's.) key and row are
+// owned by the snapshot cursor and valid only during the callback.
 func (x *Index) scanRange(t1, t2 int64, visit func(key []byte, row []byte)) {
 	lo := make([]byte, keySize(len(x.schema.Dimensions), false))
 	hi := make([]byte, keySize(len(x.schema.Dimensions), false))
 	encodeKey(lo, t1, make([]uint32, len(x.schema.Dimensions)), 0, false)
 	encodeKey(hi, t2, make([]uint32, len(x.schema.Dimensions)), 0, false)
-	var kbuf []byte
-	x.zc.AscendStream(&lo, &hi, func(k, v *oakmap.OakRBuffer) bool {
-		k.Read(func(kb []byte) error {
-			kbuf = append(kbuf[:0], kb...)
-			return nil
-		})
-		v.Read(func(row []byte) error {
-			// Deliberate contract propagation, not an escape: visit
-			// receives the aliasing row under the same "valid during the
-			// callback" rule this function's doc comment states, and
-			// every rowVisitor consumer (groupBy, timeseries, Persist)
-			// merges or copies the bytes before returning.
-			visit(kbuf, row) //oak:zc-view
-			return nil
-		})
+	sn := x.oak.Snapshot()
+	defer sn.Close()
+	sn.AscendRaw(lo, hi, func(key, row []byte) bool {
+		visit(key, row)
 		return true
 	})
 }

@@ -40,10 +40,11 @@ const (
 	Get                     // read; RetBool = found, RetVal = value
 	Upsert                  // putIfAbsentComputeIfPresent: insert Arg, or append "|"+Arg
 	Compute                 // computeIfPresent: append "#"+Arg if present; RetBool = applied
+	BlindRemove             // delete with unobserved result (batch projection)
 )
 
 func (k Kind) String() string {
-	return [...]string{"put", "putIfAbsent", "remove", "get", "upsert", "compute"}[k]
+	return [...]string{"put", "putIfAbsent", "remove", "get", "upsert", "compute", "blindRemove"}[k]
 }
 
 // Op is one recorded operation: what was asked, what came back, and the
@@ -95,6 +96,10 @@ func regApply(v string, present bool, o Op) (string, bool, bool) {
 			return v + "#" + o.Arg, true, o.RetBool
 		}
 		return v, false, !o.RetBool
+	case BlindRemove:
+		// A batch delete: the caller never sees whether the key was
+		// present, so the op is legal from any state.
+		return "", false, true
 	}
 	return v, present, false
 }

@@ -1,0 +1,166 @@
+// MVCC extension to the checker: atomic multi-key batches and snapshot
+// reads.
+//
+// Batches break the per-key partition argument — an ApplyBatch must
+// take effect at ONE instant across every key it touches, which the
+// per-key register search cannot see (it would happily linearize the
+// per-key halves of a batch at different points). Snapshot reads break
+// the register model outright: a snapshot Get legitimately returns a
+// value that was overwritten long before the read happened, so feeding
+// it into the register history as a Get would be flagged as stale.
+//
+// The model here follows the implementation's own claim: the map state
+// is a sequence of atomic write events (point writes and whole
+// batches), and a snapshot observes a PREFIX-CLOSED cut of that
+// sequence — the state after some prefix of events, never a state that
+// includes event i+1 but not i, and never half of a batch. Real time
+// bounds which prefixes a given snapshot may observe: every event that
+// completed before the snapshot's acquisition began must be inside the
+// cut, and no event invoked after acquisition finished may be.
+//
+// SnapshotsLinearizable checks that model exactly, in polynomial time,
+// for histories whose writes are sequential (a single writer thread —
+// how the driver tests record them). Concurrent snapshot readers are
+// unrestricted. BatchOps additionally projects a batch onto per-key
+// register ops sharing one invocation window, so the existing
+// Linearizable search can validate a batch's per-key legality against
+// concurrent live (non-snapshot) readers.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Effect is one key's outcome inside an atomic write event.
+type Effect struct {
+	Val string
+	Del bool // true: the event removes the key; Val is ignored
+}
+
+// WriteEvent is one atomic state transition: a point Put/Remove (one
+// effect) or a whole ApplyBatch (many effects, one linearization
+// point). Inv/Ret are logical clock readings taken immediately before
+// and after the call.
+type WriteEvent struct {
+	Effects  map[string]Effect
+	Inv, Ret uint64
+}
+
+// SnapObs is what one snapshot observed for one key.
+type SnapObs struct {
+	Found bool
+	Val   string
+}
+
+// SnapshotRead records one snapshot's acquisition window and the reads
+// made through it. Inv/Ret bracket ONLY the Snapshot() call — the
+// reads themselves may happen arbitrarily later; a frozen view owes
+// consistency to its acquisition instant, not its read instants.
+type SnapshotRead struct {
+	Inv, Ret uint64
+	Obs      map[string]SnapObs
+}
+
+// SnapshotsLinearizable verifies every snapshot against the
+// prefix-closed cut model. writes must be sequential and in order
+// (each event's Ret recorded before the next event's Inv) — the
+// function errors out if they overlap rather than silently checking a
+// weaker property. It returns nil when every snapshot's observations
+// equal the map state after some real-time-admissible prefix of the
+// write events, and a diagnostic error naming the first offending
+// snapshot otherwise.
+func SnapshotsLinearizable(writes []WriteEvent, snaps []SnapshotRead) error {
+	for i := 1; i < len(writes); i++ {
+		if writes[i-1].Ret >= writes[i].Inv {
+			return fmt.Errorf("writes %d and %d overlap ([%d,%d] vs [%d,%d]): the cut model needs a sequential writer",
+				i-1, i, writes[i-1].Inv, writes[i-1].Ret, writes[i].Inv, writes[i].Ret)
+		}
+	}
+	for si := range snaps {
+		sn := &snaps[si]
+		// Admissible prefix lengths: [lo, hi]. Events finished before
+		// acquisition began are mandatory; events invoked after it
+		// returned are forbidden.
+		lo, hi := 0, len(writes)
+		for i := range writes {
+			if writes[i].Ret < sn.Inv {
+				lo = i + 1
+			}
+			if writes[i].Inv > sn.Ret {
+				hi = i
+				break
+			}
+		}
+		val := map[string]string{}
+		present := map[string]bool{}
+		apply := func(w *WriteEvent) {
+			for k, e := range w.Effects {
+				if e.Del {
+					delete(val, k)
+					delete(present, k)
+				} else {
+					val[k] = e.Val
+					present[k] = true
+				}
+			}
+		}
+		for i := 0; i < lo; i++ {
+			apply(&writes[i])
+		}
+		ok := false
+		for p := lo; ; p++ {
+			if snapMatches(sn, val, present) {
+				ok = true
+				break
+			}
+			if p >= hi {
+				break
+			}
+			apply(&writes[p])
+		}
+		if !ok {
+			return fmt.Errorf("snapshot %d (window [%d,%d], admissible prefixes %d..%d of %d writes): observations %v match no admissible cut",
+				si, sn.Inv, sn.Ret, lo, hi, len(writes), sn.Obs)
+		}
+	}
+	return nil
+}
+
+// snapMatches reports whether the snapshot's recorded observations are
+// exactly the register state for every key it watched.
+func snapMatches(sn *SnapshotRead, val map[string]string, present map[string]bool) bool {
+	for k, obs := range sn.Obs {
+		if present[k] != obs.Found {
+			return false
+		}
+		if obs.Found && val[k] != obs.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// BatchOps projects an atomic write event onto per-key register
+// operations sharing the event's invocation window, for merging into a
+// point-op history checked by Linearizable: per key, a batch behaves
+// like one unconditional Put or Remove. Keys come out sorted so the
+// expansion is deterministic. (This checks per-key legality only —
+// cross-key atomicity is SnapshotsLinearizable's job.)
+func BatchOps(w WriteEvent) []Op {
+	keys := make([]string, 0, len(w.Effects))
+	for k := range w.Effects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Op, 0, len(keys))
+	for _, k := range keys {
+		e := w.Effects[k]
+		o := Op{Key: k, Kind: Put, Arg: e.Val, Inv: w.Inv, Ret: w.Ret}
+		if e.Del {
+			o = Op{Key: k, Kind: BlindRemove, Inv: w.Inv, Ret: w.Ret}
+		}
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package lincheck
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oakmap"
+)
+
+// These tests record real concurrent histories from the public facade
+// — both backends — and check them against the MVCC model: a
+// sequential writer issues point writes, deletes and ApplyBatch calls
+// while snapshot readers and live readers run concurrently.
+
+func mvccTestMap(t *testing.T, shards int) *oakmap.Map[string, string] {
+	t.Helper()
+	m := oakmap.New[string, string](oakmap.StringSerializer{}, oakmap.StringSerializer{},
+		&oakmap.Options{ChunkCapacity: 64, Shards: shards})
+	t.Cleanup(m.Close)
+	return m
+}
+
+// TestMVCCSnapshotHistories: concurrent snapshot readers against a
+// churning writer; every snapshot's observations must equal the map
+// state after some admissible prefix of the atomic write events.
+func TestMVCCSnapshotHistories(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m := mvccTestMap(t, shards)
+			keys := []string{"a", "b", "c", "d", "e", "f"}
+			var clock atomic.Uint64
+
+			var mu sync.Mutex
+			var snaps []SnapshotRead
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// First iterations run unconditionally so a fast writer
+					// cannot finish before any snapshot was taken.
+					for i := 0; ; i++ {
+						if i >= 10 {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+						}
+						inv := clock.Add(1)
+						sn := m.Snapshot()
+						ret := clock.Add(1)
+						o := make(map[string]SnapObs, len(keys))
+						for _, k := range keys {
+							v, ok := sn.Get(k)
+							o[k] = SnapObs{Found: ok, Val: v}
+						}
+						sn.Close()
+						mu.Lock()
+						snaps = append(snaps, SnapshotRead{Inv: inv, Ret: ret, Obs: o})
+						mu.Unlock()
+					}
+				}()
+			}
+
+			var writes []WriteEvent
+			record := func(eff map[string]Effect, do func() error) {
+				inv := clock.Add(1)
+				if err := do(); err != nil {
+					t.Fatal(err)
+				}
+				ret := clock.Add(1)
+				writes = append(writes, WriteEvent{Effects: eff, Inv: inv, Ret: ret})
+			}
+			for i := 0; i < 150; i++ {
+				switch i % 4 {
+				case 0, 1: // whole-group batch — the torn-read bait
+					val := fmt.Sprintf("gen-%d", i)
+					ops := make([]oakmap.Op[string, string], len(keys))
+					eff := map[string]Effect{}
+					for j, k := range keys {
+						ops[j] = oakmap.Op[string, string]{Key: k, Value: val}
+						eff[k] = Effect{Val: val}
+					}
+					if i%8 == 0 { // sometimes a delete rides inside the batch
+						dk := keys[(i/8)%len(keys)]
+						for j := range ops {
+							if ops[j].Key == dk {
+								ops[j] = oakmap.Op[string, string]{Key: dk, Delete: true}
+							}
+						}
+						eff[dk] = Effect{Del: true}
+					}
+					record(eff, func() error { return m.ApplyBatch(ops) })
+				case 2: // point overwrite
+					k, val := keys[i%len(keys)], fmt.Sprintf("pt-%d", i)
+					record(map[string]Effect{k: {Val: val}}, func() error {
+						_, _, err := m.Put(k, val)
+						return err
+					})
+				default: // point delete
+					k := keys[i%len(keys)]
+					record(map[string]Effect{k: {Del: true}}, func() error {
+						_, _, err := m.Remove(k)
+						return err
+					})
+				}
+			}
+			close(stop)
+			wg.Wait()
+
+			if len(snaps) == 0 {
+				t.Fatal("no snapshots recorded")
+			}
+			if err := SnapshotsLinearizable(writes, snaps); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("checked %d snapshots against %d write events", len(snaps), len(writes))
+		})
+	}
+}
+
+// TestMVCCBatchLiveReaders: the per-key face of batch atomicity — a
+// batch projected through BatchOps is a set of register ops sharing
+// one invocation window, and a live (non-snapshot) reader's Gets must
+// linearize against them.
+func TestMVCCBatchLiveReaders(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m := mvccTestMap(t, shards)
+			var clock atomic.Uint64
+
+			// A bounded reader: per-key history size feeds an exponential
+			// search, so it records exactly 8 Gets on the contended key.
+			var getOps []Op
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					inv := clock.Add(1)
+					v, ok := m.Get("c")
+					ret := clock.Add(1)
+					getOps = append(getOps, Op{
+						Key: "c", Kind: Get, RetBool: ok, RetVal: v, Inv: inv, Ret: ret,
+					})
+				}
+			}()
+
+			batch := func(eff map[string]Effect) error {
+				ops := make([]oakmap.Op[string, string], 0, len(eff))
+				for k, e := range eff {
+					ops = append(ops, oakmap.Op[string, string]{Key: k, Value: e.Val, Delete: e.Del})
+				}
+				return m.ApplyBatch(ops)
+			}
+			events := []struct {
+				eff map[string]Effect
+				do  func(eff map[string]Effect) error
+			}{
+				{map[string]Effect{"a": {Val: "g0"}, "b": {Val: "g0"}, "c": {Val: "g0"}}, batch},
+				{map[string]Effect{"c": {Val: "p1"}}, func(map[string]Effect) error {
+					_, _, err := m.Put("c", "p1")
+					return err
+				}},
+				{map[string]Effect{"a": {Val: "g2"}, "b": {Val: "g2"}, "c": {Del: true}}, batch},
+				{map[string]Effect{"c": {Val: "p3"}}, func(map[string]Effect) error {
+					_, _, err := m.Put("c", "p3")
+					return err
+				}},
+				{map[string]Effect{"a": {Val: "g4"}, "b": {Val: "g4"}, "c": {Val: "g4"}}, batch},
+				{map[string]Effect{"c": {Del: true}}, func(map[string]Effect) error {
+					_, _, err := m.Remove("c")
+					return err
+				}},
+			}
+			var ops []Op
+			for _, e := range events {
+				inv := clock.Add(1)
+				if err := e.do(e.eff); err != nil {
+					t.Fatal(err)
+				}
+				ret := clock.Add(1)
+				ops = append(ops, BatchOps(WriteEvent{Effects: e.eff, Inv: inv, Ret: ret})...)
+			}
+			wg.Wait()
+			ops = append(ops, getOps...)
+			if !Linearizable(ops) {
+				t.Fatalf("live reads against batch projections not linearizable:\n%v", ops)
+			}
+		})
+	}
+}

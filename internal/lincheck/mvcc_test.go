@@ -1,0 +1,108 @@
+package lincheck
+
+import "testing"
+
+// ---- model self-checks -------------------------------------------------
+
+// gen builds a batch event writing val to every listed key.
+func gen(inv, ret uint64, val string, keys ...string) WriteEvent {
+	eff := map[string]Effect{}
+	for _, k := range keys {
+		eff[k] = Effect{Val: val}
+	}
+	return WriteEvent{Effects: eff, Inv: inv, Ret: ret}
+}
+
+func obs(pairs ...string) map[string]SnapObs {
+	m := map[string]SnapObs{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i]] = SnapObs{Found: true, Val: pairs[i+1]}
+	}
+	return m
+}
+
+func TestSnapshotModelAtomicBatches(t *testing.T) {
+	writes := []WriteEvent{
+		gen(1, 2, "g1", "a", "b"),
+		gen(5, 8, "g2", "a", "b"),
+	}
+	// A snapshot overlapping the second batch may see either generation
+	// whole…
+	for _, o := range []map[string]SnapObs{obs("a", "g1", "b", "g1"), obs("a", "g2", "b", "g2")} {
+		if err := SnapshotsLinearizable(writes, []SnapshotRead{{Inv: 6, Ret: 7, Obs: o}}); err != nil {
+			t.Fatalf("whole generation rejected: %v", err)
+		}
+	}
+	// …but never a torn mix: that cut would include half of batch 2.
+	for _, o := range []map[string]SnapObs{obs("a", "g2", "b", "g1"), obs("a", "g1", "b", "g2")} {
+		if err := SnapshotsLinearizable(writes, []SnapshotRead{{Inv: 6, Ret: 7, Obs: o}}); err == nil {
+			t.Fatalf("torn batch %v accepted", o)
+		}
+	}
+}
+
+func TestSnapshotModelRealTime(t *testing.T) {
+	writes := []WriteEvent{
+		gen(1, 2, "g1", "a"),
+		gen(3, 4, "g2", "a"),
+	}
+	// Acquired strictly after g2 completed: g1 is no longer admissible.
+	if err := SnapshotsLinearizable(writes, []SnapshotRead{{Inv: 5, Ret: 6, Obs: obs("a", "g1")}}); err == nil {
+		t.Fatal("stale snapshot accepted despite completed overwrite")
+	}
+	// Acquired strictly before g2 was invoked: g2 is not admissible yet.
+	if err := SnapshotsLinearizable(writes, []SnapshotRead{{Inv: 2, Ret: 2, Obs: obs("a", "g2")}}); err == nil {
+		t.Fatal("snapshot from the future accepted")
+	}
+}
+
+func TestSnapshotModelDelete(t *testing.T) {
+	writes := []WriteEvent{
+		gen(1, 2, "g1", "a", "b"),
+		{Effects: map[string]Effect{"a": {Del: true}, "b": {Val: "g2"}}, Inv: 4, Ret: 5},
+	}
+	after := map[string]SnapObs{"a": {Found: false}, "b": {Found: true, Val: "g2"}}
+	if err := SnapshotsLinearizable(writes, []SnapshotRead{{Inv: 6, Ret: 7, Obs: after}}); err != nil {
+		t.Fatalf("post-delete state rejected: %v", err)
+	}
+	// The delete and the write to b are one event: seeing the delete
+	// without b's new value is torn.
+	torn := map[string]SnapObs{"a": {Found: false}, "b": {Found: true, Val: "g1"}}
+	if err := SnapshotsLinearizable(writes, []SnapshotRead{{Inv: 6, Ret: 7, Obs: torn}}); err == nil {
+		t.Fatal("torn delete/write accepted")
+	}
+}
+
+func TestSnapshotModelRejectsOverlappingWrites(t *testing.T) {
+	writes := []WriteEvent{gen(1, 5, "g1", "a"), gen(3, 8, "g2", "a")}
+	if err := SnapshotsLinearizable(writes, nil); err == nil {
+		t.Fatal("overlapping writes accepted; the model requires a sequential writer")
+	}
+}
+
+func TestBatchOpsProjection(t *testing.T) {
+	w := WriteEvent{
+		Effects: map[string]Effect{"b": {Val: "v"}, "a": {Del: true}},
+		Inv:     3, Ret: 7,
+	}
+	ops := BatchOps(w)
+	if len(ops) != 2 || ops[0].Key != "a" || ops[1].Key != "b" {
+		t.Fatalf("projection not sorted per key: %v", ops)
+	}
+	if ops[0].Kind != BlindRemove || ops[1].Kind != Put || ops[1].Arg != "v" {
+		t.Fatalf("projection kinds wrong: %v", ops)
+	}
+	for _, o := range ops {
+		if o.Inv != 3 || o.Ret != 7 {
+			t.Fatalf("projection lost the shared window: %v", o)
+		}
+	}
+	// BlindRemove is legal from either presence state; the register ends
+	// absent both ways.
+	for _, present := range []bool{true, false} {
+		v, p, legal := regApply("x", present, ops[0])
+		if !legal || p || v != "" {
+			t.Fatalf("blindRemove from present=%v: (%q,%v,%v)", present, v, p, legal)
+		}
+	}
+}

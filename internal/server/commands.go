@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+
+	"oakmap"
 )
 
 // lookupCmd resolves a verb case-insensitively without allocating: the
@@ -152,11 +154,17 @@ func (s *Server) execute(w *respWriter, args [][]byte) error {
 			w.writeError("wrong number of arguments for 'mset' command")
 			return nil
 		}
+		// Atomic, unlike Redis: the whole batch becomes visible at once.
+		// A concurrent reader, scan or snapshot observes either all of
+		// these writes or none — across shards too — and an allocation
+		// failure rolls the entire batch back (no partial MSET).
+		ops := make([]oakmap.Op[[]byte, []byte], 0, (len(args)-1)/2)
 		for i := 1; i < len(args); i += 2 {
-			if err := s.zc.Put(args[i], args[i+1]); err != nil {
-				w.writeError(err.Error())
-				return nil
-			}
+			ops = append(ops, oakmap.Op[[]byte, []byte]{Key: args[i], Value: args[i+1]})
+		}
+		if err := s.m.ApplyBatch(ops); err != nil {
+			w.writeError(err.Error())
+			return nil
 		}
 		w.writeSimple("OK")
 

@@ -103,6 +103,7 @@ func (s *Server) registerMetrics() {
 	t.RegisterGauge("oak_server_panics_total", true, func() float64 { return float64(m.panics.Load()) })
 	t.RegisterGauge("oak_server_timeouts_total", true, func() float64 { return float64(m.timeouts.Load()) })
 	t.RegisterGauge("oak_server_proto_errors_total", true, func() float64 { return float64(m.protoErrors.Load()) })
+	t.RegisterGauge("oak_server_snap_cursors", false, func() float64 { return float64(s.snaps.count()) })
 
 	for c := cmdKind(0); c < numCmds; c++ {
 		c := c

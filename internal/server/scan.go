@@ -2,7 +2,10 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"oakmap"
@@ -10,7 +13,7 @@ import (
 
 // execScan implements the ordered range scan:
 //
-//	SCAN cursor [COUNT n] [END hi]
+//	SCAN cursor [COUNT n] [END hi] [SNAP]
 //
 // Unlike Redis's hash-bucket SCAN, oak's keyspace is ordered, so the
 // cursor walks it in global key order (on a sharded map: merged across
@@ -22,30 +25,64 @@ import (
 // range query. Replies are [next-cursor, [key, ...]]; values are
 // fetched with MGET (or per-key GET) so a scan moves only the bytes the
 // client asked for.
+//
+// SNAP (valid only with the fresh "0" cursor) pins a server-side
+// snapshot for the scan's whole lifetime: every batch reads the same
+// frozen view, so the paged result is an atomic picture of the map —
+// no entry mutated, inserted or deleted after the first batch ever
+// shows up. Because the values are frozen too, SNAP batches return
+// flat [key, value, key, value, ...] pairs (a live MGET would read
+// newer state). The pinned view is released when the scan exhausts,
+// or reaped after Config.SnapScanTTL without a batch; a reply of "0"
+// or an "expired" error both mean the snapshot is gone.
 func (s *Server) execScan(w *respWriter, args [][]byte) {
 	if len(args) < 2 {
 		w.writeError("wrong number of arguments for 'scan' command")
 		return
 	}
-	var after []byte
+	var (
+		after  []byte
+		snapID uint64
+		haveID bool
+	)
 	switch cur := args[1]; {
 	case len(cur) == 1 && cur[0] == '0':
 		// fresh scan
 	case len(cur) > 1 && cur[0] == 'k':
 		after = cur[1:]
+	case len(cur) > 1 && cur[0] == 's':
+		// "s<id>" (first continuation) or "s<id>k<key>" (resume after key).
+		i := 1
+		for i < len(cur) && cur[i] >= '0' && cur[i] <= '9' {
+			snapID = snapID*10 + uint64(cur[i]-'0')
+			i++
+		}
+		if i == 1 {
+			w.writeError("invalid cursor")
+			return
+		}
+		haveID = true
+		if i < len(cur) {
+			if cur[i] != 'k' {
+				w.writeError("invalid cursor")
+				return
+			}
+			after = cur[i+1:]
+		}
 	default:
 		w.writeError("invalid cursor")
 		return
 	}
 	count := s.cfg.ScanDefaultCount
 	var hi *[]byte
-	for i := 2; i < len(args); i += 2 {
-		if i+1 >= len(args) {
-			w.writeError("syntax error")
-			return
-		}
+	wantSnap := false
+	for i := 2; i < len(args); {
 		switch {
 		case eqFold(args[i], "COUNT"):
+			if i+1 >= len(args) {
+				w.writeError("syntax error")
+				return
+			}
 			n, err := parseLen(args[i+1])
 			if err != nil || n <= 0 {
 				w.writeError("value is not an integer or out of range")
@@ -55,13 +92,38 @@ func (s *Server) execScan(w *respWriter, args [][]byte) {
 				n = s.cfg.ScanMaxCount
 			}
 			count = n
+			i += 2
 		case eqFold(args[i], "END"):
+			if i+1 >= len(args) {
+				w.writeError("syntax error")
+				return
+			}
 			end := args[i+1]
 			hi = &end
+			i += 2
+		case eqFold(args[i], "SNAP"):
+			wantSnap = true
+			i++
 		default:
 			w.writeError("syntax error")
 			return
 		}
+	}
+	if wantSnap {
+		if haveID || after != nil {
+			w.writeError("SNAP is only valid with cursor 0")
+			return
+		}
+		id, err := s.snaps.create(s.m, s.cfg.SnapScanMax, s.cfg.SnapScanTTL)
+		if err != nil {
+			w.writeError(err.Error())
+			return
+		}
+		snapID, haveID = id, true
+	}
+	if haveID {
+		s.execScanSnap(w, snapID, after, hi, count)
+		return
 	}
 
 	// Collect up to count keys into one owned buffer (offs marks the
@@ -115,6 +177,167 @@ func (s *Server) execScan(w *respWriter, args [][]byte) {
 	}
 }
 
+// execScanSnap serves one batch of a snapshot-pinned scan from the
+// pinned frozen view, returning flat key/value pairs.
+func (s *Server) execScanSnap(w *respWriter, id uint64, after []byte, hi *[]byte, count int) {
+	sn, ok := s.snaps.acquire(id)
+	if !ok {
+		w.writeError("snapshot cursor expired or unknown")
+		return
+	}
+	var (
+		buf      []byte
+		offs     = []int{0} // interleaved key/value boundaries
+		lo       []byte
+		hiB      []byte
+		firstDup = false
+	)
+	if after != nil {
+		lo = after
+		firstDup = true // lo is inclusive; the resume key went out last batch
+	}
+	if hi != nil {
+		hiB = *hi
+	}
+	n := 0
+	sn.AscendRaw(lo, hiB, func(key, val []byte) bool {
+		if firstDup {
+			firstDup = false
+			if bytes.Equal(key, after) {
+				return true
+			}
+		}
+		buf = append(buf, key...)
+		offs = append(offs, len(buf))
+		buf = append(buf, val...)
+		offs = append(offs, len(buf))
+		n++
+		return n < count
+	})
+	exhausted := n < count
+	s.snaps.release(id, exhausted)
+
+	w.writeArrayHeader(2)
+	if exhausted {
+		w.writeBulkString("0")
+	} else {
+		// Next cursor: "s<id>k<lastkey>".
+		last := buf[offs[2*n-2] : offs[2*n-1]]
+		idb := strconv.AppendUint(w.scratch[:0], id, 10)
+		w.writeBulkHeader(1 + len(idb) + 1 + len(last))
+		w.bw.WriteByte('s')
+		w.bw.Write(idb)
+		w.bw.WriteByte('k')
+		w.bw.Write(last)
+		w.bw.WriteString("\r\n")
+		w.scratch = idb[:0]
+	}
+	w.writeArrayHeader(2 * n)
+	for i := 0; i < 2*n; i++ {
+		w.writeBulk(buf[offs[i]:offs[i+1]])
+	}
+}
+
+// snapCursors is the server-side registry of snapshot-pinned scans.
+// Each entry holds one open map snapshot; entries are reaped when a
+// scan exhausts its range, when no batch arrives within the TTL, and
+// unconditionally at Shutdown — an abandoned client must not pin the
+// map's reclaim horizon forever.
+type snapCursors struct {
+	mu   sync.Mutex
+	next uint64
+	open map[uint64]*snapCursor
+}
+
+type snapCursor struct {
+	sn   *oakmap.Snapshot[[]byte, []byte]
+	used time.Time
+	busy int // batches currently reading; reaping skips busy entries
+}
+
+var errTooManySnaps = errors.New("too many open snapshot cursors")
+
+func (r *snapCursors) create(m *oakmap.Map[[]byte, []byte], max int, ttl time.Duration) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reapLocked(ttl)
+	if r.open == nil {
+		r.open = make(map[uint64]*snapCursor)
+	}
+	if len(r.open) >= max {
+		return 0, errTooManySnaps
+	}
+	r.next++
+	id := r.next
+	// Snapshot() stabilizes under the registry lock; acquisition is
+	// short (it never waits on other snapshots, only in-flight writes).
+	r.open[id] = &snapCursor{sn: m.Snapshot(), used: time.Now()}
+	return id, nil
+}
+
+// acquire pins entry id for one batch (reaping skips it while busy).
+func (r *snapCursors) acquire(id uint64) (*oakmap.Snapshot[[]byte, []byte], bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.open[id]
+	if !ok {
+		return nil, false
+	}
+	e.busy++
+	return e.sn, true
+}
+
+// release ends a batch; done additionally closes and removes the entry
+// (the scan exhausted its range).
+func (r *snapCursors) release(id uint64, done bool) {
+	r.mu.Lock()
+	e, ok := r.open[id]
+	if ok {
+		e.busy--
+		e.used = time.Now()
+		if done {
+			delete(r.open, id)
+		}
+	}
+	r.mu.Unlock()
+	if ok && done {
+		e.sn.Close()
+	}
+}
+
+func (r *snapCursors) reapLocked(ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	cut := time.Now().Add(-ttl)
+	for id, e := range r.open {
+		if e.busy == 0 && e.used.Before(cut) {
+			delete(r.open, id)
+			e.sn.Close()
+		}
+	}
+}
+
+// closeAll releases every pinned snapshot (Shutdown path).
+func (r *snapCursors) closeAll() {
+	r.mu.Lock()
+	entries := make([]*snapCursor, 0, len(r.open))
+	for id, e := range r.open {
+		entries = append(entries, e)
+		delete(r.open, id)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.sn.Close()
+	}
+}
+
+func (r *snapCursors) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
 // execInfo renders the INFO text: server totals, then the map rollup
 // and the per-shard leak/imbalance signals — the same numbers the
 // /metrics endpoint exports, in human-readable form.
@@ -144,6 +367,12 @@ func (s *Server) execInfo(w *respWriter) {
 	fmt.Fprintf(&b, "epoch:%d\r\n", st.Epoch)
 	fmt.Fprintf(&b, "limbo_bytes:%d\r\n", st.LimboBytes)
 	fmt.Fprintf(&b, "key_leak_bytes:%d\r\n", st.KeyLeakBytes)
+	fmt.Fprintf(&b, "# MVCC\r\n")
+	fmt.Fprintf(&b, "open_snapshots:%d\r\n", st.OpenSnapshots)
+	fmt.Fprintf(&b, "snap_scan_cursors:%d\r\n", s.snaps.count())
+	fmt.Fprintf(&b, "retained_bytes:%d\r\n", st.RetainedBytes)
+	fmt.Fprintf(&b, "retained_spans:%d\r\n", st.RetainedSpans)
+	fmt.Fprintf(&b, "horizon_lag:%d\r\n", st.HorizonLag)
 	for i, ss := range s.m.ShardStats() {
 		fmt.Fprintf(&b, "shard%d:keys=%d,key_leak_bytes=%d,rebalances=%d\r\n",
 			i, ss.Len, ss.KeyLeakBytes, ss.Rebalances)

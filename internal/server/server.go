@@ -48,6 +48,14 @@ type Config struct {
 	// (defaults 10 and 4096, Redis-compatible).
 	ScanDefaultCount int
 	ScanMaxCount     int
+	// SnapScanMax bounds concurrently open snapshot-pinned scans
+	// (SCAN ... SNAP); each pins the map's reclaim horizon until it
+	// exhausts or expires. Default 64.
+	SnapScanMax int
+	// SnapScanTTL reaps a snapshot-pinned scan that goes this long
+	// without a batch (an abandoned client must not pin retained
+	// versions forever). Default 60s.
+	SnapScanTTL time.Duration
 	// Telemetry, when non-nil, registers the oak_server_* gauge family
 	// on the scope (normally the same scope the map exports through).
 	Telemetry *oakmap.Telemetry
@@ -75,6 +83,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.ScanMaxCount <= 0 {
 		out.ScanMaxCount = 4096
+	}
+	if out.SnapScanMax <= 0 {
+		out.SnapScanMax = 64
+	}
+	if out.SnapScanTTL <= 0 {
+		out.SnapScanTTL = 60 * time.Second
 	}
 	if out.Logger == nil {
 		out.Logger = log.New(os.Stderr, "oak-server: ", log.LstdFlags)
@@ -104,6 +118,7 @@ type Server struct {
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{} // closed when a SHUTDOWN command arrives
 
+	snaps   snapCursors // snapshot-pinned SCAN registry
 	metrics metrics
 }
 
@@ -373,6 +388,11 @@ func (s *Server) Shutdown(ctx context.Context) DrainStats {
 		<-done
 	}
 	stats.ConnsDrained = active - stats.ConnsForced
+
+	// Release every snapshot-pinned scan before quiescing: an open
+	// snapshot pins retained versions and the reclaim horizon, which
+	// would make the quiesce (and the leak gate) report a dirty drain.
+	s.snaps.closeAll()
 
 	stats.Quiesced = s.m.Quiesce()
 	for _, ss := range s.m.ShardStats() {

@@ -33,6 +33,12 @@ type HeaderTable interface {
 	DeleteLocked(h uint64)
 	LoadData(h uint64) uint64
 	StoreData(h uint64, ref uint64)
+	// LoadVersion/StoreVersion access the header's MVCC version word
+	// (write version + batch flags, packed by the core layer). Stores
+	// require the write lock or an unpublished header; a recycled slot
+	// starts over at version 0.
+	LoadVersion(h uint64) uint64
+	StoreVersion(h uint64, v uint64)
 	// Count returns the number of header slots ever materialized.
 	Count() uint64
 }
@@ -60,8 +66,9 @@ func handleOf(slot, gen uint64) uint64 { return gen<<slotBits | slot }
 func slotOf(h uint64) uint64           { return h & slotMask }
 func genOf(h uint64) uint64            { return h >> slotBits }
 
-// rslot words: [0] lock/deleted, [1] data ref, [2] generation.
-type rsegment [3 * segmentSize]atomic.Uint64
+// rslot words: [0] lock/deleted, [1] data ref, [2] generation,
+// [3] MVCC version.
+type rsegment [4 * segmentSize]atomic.Uint64
 
 // ReclaimingTable is a header table whose slots are recycled with
 // generation validation. All operations on stale handles fail exactly
@@ -112,13 +119,16 @@ func (t *ReclaimingTable) words(slot uint64) *rsegment {
 }
 
 func (t *ReclaimingTable) lockWord(slot uint64) *atomic.Uint64 {
-	return &t.words(slot)[(slot&(segmentSize-1))*3]
+	return &t.words(slot)[(slot&(segmentSize-1))*4]
 }
 func (t *ReclaimingTable) dataWord(slot uint64) *atomic.Uint64 {
-	return &t.words(slot)[(slot&(segmentSize-1))*3+1]
+	return &t.words(slot)[(slot&(segmentSize-1))*4+1]
 }
 func (t *ReclaimingTable) genWord(slot uint64) *atomic.Uint64 {
-	return &t.words(slot)[(slot&(segmentSize-1))*3+2]
+	return &t.words(slot)[(slot&(segmentSize-1))*4+2]
+}
+func (t *ReclaimingTable) verWord(slot uint64) *atomic.Uint64 {
+	return &t.words(slot)[(slot&(segmentSize-1))*4+3]
 }
 
 // Alloc implements HeaderTable, preferring recycled slots.
@@ -137,6 +147,10 @@ func (t *ReclaimingTable) Alloc() uint64 {
 			t.reused.Inc()
 			gen := t.genWord(slot).Load()
 			t.dataWord(slot).Store(0)
+			// A recycled slot starts a fresh value: its version word must
+			// not leak the previous occupant's stamp (a stale high version
+			// would hide the new value from snapshots that should see it).
+			t.verWord(slot).Store(0)
 			// Making the lock word live publishes the recycled slot;
 			// stale handles are fenced off by the already-incremented
 			// generation.
@@ -276,6 +290,16 @@ func (t *ReclaimingTable) LoadData(h uint64) uint64 {
 // StoreData implements HeaderTable.
 func (t *ReclaimingTable) StoreData(h uint64, ref uint64) {
 	t.dataWord(slotOf(h)).Store(ref)
+}
+
+// LoadVersion implements HeaderTable.
+func (t *ReclaimingTable) LoadVersion(h uint64) uint64 {
+	return t.verWord(slotOf(h)).Load()
+}
+
+// StoreVersion implements HeaderTable.
+func (t *ReclaimingTable) StoreVersion(h uint64, v uint64) {
+	t.verWord(slotOf(h)).Store(v)
 }
 
 // Count implements HeaderTable: slots ever materialized (reuse keeps

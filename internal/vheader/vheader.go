@@ -13,13 +13,16 @@
 // header index in its first 8 bytes, preserving the paper's "header at
 // the start of the value" addressing through one extra hop.
 //
-// Each header consists of two words. The first is the lock word:
+// Each header consists of three words. The first is the lock word:
 //
 //	bit 63    deleted
 //	bit 62    writer locked
 //	bits 0-61 reader count
 //
 // The second is the value's current data reference (a packed arena.Ref).
+// The third is the MVCC version word — the write version stamped by the
+// last mutation plus batch-state flags, packed by internal/core (this
+// package only stores and loads it).
 // Keeping the data reference inside the header — readable only under the
 // read lock, replaced only under the write lock — is what makes value
 // resizing (§2.2: compute "extends the value's memory allocation if its
@@ -46,7 +49,7 @@ const (
 	maxSegments = 1 << 14          // ~1B headers per table
 )
 
-type segment [2 * segmentSize]atomic.Uint64
+type segment [3 * segmentSize]atomic.Uint64
 
 // Table is an append-only table of value headers. Index 0 is reserved so
 // that "no header" can be expressed as 0 (the paper's ⊥ value reference).
@@ -80,11 +83,15 @@ func (t *Table) Alloc() uint64 {
 func (t *Table) Count() uint64 { return t.next.Load() - 1 }
 
 func (t *Table) word(idx uint64) *atomic.Uint64 {
-	return &t.segments[idx>>segmentBits].Load()[(idx&(segmentSize-1))*2]
+	return &t.segments[idx>>segmentBits].Load()[(idx&(segmentSize-1))*3]
 }
 
 func (t *Table) dataWord(idx uint64) *atomic.Uint64 {
-	return &t.segments[idx>>segmentBits].Load()[(idx&(segmentSize-1))*2+1]
+	return &t.segments[idx>>segmentBits].Load()[(idx&(segmentSize-1))*3+1]
+}
+
+func (t *Table) verWord(idx uint64) *atomic.Uint64 {
+	return &t.segments[idx>>segmentBits].Load()[(idx&(segmentSize-1))*3+2]
 }
 
 // LoadData returns the header's current data reference word. Callers that
@@ -95,6 +102,18 @@ func (t *Table) LoadData(idx uint64) uint64 { return t.dataWord(idx).Load() }
 // the write lock, except when initializing a freshly allocated header
 // that is not yet published.
 func (t *Table) StoreData(idx uint64, ref uint64) { t.dataWord(idx).Store(ref) }
+
+// LoadVersion returns the header's version word. The word is opaque to
+// this package: the MVCC layer packs a monotonically increasing write
+// version plus batch-state flag bits into it. Writers store it under
+// the write lock; readers load it under the read lock (or tolerate the
+// race on unlocked probes — the word is a single atomic).
+func (t *Table) LoadVersion(idx uint64) uint64 { return t.verWord(idx).Load() }
+
+// StoreVersion replaces the header's version word. Callers must hold
+// the write lock, except when initializing a freshly allocated header
+// that is not yet published.
+func (t *Table) StoreVersion(idx uint64, v uint64) { t.verWord(idx).Store(v) }
 
 // IsDeleted reports whether the header's deleted bit is set.
 func (t *Table) IsDeleted(idx uint64) bool {

@@ -82,6 +82,71 @@ func TestLeakGateChurnDrains(t *testing.T) {
 	}
 }
 
+// TestLeakGateSnapshotRetainedDrains is the MVCC arm of the leak gate:
+// delete-heavy churn under a rolling window of open snapshots forces
+// superseded spans into the retained-version store; once the last
+// snapshot closes, that store must drain to EXACTLY zero — retained
+// bytes, spans, open count and horizon lag — on both backends. A
+// retained span that survives its last observer is the MVCC layer's
+// version of a limbo leak, invisible to LiveBytes because the span is
+// no longer reachable from the structure.
+func TestLeakGateSnapshotRetainedDrains(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(map[int]string{0: "plain", 4: "sharded"}[shards], func(t *testing.T) {
+			m := New[uint64, []byte](Uint64Serializer{}, BytesSerializer{},
+				&Options{ChunkCapacity: 64, BlockSize: 1 << 20, ReclaimHeaders: true, Shards: shards})
+			defer m.Close()
+			zc := m.ZC()
+
+			const keySpace = 1024
+			val := make([]byte, 64)
+			for k := uint64(0); k < keySpace; k++ {
+				zc.Put(k, val)
+			}
+
+			// Rolling snapshot window: up to 3 snapshots open at once, so
+			// the churn below always has an observer to retain for.
+			var open []*Snapshot[uint64, []byte]
+			rng := rand.New(rand.NewPCG(11, 0x5EED))
+			for round := 0; round < 24; round++ {
+				open = append(open, m.Snapshot())
+				if len(open) > 3 {
+					open[0].Close()
+					open = open[1:]
+				}
+				for i := 0; i < 2_000; i++ {
+					k := rng.Uint64N(keySpace)
+					if rng.Uint64N(100) < 40 {
+						zc.Remove(k)
+					} else {
+						zc.Put(k, val)
+					}
+				}
+			}
+			if s := m.Stats(); s.RetainedBytes == 0 || s.RetainedSpans == 0 {
+				t.Fatalf("churn retained nothing (%+v): the gate is not exercising the MVCC path", s)
+			}
+			for _, sn := range open {
+				sn.Close()
+			}
+
+			s, ok := m.StatsConsistent()
+			if !ok {
+				t.Fatal("StatsConsistent failed: limbo did not drain with no readers pinned")
+			}
+			t.Logf("after close: retainedBytes=%d retainedSpans=%d openSnapshots=%d horizonLag=%d limboItems=%d",
+				s.RetainedBytes, s.RetainedSpans, s.OpenSnapshots, s.HorizonLag, s.LimboItems)
+			if s.OpenSnapshots != 0 || s.RetainedBytes != 0 || s.RetainedSpans != 0 || s.HorizonLag != 0 {
+				t.Fatalf("retained-version store did not drain: open=%d bytes=%d spans=%d lag=%d",
+					s.OpenSnapshots, s.RetainedBytes, s.RetainedSpans, s.HorizonLag)
+			}
+			if s.LimboItems != 0 || s.LimboBytes != 0 {
+				t.Fatalf("limbo not drained after snapshot close: items=%d bytes=%d", s.LimboItems, s.LimboBytes)
+			}
+		})
+	}
+}
+
 // TestLeakGateShardedChurnDrains is the leak gate for the sharded
 // front-end: the same delete-heavy churn and full drain, but across 4
 // hash-partitioned shards, each with its own arena and epoch domain. The

@@ -492,12 +492,22 @@ type Stats struct {
 	PinnedReaders int
 	LimboItems    int
 	LimboBytes    int64
+	// OpenSnapshots, RetainedBytes, RetainedSpans and HorizonLag snapshot
+	// the MVCC layer: open Snapshot views (the maximum across shards — a
+	// cross-shard snapshot registers once per shard), the copy-on-write
+	// pre-image store they pin, and how far the version clock has run
+	// ahead of the oldest open snapshot (worst shard).
+	OpenSnapshots int64
+	RetainedBytes int64
+	RetainedSpans int64
+	HorizonLag    uint64
 }
 
 // statsOf snapshots one core map into the public Stats shape.
 func statsOf(c *core.Map) Stats {
 	as := c.ArenaStats()
 	rs := c.ReclaimStats()
+	ms := c.MVCCStats()
 	return Stats{
 		Len:           c.Len(),
 		Footprint:     c.Footprint(),
@@ -513,6 +523,10 @@ func statsOf(c *core.Map) Stats {
 		PinnedReaders: rs.Pinned,
 		LimboItems:    rs.LimboItems,
 		LimboBytes:    rs.LimboBytes,
+		OpenSnapshots: ms.OpenSnapshots,
+		RetainedBytes: ms.RetainedBytes,
+		RetainedSpans: ms.RetainedSpans,
+		HorizonLag:    ms.HorizonLag,
 	}
 }
 
@@ -547,6 +561,14 @@ func (m *Map[K, V]) Stats() Stats {
 		agg.PinnedReaders += s.PinnedReaders
 		agg.LimboItems += s.LimboItems
 		agg.LimboBytes += s.LimboBytes
+		if s.OpenSnapshots > agg.OpenSnapshots {
+			agg.OpenSnapshots = s.OpenSnapshots
+		}
+		agg.RetainedBytes += s.RetainedBytes
+		agg.RetainedSpans += s.RetainedSpans
+		if s.HorizonLag > agg.HorizonLag {
+			agg.HorizonLag = s.HorizonLag
+		}
 	}
 	if agg.Footprint > 0 {
 		agg.Fragmentation = fragWeighted / float64(agg.Footprint)

@@ -27,17 +27,27 @@ import (
 // time; re-validate under src's pin for later use).
 type EntryFunc func(src *core.Map, key []byte, keyRef uint64, h core.ValueHandle) bool
 
-// leaf is one shard's stream head.
+// leaf is one shard's stream head. The default stream is a core.Cursor
+// over the live map; snapshot scans plug in their own step function
+// (a core.SnapCursor yields materialized key/value pairs instead of
+// handles), reusing the tree unchanged — it only reads key/ok and calls
+// advance.
 type leaf struct {
 	src    *core.Map
 	cur    *core.Cursor
 	key    []byte // current head key: alias of cur.Key(), nil iff !ok
+	val    []byte // snapshot streams: the head's value bytes
 	keyRef uint64
 	h      core.ValueHandle
 	ok     bool
+	step   func(l *leaf) // non-nil overrides the core.Cursor advance
 }
 
 func (l *leaf) advance() {
+	if l.step != nil {
+		l.step(l)
+		return
+	}
 	l.keyRef, l.h, l.ok = l.cur.Next()
 	if l.ok {
 		l.key = l.cur.Key()

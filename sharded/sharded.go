@@ -20,6 +20,7 @@ package sharded
 
 import (
 	"bytes"
+	"sync"
 
 	"oakmap/internal/core"
 	"oakmap/internal/faultpoint"
@@ -43,6 +44,16 @@ var (
 type Map struct {
 	shards []*core.Map
 	cmp    core.Comparator
+
+	// verMu serializes the clock-ratchet phase of cross-shard batches
+	// (PrepareBatch on every involved shard) against the begin phase of
+	// cross-shard snapshots (BeginSnapshot on every shard). With both
+	// phases atomic relative to each other, any batch/snapshot pair is
+	// ordered the same way on every shard — a snapshot can never see a
+	// batch's writes on one shard but not another (a torn cross-shard
+	// batch). Only these short ratchet phases are serialized; installs,
+	// commits, and scans all run outside the lock.
+	verMu sync.Mutex
 }
 
 // New builds n shards from opts (n < 1 is treated as 1). Each shard gets

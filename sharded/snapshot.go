@@ -1,0 +1,168 @@
+package sharded
+
+import (
+	"oakmap/internal/core"
+)
+
+// Snapshot is a consistent point-in-time view across every shard: a
+// version vector with one stabilized core snapshot per shard. The
+// vector is consistent with respect to atomic batches — verMu orders
+// each batch's prepare phase entirely before or entirely after the
+// snapshot's begin phase, so the view contains a batch's writes on all
+// shards or on none.
+type Snapshot struct {
+	m    *Map
+	vers []uint64
+}
+
+// Snapshot acquires a consistent cross-shard snapshot. It must be
+// released with Close, or every shard's reclaim horizon stays pinned.
+func (m *Map) Snapshot() *Snapshot {
+	vers := make([]uint64, len(m.shards))
+	m.verMu.Lock()
+	for i, s := range m.shards {
+		vers[i] = s.BeginSnapshot()
+	}
+	m.verMu.Unlock()
+	// Stabilization (waiting out in-flight writes ≤ S per shard) runs
+	// outside verMu: it can block on batch decisions, and batches never
+	// wait on snapshots, so holding the ratchet lock here would stall
+	// unrelated batches for no correctness gain.
+	for i, s := range m.shards {
+		s.StabilizeSnapshot(vers[i])
+	}
+	return &Snapshot{m: m, vers: vers}
+}
+
+// Close releases the snapshot on every shard, letting the reclaim
+// horizons advance and retained pre-images drain.
+func (sn *Snapshot) Close() {
+	for i, s := range sn.m.shards {
+		s.EndSnapshot(sn.vers[i])
+	}
+}
+
+// Versions exposes the snapshot's per-shard version vector (index-
+// aligned with Shards), for stats and diagnostics.
+func (sn *Snapshot) Versions() []uint64 { return sn.vers }
+
+// Get resolves key in the frozen view, appending the value to dst.
+func (sn *Snapshot) Get(key, dst []byte) ([]byte, bool) {
+	i := sn.m.ShardIndex(key)
+	return sn.m.shards[i].SnapGet(sn.vers[i], key, dst)
+}
+
+// SnapCursor is a pull-based merged scan over the frozen view — the
+// snapshot analogue of Cursor, built on the same loser tree with
+// per-shard core.SnapCursor streams plugged into the leaves.
+type SnapCursor struct {
+	t       *loserTree
+	started bool
+}
+
+// NewCursor opens a merged frozen-view cursor over lo ≤ key < hi (nil
+// bounds open), descending when desc is set. The snapshot must stay
+// open for the cursor's lifetime.
+func (sn *Snapshot) NewCursor(lo, hi []byte, desc bool) *SnapCursor {
+	leaves := make([]*leaf, len(sn.m.shards))
+	for i, s := range sn.m.shards {
+		sc := s.NewSnapCursor(sn.vers[i], lo, hi, desc)
+		l := &leaf{src: s}
+		l.step = func(l *leaf) {
+			l.key, l.val, l.ok = sc.Next()
+		}
+		l.advance() // prime the head before building the tree
+		leaves[i] = l
+	}
+	return &SnapCursor{t: newLoserTree(sn.m.cmp, desc, leaves)}
+}
+
+// Next returns the frozen view's next entry in global order, or
+// ok=false at the end. key and val are owned by the winning shard's
+// cursor and valid until the following Next call.
+func (c *SnapCursor) Next() (key, val []byte, ok bool) {
+	if c.started {
+		c.t.pop()
+	}
+	c.started = true
+	w := c.t.winner()
+	if w == nil {
+		return nil, nil, false
+	}
+	return w.key, w.val, true
+}
+
+// ApplyBatch applies ops atomically across shards: ops are deduped
+// (last wins), partitioned, and installed shard-by-shard in index order
+// (key order within each shard) under one shared batch descriptor, so
+// readers and snapshots observe all of the batch or none — on any shard.
+func (m *Map) ApplyBatch(ops []core.BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	norm := core.NormalizeBatch(ops, m.cmp)
+	perShard := make([][]core.BatchOp, len(m.shards))
+	for _, op := range norm {
+		i := m.ShardIndex(op.Key)
+		perShard[i] = append(perShard[i], op)
+	}
+	desc := core.NewBatchDesc()
+	bis := make([]*core.BatchInstall, len(m.shards))
+	m.verMu.Lock()
+	for i, s := range m.shards {
+		if len(perShard[i]) > 0 {
+			bis[i] = s.PrepareBatch(desc)
+		}
+	}
+	m.verMu.Unlock()
+	// Installs follow a global total order (shard index, then key), so
+	// two batches waiting on each other's flagged values cannot cycle.
+	for i, s := range m.shards {
+		if bis[i] == nil {
+			continue
+		}
+		for _, op := range perShard[i] {
+			var err error
+			if op.Delete {
+				err = s.InstallBatchDelete(bis[i], op.Key)
+			} else {
+				err = s.InstallBatchPut(bis[i], op.Key, op.Val)
+			}
+			if err != nil {
+				desc.Abort()
+				for j, sj := range m.shards {
+					if bis[j] != nil {
+						sj.AbortBatch(bis[j])
+					}
+				}
+				return err
+			}
+		}
+	}
+	desc.Commit() // the batch's cross-shard linearization point
+	for i, s := range m.shards {
+		if bis[i] != nil {
+			s.FinalizeBatch(bis[i])
+		}
+	}
+	return nil
+}
+
+// MVCCStats aggregates the shards' MVCC counters. OpenSnapshots counts
+// per-shard registrations (a cross-shard Snapshot counts once per
+// shard divided back out); HorizonLag reports the worst shard.
+func (m *Map) MVCCStats() core.MVCCStats {
+	var out core.MVCCStats
+	for _, s := range m.shards {
+		st := s.MVCCStats()
+		out.RetainedBytes += st.RetainedBytes
+		out.RetainedSpans += st.RetainedSpans
+		if st.OpenSnapshots > out.OpenSnapshots {
+			out.OpenSnapshots = st.OpenSnapshots
+		}
+		if st.HorizonLag > out.HorizonLag {
+			out.HorizonLag = st.HorizonLag
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package sharded
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"oakmap/internal/core"
+)
+
+func TestSnapshotMergedFrozenViewUnderChurn(t *testing.T) {
+	m := newTestSharded(t, 4, 64)
+	const n = 300
+	want := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k, v := ik(i), iv(i)
+		if err := m.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[string(k)] = string(v)
+	}
+	sn := m.Snapshot()
+	defer sn.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 3))
+			for gen := 0; ; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.IntN(n + 40)
+				if rng.IntN(3) == 0 {
+					_, _ = m.Remove(ik(i))
+				} else {
+					_ = m.Put(ik(i), []byte(fmt.Sprintf("churn-%d-%d", seed, gen)))
+				}
+			}
+		}(uint64(w + 1))
+	}
+
+	for round := 0; round < 4; round++ {
+		desc := round%2 == 1
+		got := make(map[string]string, n)
+		var prev []byte
+		cur := sn.NewCursor(nil, nil, desc)
+		for {
+			k, v, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if prev != nil {
+				d := m.cmp(prev, k)
+				if desc {
+					d = -d
+				}
+				if d >= 0 {
+					t.Fatalf("round %d: merged snapshot keys out of order", round)
+				}
+			}
+			prev = append(prev[:0], k...)
+			got[string(k)] = string(v)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: snapshot scan saw %d keys, want %d", round, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("round %d: key %x = %q, want %q", round, k, got[k], v)
+			}
+		}
+		// Point reads agree with the frozen view.
+		for i := 0; i < n; i += 29 {
+			v, ok := sn.Get(ik(i), nil)
+			if !ok || string(v) != want[string(ik(i))] {
+				t.Fatalf("round %d: snap Get(%d) = %q, %v", round, i, v, ok)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShardedBatchAtomicAcrossShards: a snapshot never sees a
+// cross-shard batch half-applied, even though the batch's keys land on
+// different shards.
+func TestShardedBatchAtomicAcrossShards(t *testing.T) {
+	m := newTestSharded(t, 4, 64)
+	const nk = 12 // spread across all 4 shards
+	keys := make([][]byte, nk)
+	var ops []core.BatchOp
+	for i := range keys {
+		keys[i] = ik(i)
+		ops = append(ops, core.BatchOp{Key: keys[i], Val: []byte("gen-0")})
+	}
+	if err := m.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for gen := 1; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ops := make([]core.BatchOp, nk)
+			for i, k := range keys {
+				ops[i] = core.BatchOp{Key: k, Val: []byte(fmt.Sprintf("gen-%d", gen))}
+			}
+			if err := m.ApplyBatch(ops); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	for round := 0; round < 150; round++ {
+		sn := m.Snapshot()
+		var vals []string
+		for _, k := range keys {
+			v, ok := sn.Get(k, nil)
+			if !ok {
+				t.Fatalf("round %d: key missing in snapshot", round)
+			}
+			vals = append(vals, string(v))
+		}
+		// The merged scan must agree too.
+		cur := sn.NewCursor(nil, nil, false)
+		count := 0
+		for {
+			_, v, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if string(v) != vals[0] {
+				t.Fatalf("round %d: scan saw %q, point reads saw %q", round, v, vals[0])
+			}
+			count++
+		}
+		sn.Close()
+		if count != nk {
+			t.Fatalf("round %d: scan saw %d keys, want %d", round, count, nk)
+		}
+		for _, v := range vals[1:] {
+			if v != vals[0] {
+				t.Fatalf("round %d: torn cross-shard batch: %v", round, vals)
+			}
+		}
+	}
+	close(stop)
+	<-done
+
+	if st := m.MVCCStats(); st.RetainedBytes != 0 || st.OpenSnapshots != 0 {
+		t.Fatalf("retained state after snapshots closed: %+v", st)
+	}
+}
+
+// TestShardedBatchConcurrent hammers concurrent cross-shard batches for
+// deadlock freedom and flag cleanup.
+func TestShardedBatchConcurrent(t *testing.T) {
+	m := newTestSharded(t, 3, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w)+1, 17))
+			for i := 0; i < 80; i++ {
+				var ops []core.BatchOp
+				for j := 0; j < 1+rng.IntN(6); j++ {
+					k := ik(rng.IntN(24))
+					if rng.IntN(4) == 0 {
+						ops = append(ops, core.BatchOp{Key: k, Delete: true})
+					} else {
+						ops = append(ops, core.BatchOp{Key: k, Val: []byte(fmt.Sprintf("w%d-%d", w, i))})
+					}
+				}
+				if err := m.ApplyBatch(ops); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 24; i++ {
+		if h, ok := m.Get(ik(i)); ok {
+			s := m.ShardFor(ik(i))
+			if _, err := s.CopyValue(h, nil); err != nil {
+				t.Fatalf("key %d unreadable after batches: %v", i, err)
+			}
+		}
+	}
+	if st := m.MVCCStats(); st.RetainedBytes != 0 {
+		t.Fatalf("retained bytes with no snapshots: %+v", st)
+	}
+}

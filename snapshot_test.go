@@ -1,0 +1,228 @@
+package oakmap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func snapTestMap(t *testing.T, shards int) *Map[uint64, string] {
+	t.Helper()
+	m := New[uint64, string](Uint64Serializer{}, StringSerializer{},
+		&Options{ChunkCapacity: 64, Shards: shards})
+	t.Cleanup(m.Close)
+	return m
+}
+
+// runPlainAndSharded exercises a facade behavior against both backends.
+func runPlainAndSharded(t *testing.T, f func(t *testing.T, m *Map[uint64, string])) {
+	t.Run("plain", func(t *testing.T) { f(t, snapTestMap(t, 0)) })
+	t.Run("sharded", func(t *testing.T) { f(t, snapTestMap(t, 4)) })
+}
+
+func TestSnapshotFacadeFrozenView(t *testing.T) {
+	runPlainAndSharded(t, func(t *testing.T, m *Map[uint64, string]) {
+		const n = 150
+		want := make(map[uint64]string, n)
+		for i := uint64(0); i < n; i++ {
+			v := fmt.Sprintf("v%d", i)
+			if _, _, err := m.Put(i, v); err != nil {
+				t.Fatal(err)
+			}
+			want[i] = v
+		}
+		sn := m.Snapshot()
+		defer sn.Close()
+
+		// Mutate after the snapshot: overwrites, deletes, inserts.
+		for i := uint64(0); i < n; i += 2 {
+			if _, _, err := m.Put(i, "mutated"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := uint64(1); i < n; i += 4 {
+			if _, _, err := m.Remove(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := m.Put(n+5, "new"); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := uint64(0); i < n; i++ {
+			v, ok := sn.Get(i)
+			if !ok || v != want[i] {
+				t.Fatalf("snap Get(%d) = %q, %v; want %q", i, v, ok, want[i])
+			}
+		}
+		if _, ok := sn.Get(n + 5); ok {
+			t.Fatal("snapshot sees a post-snapshot insert")
+		}
+
+		// Ascend covers exactly the frozen content, in order.
+		got := make(map[uint64]string, n)
+		var prev uint64
+		first := true
+		sn.Ascend(nil, nil, func(k uint64, v string) bool {
+			if !first && k <= prev {
+				t.Fatalf("ascend out of order: %d after %d", k, prev)
+			}
+			first, prev = false, k
+			got[k] = v
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("ascend saw %d entries, want %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("ascend key %d = %q, want %q", k, got[k], v)
+			}
+		}
+
+		// Iterator agrees with Descend ordering.
+		it := sn.Iterator(nil, nil, true)
+		count := 0
+		last := uint64(0)
+		for {
+			k, v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if count > 0 && k >= last {
+				t.Fatalf("descending iterator out of order: %d after %d", k, last)
+			}
+			last = k
+			if want[k] != v {
+				t.Fatalf("iterator key %d = %q, want %q", k, v, want[k])
+			}
+			count++
+		}
+		if count != len(want) {
+			t.Fatalf("iterator saw %d entries, want %d", count, len(want))
+		}
+
+		// The live map reflects the churn, not the frozen view.
+		if v, ok := m.Get(0); !ok || v != "mutated" {
+			t.Fatalf("live Get(0) = %q, %v", v, ok)
+		}
+	})
+}
+
+func TestSnapshotFacadeRetainedDrains(t *testing.T) {
+	runPlainAndSharded(t, func(t *testing.T, m *Map[uint64, string]) {
+		for i := uint64(0); i < 100; i++ {
+			if _, _, err := m.Put(i, "a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sn := m.Snapshot()
+		for i := uint64(0); i < 100; i++ {
+			if _, _, err := m.Put(i, "bbbb"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := m.Stats(); st.OpenSnapshots != 1 || st.RetainedBytes == 0 {
+			t.Fatalf("with open snapshot: %+v", st)
+		}
+		sn.Close()
+		sn.Close() // idempotent
+		if st := m.Stats(); st.OpenSnapshots != 0 || st.RetainedBytes != 0 || st.RetainedSpans != 0 {
+			t.Fatalf("after close: OpenSnapshots=%d RetainedBytes=%d RetainedSpans=%d",
+				st.OpenSnapshots, st.RetainedBytes, st.RetainedSpans)
+		}
+	})
+}
+
+func TestApplyBatchFacadeAtomic(t *testing.T) {
+	runPlainAndSharded(t, func(t *testing.T, m *Map[uint64, string]) {
+		keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+		ops := make([]Op[uint64, string], len(keys))
+		for i, k := range keys {
+			ops[i] = Op[uint64, string]{Key: k, Value: "gen-0"}
+		}
+		if err := m.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gen := 1; ; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ops := make([]Op[uint64, string], len(keys))
+				for i, k := range keys {
+					ops[i] = Op[uint64, string]{Key: k, Value: fmt.Sprintf("gen-%d", gen)}
+				}
+				if err := m.ApplyBatch(ops); err != nil {
+					panic(err)
+				}
+			}
+		}()
+		for round := 0; round < 80; round++ {
+			sn := m.Snapshot()
+			var ref string
+			for i, k := range keys {
+				v, ok := sn.Get(k)
+				if !ok {
+					t.Fatalf("round %d: key %d missing", round, k)
+				}
+				if i == 0 {
+					ref = v
+				} else if v != ref {
+					t.Fatalf("round %d: torn batch: %q vs %q", round, v, ref)
+				}
+			}
+			sn.Close()
+		}
+		close(stop)
+		wg.Wait()
+
+		// Batch with deletes and last-wins duplicates.
+		if err := m.ApplyBatch([]Op[uint64, string]{
+			{Key: 1, Delete: true},
+			{Key: 2, Value: "first"},
+			{Key: 2, Value: "second"},
+			{Key: 99, Delete: true}, // absent: no-op
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Get(1); ok {
+			t.Fatal("key 1 survived batch delete")
+		}
+		if v, ok := m.Get(2); !ok || v != "second" {
+			t.Fatalf("dup key: got %q, %v; want last-wins", v, ok)
+		}
+	})
+}
+
+func TestSnapshotFacadeRaw(t *testing.T) {
+	m := snapTestMap(t, 0)
+	for i := uint64(0); i < 20; i++ {
+		if _, _, err := m.Put(i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := m.Snapshot()
+	defer sn.Close()
+	var ser Uint64Serializer
+	kb := make([]byte, 8)
+	ser.Serialize(7, kb)
+	if v, ok := sn.GetRaw(kb, nil); !ok || string(v) != "v7" {
+		t.Fatalf("GetRaw = %q, %v", v, ok)
+	}
+	n := 0
+	sn.AscendRaw(nil, nil, func(key, val []byte) bool {
+		n++
+		return true
+	})
+	if n != 20 {
+		t.Fatalf("AscendRaw saw %d entries, want 20", n)
+	}
+}

@@ -219,6 +219,11 @@ func registerMapGauges(r *telemetry.Recorder, c *core.Map) {
 	reg("oak_epoch_drains_total", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().Drains) })
 	reg("oak_epoch_slot_overflows_total", telemetry.KindCounter, func() float64 { return float64(c.ReclaimStats().SlotOverflows) })
 
+	reg("oak_mvcc_open_snapshots", telemetry.KindGauge, func() float64 { return float64(c.MVCCStats().OpenSnapshots) })
+	reg("oak_mvcc_retained_bytes", telemetry.KindGauge, func() float64 { return float64(c.MVCCStats().RetainedBytes) })
+	reg("oak_mvcc_retained_spans", telemetry.KindGauge, func() float64 { return float64(c.MVCCStats().RetainedSpans) })
+	reg("oak_mvcc_horizon_lag", telemetry.KindGauge, func() float64 { return float64(c.MVCCStats().HorizonLag) })
+
 	// One ArenaStats snapshot feeds every arena gauge. ArenaStats walks
 	// the allocator's per-class locks, so letting each of the ~2×classes
 	// closures call it independently per scrape was an O(classes²) lock
@@ -322,6 +327,25 @@ func registerShardedGauges(r *telemetry.Recorder, s *sharded.Map) {
 	reg("oak_epoch_advances_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().Advances) }))
 	reg("oak_epoch_drains_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().Drains) }))
 	reg("oak_epoch_slot_overflows_total", telemetry.KindCounter, sum(func(c *core.Map) float64 { return float64(c.ReclaimStats().SlotOverflows) }))
+
+	// MVCC rollup: retained space sums; open snapshots and horizon lag
+	// report the maximum (a cross-shard snapshot registers on every
+	// shard, so a sum would multiply-count it by the shard count).
+	maxOf := func(per func(c *core.Map) float64) func() float64 {
+		return func() float64 {
+			var m float64
+			for _, c := range shards {
+				if v := per(c); v > m {
+					m = v
+				}
+			}
+			return m
+		}
+	}
+	reg("oak_mvcc_open_snapshots", telemetry.KindGauge, maxOf(func(c *core.Map) float64 { return float64(c.MVCCStats().OpenSnapshots) }))
+	reg("oak_mvcc_retained_bytes", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.MVCCStats().RetainedBytes) }))
+	reg("oak_mvcc_retained_spans", telemetry.KindGauge, sum(func(c *core.Map) float64 { return float64(c.MVCCStats().RetainedSpans) }))
+	reg("oak_mvcc_horizon_lag", telemetry.KindGauge, maxOf(func(c *core.Map) float64 { return float64(c.MVCCStats().HorizonLag) }))
 
 	// Arena rollups read through per-shard snapshots (one ArenaStats
 	// call per shard per scrape, not per gauge — see arenaSnap).
