@@ -131,15 +131,25 @@ func (bi *BatchInstall) Base() uint64 { return bi.base }
 // registers its install record. The clock ratchets by 2 so the base is
 // never stamped by a normal write — flagged version words therefore
 // identify their batch uniquely. desc may be shared across shards.
+//
+// The clock ratchet and the registry insert happen under one pendMu
+// critical section: StabilizeSnapshot scans the registry under pendMu,
+// so a snapshot whose version exceeds this base (its BeginSnapshot ran
+// after the ratchet here) cannot complete its pending scan until the
+// batch is registered — it always finds the batch and waits out its
+// decision. Without that atomicity a plain-backend Snapshot could
+// stabilize in the gap and watch the batch commit inside its "frozen"
+// view. (The sharded path gets the same guarantee from verMu; this
+// makes core.ApplyBatch safe on its own.)
 func (m *Map) PrepareBatch(desc *BatchDesc) *BatchInstall {
 	bi := &BatchInstall{
 		m:    m,
 		desc: desc,
-		base: m.mvcc.clock.Add(2) - 1,
 		byH:  make(map[ValueHandle]int),
 	}
 	st := &m.mvcc
 	st.pendMu.Lock()
+	bi.base = st.clock.Add(2) - 1
 	st.pending[bi.base] = bi
 	st.pendMu.Unlock()
 	return bi

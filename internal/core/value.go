@@ -118,15 +118,17 @@ func (m *Map) CopyValue(h ValueHandle, dst []byte) ([]byte, error) {
 // freed (the paper's "return to the free list upon ... value resize").
 //
 // MVCC: the write stamps the clock's current version. The version must
-// be loaded BEFORE the retention gate — if a snapshot S ratchets the
-// floor between the two loads, then S ≥ newVer and the snapshot sees
-// this write, so the pre-image is not needed; any interleaving where
-// the pre-image IS needed has the floor already raised at the gate
-// load. When some open snapshot can see the old version, the in-place
-// path is disabled (copy-on-write: the old span's bytes must survive)
-// and the superseded span is retained instead of retired. key is the
-// serialized key for the retained-chain index; nil means the value was
-// never visible and retention never applies.
+// be loaded BEFORE the retention gate, and BeginSnapshot raises the
+// floor BEFORE its clock ratchet; together the two orders cover every
+// interleaving with a snapshot S: if newVer ≤ S the snapshot sees this
+// write and the pre-image is not needed, and if newVer > S the clock
+// load observed the ratchet, so the later gate load is guaranteed to
+// observe the raised floor and retain. When some open snapshot can see
+// the old version, the in-place path is disabled (copy-on-write: the
+// old span's bytes must survive) and the superseded span is retained
+// instead of retired. key is the serialized key for the retained-chain
+// index; nil means the value was never visible and retention never
+// applies.
 func (m *Map) valuePut(key []byte, h ValueHandle, vw ValueWriter) (bool, error) {
 	oldVer, ok := m.lockStable(h)
 	if !ok {

@@ -240,19 +240,27 @@ func (s *Server) execScanSnap(w *respWriter, id uint64, after []byte, hi *[]byte
 
 // snapCursors is the server-side registry of snapshot-pinned scans.
 // Each entry holds one open map snapshot; entries are reaped when a
-// scan exhausts its range, when no batch arrives within the TTL, and
-// unconditionally at Shutdown — an abandoned client must not pin the
-// map's reclaim horizon forever.
+// scan exhausts its range, when no batch arrives within the TTL (a
+// background ticker, started lazily by the first SNAP scan, sweeps
+// even if no further SNAP command ever arrives), and unconditionally
+// at Shutdown — an abandoned client must not pin the map's reclaim
+// horizon forever.
 type snapCursors struct {
 	mu   sync.Mutex
 	next uint64
 	open map[uint64]*snapCursor
+	stop chan struct{} // non-nil once the reaper ticker is running
 }
 
 type snapCursor struct {
 	sn   *oakmap.Snapshot[[]byte, []byte]
 	used time.Time
 	busy int // batches currently reading; reaping skips busy entries
+	// dead marks an exhausted entry whose snapshot cannot be closed yet:
+	// another connection presenting the same cursor may still be
+	// mid-scan on it (busy > 0). The last releaser of a dead entry
+	// performs the Close; acquire refuses dead entries.
+	dead bool
 }
 
 var errTooManySnaps = errors.New("too many open snapshot cursors")
@@ -267,6 +275,10 @@ func (r *snapCursors) create(m *oakmap.Map[[]byte, []byte], max int, ttl time.Du
 	if len(r.open) >= max {
 		return 0, errTooManySnaps
 	}
+	if r.stop == nil && ttl > 0 {
+		r.stop = make(chan struct{})
+		go r.reapLoop(ttl, r.stop)
+	}
 	r.next++
 	id := r.next
 	// Snapshot() stabilizes under the registry lock; acquisition is
@@ -280,28 +292,56 @@ func (r *snapCursors) acquire(id uint64) (*oakmap.Snapshot[[]byte, []byte], bool
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.open[id]
-	if !ok {
+	if !ok || e.dead {
 		return nil, false
 	}
 	e.busy++
 	return e.sn, true
 }
 
-// release ends a batch; done additionally closes and removes the entry
-// (the scan exhausted its range).
+// release ends a batch; done additionally marks the entry dead (the
+// scan exhausted its range). The snapshot is closed by whichever
+// release drains a dead entry's busy count to zero — never while a
+// concurrent batch is still reading the frozen view.
 func (r *snapCursors) release(id uint64, done bool) {
 	r.mu.Lock()
 	e, ok := r.open[id]
+	var closeNow bool
 	if ok {
 		e.busy--
 		e.used = time.Now()
 		if done {
+			e.dead = true
+		}
+		if e.dead && e.busy == 0 {
 			delete(r.open, id)
+			closeNow = true
 		}
 	}
 	r.mu.Unlock()
-	if ok && done {
+	if closeNow {
 		e.sn.Close()
+	}
+}
+
+// reapLoop sweeps expired entries until stop closes (Shutdown), so TTL
+// expiry does not depend on any future SNAP command arriving.
+func (r *snapCursors) reapLoop(ttl time.Duration, stop <-chan struct{}) {
+	iv := ttl / 4
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.mu.Lock()
+			r.reapLocked(ttl)
+			r.mu.Unlock()
+		case <-stop:
+			return
+		}
 	}
 }
 
@@ -318,13 +358,18 @@ func (r *snapCursors) reapLocked(ttl time.Duration) {
 	}
 }
 
-// closeAll releases every pinned snapshot (Shutdown path).
+// closeAll releases every pinned snapshot and stops the reaper
+// (Shutdown path — handlers have already drained, so no entry is busy).
 func (r *snapCursors) closeAll() {
 	r.mu.Lock()
 	entries := make([]*snapCursor, 0, len(r.open))
 	for id, e := range r.open {
 		entries = append(entries, e)
 		delete(r.open, id)
+	}
+	if r.stop != nil {
+		close(r.stop)
+		r.stop = nil
 	}
 	r.mu.Unlock()
 	for _, e := range entries {

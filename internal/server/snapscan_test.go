@@ -222,3 +222,73 @@ func TestScanSnapTTLReap(t *testing.T) {
 		t.Fatalf("snap cursors open: %d", got)
 	}
 }
+
+// TestSnapCursorConcurrentExhaust: two connections present the same
+// SNAP cursor; one exhausts it while the other is still mid-batch. The
+// exhaustion must not tear down the frozen view under the active
+// reader — the snapshot closes only when the last batch releases.
+func TestSnapCursorConcurrentExhaust(t *testing.T) {
+	s, addr := newTestServer(t, 0, Config{})
+	cl := dialT(t, addr)
+	doOK(t, cl, "SET", "k", "v")
+
+	id, err := s.snaps.create(s.m, 4, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, ok := s.snaps.acquire(id) // connection A, mid-batch
+	if !ok {
+		t.Fatal("acquire A failed")
+	}
+	if _, ok := s.snaps.acquire(id); !ok { // connection B
+		t.Fatal("acquire B failed")
+	}
+	s.snaps.release(id, true) // B exhausts the scan
+
+	// A's frozen view must still be open and readable.
+	if st := s.m.Stats(); st.OpenSnapshots != 1 {
+		t.Fatalf("snapshot closed under an active reader: OpenSnapshots=%d", st.OpenSnapshots)
+	}
+	if _, present := sn.GetRaw([]byte("k"), nil); !present {
+		t.Fatal("frozen view unreadable after concurrent exhaustion")
+	}
+	// The dead cursor refuses new batches.
+	if _, ok := s.snaps.acquire(id); ok {
+		t.Fatal("acquire succeeded on an exhausted cursor")
+	}
+	// A's release is the last one out: it closes the snapshot.
+	s.snaps.release(id, false)
+	if st := s.m.Stats(); st.OpenSnapshots != 0 {
+		t.Fatalf("OpenSnapshots=%d after last release", st.OpenSnapshots)
+	}
+	if c := s.snaps.count(); c != 0 {
+		t.Fatalf("%d cursors still registered", c)
+	}
+}
+
+// TestScanSnapTTLReapWithoutTraffic: an abandoned SNAP cursor must be
+// reaped by the background ticker even if no further SNAP command ever
+// arrives — otherwise it pins the reclaim horizon indefinitely.
+func TestScanSnapTTLReapWithoutTraffic(t *testing.T) {
+	s, addr := newTestServer(t, 0, Config{SnapScanTTL: 20 * time.Millisecond})
+	cl := dialT(t, addr)
+	for i := 0; i < 10; i++ {
+		doOK(t, cl, "SET", fmt.Sprintf("k%02d", i), "v")
+	}
+	r := do(t, cl, "SCAN", "0", "SNAP", "COUNT", "3")
+	if !strings.HasPrefix(string(r.Elems[0].Str), "s") {
+		t.Fatalf("want snapshot cursor, got %q", r.Elems[0].Str)
+	}
+	// Abandon the cursor; issue nothing else. The ticker must sweep it.
+	deadline := time.Now().Add(3 * time.Second)
+	for s.snaps.count() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned cursor not reaped: %d open", s.snaps.count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := s.m.Stats(); st.OpenSnapshots != 0 || st.RetainedBytes != 0 {
+		t.Fatalf("pinned state after reap: OpenSnapshots=%d RetainedBytes=%d",
+			st.OpenSnapshots, st.RetainedBytes)
+	}
+}
