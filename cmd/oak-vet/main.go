@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,10 @@ import (
 	"oakmap/internal/analysis"
 	"oakmap/internal/analysis/faultpointid"
 	"oakmap/internal/analysis/load"
+	"oakmap/internal/analysis/lockguard"
+	"oakmap/internal/analysis/lockorder"
 	"oakmap/internal/analysis/pinbalance"
+	"oakmap/internal/analysis/publishorder"
 	"oakmap/internal/analysis/snaplife"
 	"oakmap/internal/analysis/unsafespan"
 	"oakmap/internal/analysis/zcescape"
@@ -43,13 +47,28 @@ var all = []*analysis.Analyzer{
 	unsafespan.Analyzer,
 	faultpointid.Analyzer,
 	snaplife.Analyzer,
+	lockguard.Analyzer,
+	lockorder.Analyzer,
+	publishorder.Analyzer,
+}
+
+// jsonDiag is the machine-readable diagnostic shape emitted by -json:
+// one object per finding, newline-delimited inside a top-level array.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	strict := flag.Bool("strict-suppress", false, "also report //oak: suppressions that no longer match any diagnostic")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oak-vet [-checks a,b] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: oak-vet [-checks a,b] [-json] [-strict-suppress] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -85,19 +104,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oak-vet: %v\n", err)
 		os.Exit(1)
 	}
-	diags, err := analysis.Run(units, analyzers)
+	diags, err := analysis.RunWithOptions(units, analyzers, analysis.Options{StrictSuppressions: *strict})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oak-vet: %v\n", err)
 		os.Exit(1)
 	}
-	if len(diags) == 0 {
-		return
-	}
 	fset := units[0].Fset
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			out = append(out, jsonDiag{Analyzer: d.Analyzer, File: p.Filename, Line: p.Line, Column: p.Column, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "oak-vet: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
-	os.Exit(2)
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
 }
 
 func firstLine(s string) string {

@@ -109,11 +109,27 @@ type Unit struct {
 	TypesInfo *types.Info
 }
 
+// Options tunes a Run.
+type Options struct {
+	// StrictSuppressions additionally reports, as diagnostics of the
+	// pseudo-analyzer "suppress", every //oak: suppression annotation
+	// that names an analyzer in this run but did not suppress any of its
+	// diagnostics — a stale suppression is a reviewed exception whose
+	// underlying finding no longer exists, and keeping it would silently
+	// swallow the next, unrelated finding on that line.
+	StrictSuppressions bool
+}
+
 // Run drives analyzers over units and returns the surviving
 // diagnostics sorted by position. Diagnostics on a line carrying (or
 // directly below) a matching //oak: suppression annotation are
 // dropped; see Suppressed for the annotation grammar.
 func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithOptions(units, analyzers, Options{})
+}
+
+// RunWithOptions is Run with explicit Options.
+func RunWithOptions(units []*Unit, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	var fset *token.FileSet
 	allow := newAllowIndex()
@@ -158,6 +174,13 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	if fset != nil {
 		diags = allow.filter(fset, diags)
+		if opts.StrictSuppressions {
+			ran := make(map[string]bool, len(analyzers))
+			for _, a := range analyzers {
+				ran[a.Name] = true
+			}
+			diags = append(diags, allow.unused(ran)...)
+		}
 		// Dedupe: one site can be reported identically from two walks
 		// (e.g. a re-pin flagged from both acquisitions' balance checks).
 		seen := make(map[Diagnostic]bool, len(diags))
@@ -200,22 +223,61 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 // Unlike //nolint, the annotations are part of the oak vocabulary:
 // DESIGN.md §10 requires each one to carry a rationale in the
 // surrounding comment or doc.
+//
+// One comment may carry several //oak: annotations ("x int
+// //oak:guarded-by mu //oak:allow lockguard installer-private"): the
+// index splits on every "//oak:" marker and evaluates each segment
+// independently, so suppressions compose with the structural
+// annotations (guarded-by, publish-before, lock-order) that the
+// concurrency analyzers consume via Annotations.
+type allowEntry struct {
+	pos   token.Pos
+	names []string        // analyzer names this entry suppresses
+	used  map[string]bool // names that actually dropped a diagnostic
+}
+
 type allowIndex struct {
-	// file -> line -> set of analyzer names allowed on that line
-	lines map[string]map[int]map[string]bool
+	entries []*allowEntry
+	// file -> covered line -> entries whose suppression reaches that line
+	lines map[string]map[int][]*allowEntry
 }
 
 func newAllowIndex() *allowIndex {
-	return &allowIndex{lines: make(map[string]map[int]map[string]bool)}
+	return &allowIndex{lines: make(map[string]map[int][]*allowEntry)}
 }
 
-// parseAllow extracts analyzer names from one comment text, or nil.
-func parseAllow(text string) []string {
-	body, ok := strings.CutPrefix(text, "//oak:")
-	if !ok {
+// Annotations splits one comment's text into its //oak: annotation
+// bodies, in order. "//oak:guarded-by mu //oak:allow lockguard why"
+// yields ["guarded-by mu", "allow lockguard why"]. Non-annotation
+// comments yield nil. Shared by the suppression index and by the
+// annotation-driven analyzers (lockguard, publishorder, lockorder).
+//
+// An annotation must START its comment ("//oak:" with no space): doc
+// prose that merely mentions the grammar ("suppress with //oak:allow
+// ...") and indented code-block examples inside doc comments are not
+// annotations.
+func Annotations(text string) []string {
+	const marker = "//oak:"
+	if !strings.HasPrefix(text, marker) {
 		return nil
 	}
-	body = strings.TrimSpace(body)
+	var out []string
+	for {
+		text = text[len(marker):]
+		j := strings.Index(text, marker)
+		if j < 0 {
+			out = append(out, strings.TrimSpace(text))
+			break
+		}
+		out = append(out, strings.TrimSpace(text[:j]))
+		text = text[j:]
+	}
+	return out
+}
+
+// parseAllow extracts analyzer names from one annotation body
+// (the part after "//oak:"), or nil if it is not a suppression.
+func parseAllow(body string) []string {
 	switch {
 	case strings.HasPrefix(body, "zc-view"):
 		return []string{"zcescape"}
@@ -235,27 +297,24 @@ func parseAllow(text string) []string {
 func (ai *allowIndex) addFile(fset *token.FileSet, f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			names := parseAllow(c.Text)
-			if names == nil {
-				continue
-			}
-			pos := fset.Position(c.Pos())
-			m := ai.lines[pos.Filename]
-			if m == nil {
-				m = make(map[int]map[string]bool)
-				ai.lines[pos.Filename] = m
-			}
-			// The annotation covers its own line and the next one, so
-			// it works both trailing a statement and on a line of its
-			// own above it.
-			for _, line := range []int{pos.Line, pos.Line + 1} {
-				set := m[line]
-				if set == nil {
-					set = make(map[string]bool)
-					m[line] = set
+			for _, body := range Annotations(c.Text) {
+				names := parseAllow(body)
+				if names == nil {
+					continue
 				}
-				for _, n := range names {
-					set[n] = true
+				e := &allowEntry{pos: c.Pos(), names: names, used: make(map[string]bool)}
+				ai.entries = append(ai.entries, e)
+				pos := fset.Position(c.Pos())
+				m := ai.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int][]*allowEntry)
+					ai.lines[pos.Filename] = m
+				}
+				// The annotation covers its own line and the next one, so
+				// it works both trailing a statement and on a line of its
+				// own above it.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					m[line] = append(m[line], e)
 				}
 			}
 		}
@@ -266,10 +325,39 @@ func (ai *allowIndex) filter(fset *token.FileSet, diags []Diagnostic) []Diagnost
 	out := diags[:0]
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		if ai.lines[pos.Filename][pos.Line][d.Analyzer] {
+		suppressed := false
+		for _, e := range ai.lines[pos.Filename][pos.Line] {
+			for _, n := range e.names {
+				if n == d.Analyzer {
+					e.used[n] = true
+					suppressed = true
+				}
+			}
+		}
+		if suppressed {
 			continue
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+// unused reports, for analyzers in ran, suppression entries that never
+// dropped a diagnostic. Names outside ran are skipped: a partial
+// -checks run must not flag suppressions for analyzers it didn't run.
+func (ai *allowIndex) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ai.entries {
+		for _, n := range e.names {
+			if !ran[n] || e.used[n] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "suppress",
+				Pos:      e.pos,
+				Message:  fmt.Sprintf("unused suppression: no %s diagnostic on this line or the next; delete the stale //oak: annotation", n),
+			})
+		}
 	}
 	return out
 }

@@ -49,6 +49,7 @@ var depRoots = []string{
 	"fmt",
 	"strings",
 	"sync",
+	"sync/atomic",
 }
 
 var (
@@ -67,6 +68,14 @@ func depExports() (map[string]string, error) {
 // Run analyzes the testdata package in dir with a and checks the
 // diagnostics against the sources' want comments.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	RunWithOptions(t, a, dir, analysis.Options{})
+}
+
+// RunWithOptions is Run with explicit driver Options (used to test
+// strict-suppression reporting; the default Run stays lenient so
+// deliberate testdata suppressions don't trip it).
+func RunWithOptions(t *testing.T, a *analysis.Analyzer, dir string, opts analysis.Options) {
 	t.Helper()
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skipf("go tool not available: %v", err)
@@ -93,7 +102,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 
 	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
-	diags, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{a})
+	diags, err := analysis.RunWithOptions([]*analysis.Unit{unit}, []*analysis.Analyzer{a}, opts)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

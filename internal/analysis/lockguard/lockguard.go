@@ -1,0 +1,293 @@
+// Package lockguard enforces //oak:guarded-by field annotations: every
+// access to an annotated struct field must happen with one of its
+// declared mutexes held, in a strong enough mode (DESIGN.md §10).
+//
+// This is the compile-time form of the comment "mu guards everything
+// below" that every concurrent struct in this codebase carries. The
+// runtime failure it prevents is the silent torn read/lost update: a
+// map iterated while another goroutine inserts, a slice append racing
+// a swap-delete, a cursor's dead flag read unlatched — all reported by
+// the race detector only if a test happens to interleave them.
+//
+// Rules, per annotated field X with guards {M...}:
+//
+//   - a plain read of X requires some M held (read or write mode);
+//   - a write to X (assignment, compound assignment, ++/--, delete(),
+//     taking &X) requires some M held in WRITE mode — an RLock is
+//     flagged, because mutating under a shared lock is exactly the bug
+//     RWMutex invites;
+//   - if X has a sync/atomic type, only its mutating calls (Store,
+//     Add, Swap, CompareAndSwap, Or, And) require the guard; Load is
+//     free. This models the "atomic for readers, mutex for writers"
+//     idiom the MVCC clock uses.
+//
+// Held-state tracking is a conservative structured walk (lockset):
+// defer mu.Unlock() holds to function end, if/else joins intersect,
+// `if !mu.TryLock() { return }` is understood, RLock and Lock are
+// distinguished.
+//
+// Convention propagation: a function whose name ends in "Locked"
+// asserts "caller holds the relevant lock" — its body is exempt, and
+// instead every CALL to it must occur with a lock held (any annotated
+// mutex, or lexically inside a function that acquires some *Lock —
+// this covers the vheader TryWriteLock spinlock, which is not a
+// sync.Mutex). Functions named exactly "init" are exempt: they run
+// before the struct is published.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"oakmap/internal/analysis"
+	"oakmap/internal/analysis/lockset"
+)
+
+// Analyzer is the lockguard analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "flag accesses to //oak:guarded-by fields without the declared mutex held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ls := lockset.ExtractLoud(pass)
+	parents := analysis.Parents(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, ls, parents, fd)
+		}
+	}
+	return nil
+}
+
+// exemptFunc reports whether fd's body is outside lockguard's
+// jurisdiction: *Locked functions run under the caller's lock (their
+// call sites are checked instead), and init runs pre-publication.
+func exemptFunc(name string) bool {
+	return strings.HasSuffix(name, "Locked") || name == "init"
+}
+
+func checkFunc(pass *analysis.Pass, ls *lockset.Info, parents map[ast.Node]ast.Node, fd *ast.FuncDecl) {
+	exempt := exemptFunc(fd.Name.Name)
+	w := &lockset.Walker{
+		Info: pass.TypesInfo,
+		Visit: func(n ast.Node, held lockset.Held) {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if !exempt {
+					checkFieldAccess(pass, ls, parents, n, held)
+				}
+			case *ast.CallExpr:
+				checkLockedCall(pass, parents, fd, n, held)
+			}
+		},
+	}
+	w.Walk(fd.Body, lockset.Held{})
+}
+
+// checkFieldAccess validates one selector that resolves to a guarded
+// field.
+func checkFieldAccess(pass *analysis.Pass, ls *lockset.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr, held lockset.Held) {
+	obj := fieldObj(pass.TypesInfo, sel)
+	if obj == nil {
+		return
+	}
+	decl := ls.Guards[obj]
+	if decl == nil {
+		return
+	}
+	// Composite-literal keys (snapCursors{next: 1}) initialize a value
+	// nobody else can see yet.
+	if inCompositeLitKey(parents, sel) {
+		return
+	}
+	if decl.Atomic {
+		// Only the mutating method calls need the guard.
+		method := atomicMutator(parents, sel)
+		if method == "" {
+			return
+		}
+		if !satisfied(decl, held, lockset.ModeWrite) {
+			pass.Report(sel.Sel.Pos(), "%s.%s on %s without %s held: the annotation requires mutators to run under the lock",
+				obj.Name(), method, decl.Class, guardNames(decl))
+		}
+		return
+	}
+	need := lockset.ModeRead
+	verb := "read of"
+	if isWrite(parents, sel) {
+		need = lockset.ModeWrite
+		verb = "write to"
+	}
+	if satisfied(decl, held, need) {
+		return
+	}
+	if need == lockset.ModeWrite && satisfied(decl, held, lockset.ModeRead) {
+		pass.Report(sel.Sel.Pos(), "write to %s under a read lock: %s must be write-locked to mutate", decl.Class, guardNames(decl))
+		return
+	}
+	pass.Report(sel.Sel.Pos(), "%s %s without %s held", verb, decl.Class, guardNames(decl))
+}
+
+// satisfied reports whether held grants at least mode need on one of
+// the declared guards.
+func satisfied(decl *lockset.GuardDecl, held lockset.Held, need lockset.Mode) bool {
+	for _, g := range decl.Guards {
+		if held[g] >= need {
+			return true
+		}
+	}
+	return false
+}
+
+func guardNames(decl *lockset.GuardDecl) string {
+	return strings.Join(decl.GClass, " or ")
+}
+
+// fieldObj resolves sel to the struct-field variable it denotes, or
+// nil.
+func fieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isWrite classifies the access: is sel (possibly wrapped in index /
+// star / paren expressions) a mutation target?
+func isWrite(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	var n ast.Node = sel
+	for {
+		p := parents[n]
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			n = p
+			continue
+		case *ast.IndexExpr:
+			// s.open[k] = v mutates the map/slice via the field; keep
+			// climbing only if sel is the indexed operand, not the key.
+			if p.X != n {
+				return false
+			}
+			n = p
+			continue
+		case *ast.StarExpr:
+			n = p
+			continue
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == n {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == n
+		case *ast.UnaryExpr:
+			// &s.field hands out a mutable alias: treat as a write.
+			return p.Op == token.AND && p.X == n
+		case *ast.CallExpr:
+			// delete(s.open, k) and clear(s.open) mutate the first arg.
+			if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") {
+				return len(p.Args) > 0 && p.Args[0] == n
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// atomicMutator returns the mutating method name if sel is the
+// receiver of an atomic mutate call (x.field.Store(...)), else "".
+func atomicMutator(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) string {
+	m, ok := parents[sel].(*ast.SelectorExpr)
+	if !ok || m.X != sel {
+		return ""
+	}
+	c, ok := parents[m].(*ast.CallExpr)
+	if !ok || c.Fun != m {
+		return ""
+	}
+	switch m.Sel.Name {
+	case "Store", "Add", "Swap", "CompareAndSwap", "Or", "And":
+		return m.Sel.Name
+	}
+	return ""
+}
+
+// inCompositeLitKey reports whether sel is a KeyValueExpr key inside a
+// composite literal (struct initialization, not a field access).
+func inCompositeLitKey(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	kv, ok := parents[sel].(*ast.KeyValueExpr)
+	if !ok || kv.Key != sel {
+		return false
+	}
+	_, ok = parents[kv].(*ast.CompositeLit)
+	return ok
+}
+
+// checkLockedCall enforces the *Locked call-site convention.
+func checkLockedCall(pass *analysis.Pass, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, call *ast.CallExpr, held lockset.Held) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || !strings.HasSuffix(fn.Name(), "Locked") {
+		return
+	}
+	if len(held) > 0 {
+		return // some annotated mutex is held at the call
+	}
+	// Walk outward: an enclosing *Locked function, or any enclosing
+	// function that acquires some lock-ish thing (a call whose method
+	// name ends in "Lock" but not "Unlock" — covers sync mutexes the
+	// walker missed and the vheader TryWriteLock spinlock).
+	for encl := analysis.EnclosingFunc(parents, call); encl != nil; encl = analysis.EnclosingFunc(parents, encl) {
+		if d, ok := encl.(*ast.FuncDecl); ok && exemptFunc(d.Name.Name) {
+			return
+		}
+		if acquiresSomeLock(analysis.FuncBody(encl)) {
+			return
+		}
+	}
+	pass.Report(call.Pos(), "%s called without any lock held: *Locked functions require the caller to hold the protecting lock", fn.Name())
+}
+
+// acquiresSomeLock reports whether body contains a call whose method
+// name ends in "Lock" (excluding the Unlock family).
+func acquiresSomeLock(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch f := ast.Unparen(c.Fun).(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		}
+		if strings.HasSuffix(name, "Lock") && !strings.HasSuffix(name, "Unlock") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

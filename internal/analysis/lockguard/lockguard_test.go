@@ -1,0 +1,24 @@
+package lockguard_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oakmap/internal/analysis"
+	"oakmap/internal/analysis/analysistest"
+	"oakmap/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, filepath.Join("testdata", "src", "a"))
+}
+
+// TestStrictSuppress drives the same analyzer with StrictSuppressions
+// on: used suppressions stay silent, stale ones are reported by the
+// "suppress" pseudo-analyzer, and suppressions naming analyzers outside
+// the run set are skipped.
+func TestStrictSuppress(t *testing.T) {
+	analysistest.RunWithOptions(t, lockguard.Analyzer,
+		filepath.Join("testdata", "src", "strict"),
+		analysis.Options{StrictSuppressions: true})
+}

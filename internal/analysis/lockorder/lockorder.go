@@ -1,0 +1,387 @@
+// Package lockorder proves the module's mutex-acquisition order is
+// acyclic — the compile-time form of "we never deadlock" (DESIGN.md
+// §10).
+//
+// Every package pass summarizes, per function: which lock classes the
+// function blocking-acquires directly, which functions it calls (and
+// the lock classes held at each call site), and which
+// //oak:lock-order declarations the package makes. The Finish hook
+// stitches the summaries into a module-wide directed graph over lock
+// classes (pkg.Type.field):
+//
+//   - an edge A → B for every site that blocking-acquires B while
+//     holding A, including acquisitions reached through calls: if f
+//     locks B somewhere and g calls f holding A, that call site
+//     contributes A → B (transitive-acquire closure over the static
+//     call graph);
+//   - an edge A → B for every //oak:lock-order A B declaration — the
+//     documented global order participates in cycle detection, so
+//     code that locks against the declared order is reported even if
+//     no second code path closes the cycle yet.
+//
+// Any strongly connected component with more than one class is a
+// potential deadlock: two goroutines entering the cycle from
+// different points block each other forever. Each edge inside a cycle
+// is reported at its acquisition (or declaration) site.
+//
+// Same-class nesting (acquiring a mutex class while an instance of
+// the same class is held — the sharded multi-shard install pattern)
+// is reported unless the package declares //oak:lock-order C C,
+// asserting a documented total order over instances (for shards: the
+// global (shard, key) install order).
+//
+// Soundness notes: TryLock acquisitions never block and are excluded;
+// calls through function values (the epoch free callback) are not
+// traced — the call graph covers static callees only; go-launched
+// work is excluded (locks taken on another goroutine are unordered
+// with the spawner's).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"oakmap/internal/analysis"
+	"oakmap/internal/analysis/lockset"
+)
+
+// Analyzer is the lockorder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:   "lockorder",
+	Doc:    "flag cycles in the module-wide mutex acquisition order (potential deadlocks)",
+	Run:    run,
+	Finish: finish,
+}
+
+// edgeFact is one observed or declared order constraint.
+type edgeFact struct {
+	From, To string
+	Pos      token.Pos
+	Declared bool
+}
+
+// callFact is one static call with the lock classes held at the site.
+type callFact struct {
+	Caller string // types.Func.FullName of the calling function
+	Held   []string
+	Callee string // types.Func.FullName of the callee
+	Pos    token.Pos
+}
+
+// fact is one package's summary.
+type fact struct {
+	Edges    []edgeFact
+	Calls    []callFact
+	Acquires map[string][]string // func FullName -> directly acquired classes
+}
+
+func run(pass *analysis.Pass) error {
+	ls := lockset.Extract(pass)
+	parents := analysis.Parents(pass.Files)
+	f := &fact{Acquires: make(map[string][]string)}
+	for _, d := range ls.Orders {
+		f.Edges = append(f.Edges, edgeFact{From: d.Before, To: d.After, Pos: d.Pos, Declared: true})
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			summarize(pass, ls, parents, fd, f)
+		}
+	}
+	pass.ExportFact(f)
+	return nil
+}
+
+func summarize(pass *analysis.Pass, ls *lockset.Info, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, f *fact) {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	self := fn.FullName()
+	w := &lockset.Walker{
+		Info: pass.TypesInfo,
+		Visit: func(n ast.Node, held lockset.Held) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || underGo(parents, call) {
+				return
+			}
+			if op := lockset.AsLockOp(pass.TypesInfo, call); op != nil {
+				if !op.Acquires() || !op.Blocking() {
+					return
+				}
+				to, ok := ls.MutexClass[op.Field]
+				if !ok {
+					return // local or foreign mutex: unclassed
+				}
+				f.Acquires[self] = append(f.Acquires[self], to)
+				for h := range held {
+					if from, ok := ls.MutexClass[h]; ok {
+						f.Edges = append(f.Edges, edgeFact{From: from, To: to, Pos: call.Pos()})
+					}
+				}
+				return
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil {
+				return // func value / builtin / conversion: untraced
+			}
+			cf := callFact{Caller: self, Callee: callee.FullName(), Pos: call.Pos()}
+			for h := range held {
+				if c, ok := ls.MutexClass[h]; ok {
+					cf.Held = append(cf.Held, c)
+				}
+			}
+			sort.Strings(cf.Held)
+			f.Calls = append(f.Calls, cf)
+		},
+	}
+	w.Walk(fd.Body, lockset.Held{})
+}
+
+// underGo reports whether n sits inside a go statement's call: work on
+// another goroutine is unordered with the spawner's held locks.
+func underGo(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.GoStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func finish(m *analysis.ModulePass) error {
+	// Merge package summaries.
+	acquires := make(map[string]map[string]bool) // func -> directly acquired classes
+	callGraph := make(map[string]map[string]bool)
+	var edges []edgeFact
+	var calls []callFact
+	for _, raw := range m.Facts {
+		f := raw.(*fact)
+		edges = append(edges, f.Edges...)
+		calls = append(calls, f.Calls...)
+		for fn, cs := range f.Acquires {
+			set := acquires[fn]
+			if set == nil {
+				set = make(map[string]bool)
+				acquires[fn] = set
+			}
+			for _, c := range cs {
+				set[c] = true
+			}
+		}
+	}
+	for _, c := range calls {
+		set := callGraph[c.Caller]
+		if set == nil {
+			set = make(map[string]bool)
+			callGraph[c.Caller] = set
+		}
+		set[c.Callee] = true
+	}
+	closure := transitiveAcquires(acquires, callGraph)
+
+	// Calls made while holding locks contribute edges to everything
+	// the callee (transitively) acquires.
+	for _, c := range calls {
+		if len(c.Held) == 0 {
+			continue
+		}
+		for _, to := range sortedKeys(closure[c.Callee]) {
+			for _, from := range c.Held {
+				edges = append(edges, edgeFact{From: from, To: to, Pos: c.Pos})
+			}
+		}
+	}
+
+	reportCycles(m, edges)
+	return nil
+}
+
+// transitiveAcquires computes, for every function, the set of lock
+// classes reachable through its static call graph (its own blocking
+// acquisitions plus its callees', to fixpoint).
+func transitiveAcquires(acquires map[string]map[string]bool, callGraph map[string]map[string]bool) map[string]map[string]bool {
+	closure := make(map[string]map[string]bool, len(acquires))
+	for fn, set := range acquires {
+		c := make(map[string]bool, len(set))
+		for k := range set {
+			c[k] = true
+		}
+		closure[fn] = c
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callGraph {
+			dst := closure[fn]
+			for callee := range cs {
+				for cls := range closure[callee] {
+					if dst == nil {
+						dst = make(map[string]bool)
+						closure[fn] = dst
+					}
+					if !dst[cls] {
+						dst[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// reportCycles finds strongly connected components in the class graph
+// and reports every edge inside a non-trivial one. Self-edges
+// (same-class nesting) are reported unless declared.
+func reportCycles(m *analysis.ModulePass, edges []edgeFact) {
+	// Collapse parallel edges, keeping the earliest position of each
+	// (from, to); declared edges are kept distinct for messaging.
+	type key struct{ from, to string }
+	first := make(map[key]edgeFact)
+	declaredSelf := make(map[string]bool)
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if e.Declared && e.From == e.To {
+			declaredSelf[e.From] = true
+			continue
+		}
+		k := key{e.From, e.To}
+		if prev, ok := first[k]; !ok || e.Pos < prev.Pos {
+			first[k] = e
+		}
+		if adj[e.From] == nil {
+			adj[e.From] = make(map[string]bool)
+		}
+		adj[e.From][e.To] = true
+	}
+
+	// Self-edges: same-class nesting needs a declared instance order.
+	var selfKeys []key
+	for k := range first {
+		if k.from == k.to && !declaredSelf[k.from] {
+			selfKeys = append(selfKeys, k)
+		}
+	}
+	sort.Slice(selfKeys, func(i, j int) bool { return selfKeys[i].from < selfKeys[j].from })
+	for _, k := range selfKeys {
+		e := first[k]
+		m.Report(e.Pos, "acquiring %s while another %s is already held: same-class nesting deadlocks unless instances are locked in a documented total order (declare //oak:lock-order %s %s next to that order)",
+			k.to, k.from, k.from, k.to)
+	}
+
+	// Tarjan SCC over the class graph (self-edges excluded above).
+	sccOf := tarjan(adj)
+	sccSize := make(map[int]int)
+	for _, id := range sccOf {
+		sccSize[id]++
+	}
+	var cycleKeys []key
+	for k := range first {
+		if k.from == k.to {
+			continue
+		}
+		if id, ok := sccOf[k.from]; ok && sccOf[k.to] == id && sccSize[id] > 1 {
+			cycleKeys = append(cycleKeys, k)
+		}
+	}
+	sort.Slice(cycleKeys, func(i, j int) bool {
+		if cycleKeys[i].from != cycleKeys[j].from {
+			return cycleKeys[i].from < cycleKeys[j].from
+		}
+		return cycleKeys[i].to < cycleKeys[j].to
+	})
+	for _, k := range cycleKeys {
+		e := first[k]
+		// Name the component deterministically so the message shows the
+		// whole cycle, not just this edge.
+		var comp []string
+		for n, id := range sccOf {
+			if id == sccOf[k.from] {
+				comp = append(comp, n)
+			}
+		}
+		sort.Strings(comp)
+		if e.Declared {
+			m.Report(e.Pos, "declared lock order %s before %s is part of an acquisition cycle {%s}: some code path locks against this order",
+				e.From, e.To, strings.Join(comp, ", "))
+			continue
+		}
+		m.Report(e.Pos, "acquiring %s while holding %s closes a lock-order cycle {%s}: two goroutines entering it from different points deadlock",
+			e.To, e.From, strings.Join(comp, ", "))
+	}
+}
+
+// tarjan assigns each node in adj a strongly-connected-component id.
+func tarjan(adj map[string]map[string]bool) map[string]int {
+	nodes := make(map[string]bool)
+	for from, tos := range adj {
+		nodes[from] = true
+		for to := range tos {
+			nodes[to] = true
+		}
+	}
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	sccOf := make(map[string]int)
+	var stack []string
+	next, nextSCC := 0, 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range sortedKeys(adj[v]) {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccOf[w] = nextSCC
+				if w == v {
+					break
+				}
+			}
+			nextSCC++
+		}
+	}
+	var all []string
+	for n := range nodes {
+		all = append(all, n)
+	}
+	sort.Strings(all)
+	for _, n := range all {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	return sccOf
+}
+
+// sortedKeys returns the keys of a string-set in sorted order.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,36 @@
+package a
+
+import "sync"
+
+// A declared global order that code violates: the declaration says
+// meta before data, but flip locks data then meta. The declared edge
+// plus the observed edge form a cycle, reported at both sites.
+
+//oak:lock-order a.catalog.meta a.catalog.data // want `declared lock order a.catalog.meta before a.catalog.data is part of an acquisition cycle \{a.catalog.data, a.catalog.meta\}`
+type catalog struct {
+	meta sync.Mutex
+	data sync.Mutex
+}
+
+func (c *catalog) flip() {
+	c.data.Lock()
+	defer c.data.Unlock()
+	c.meta.Lock() // want `acquiring a.catalog.meta while holding a.catalog.data closes a lock-order cycle \{a.catalog.data, a.catalog.meta\}`
+	defer c.meta.Unlock()
+}
+
+// Code that follows a declared order is clean even though only one
+// direction is ever observed.
+
+//oak:lock-order a.ledger.head a.ledger.tail
+type ledger struct {
+	head sync.Mutex
+	tail sync.Mutex
+}
+
+func (l *ledger) appendBoth() {
+	l.head.Lock()
+	defer l.head.Unlock()
+	l.tail.Lock()
+	defer l.tail.Unlock()
+}

@@ -1,0 +1,363 @@
+package lockset
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockOp classifies one call as a mutex operation on a resolved
+// mutex object (a struct field, or a local/package variable).
+type LockOp struct {
+	Field  *types.Var // the mutex operated on
+	Method string     // Lock, RLock, Unlock, RUnlock, TryLock, TryRLock
+}
+
+// Acquires reports whether the op acquires (rather than releases).
+func (op *LockOp) Acquires() bool {
+	switch op.Method {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// Blocking reports whether the acquisition can block. TryLock forms
+// never block, so they cannot participate in a deadlock cycle.
+func (op *LockOp) Blocking() bool {
+	return op.Method == "Lock" || op.Method == "RLock"
+}
+
+// AcquireMode is the mode the op grants.
+func (op *LockOp) AcquireMode() Mode {
+	switch op.Method {
+	case "Lock", "TryLock":
+		return ModeWrite
+	case "RLock", "TryRLock":
+		return ModeRead
+	}
+	return ModeNone
+}
+
+// AsLockOp classifies call, or returns nil.
+func AsLockOp(info *types.Info, call *ast.CallExpr) *LockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil
+	}
+	// The callee must be sync's method, not a same-named local one.
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if s, ok := info.Selections[sel]; ok {
+		fn, _ = s.Obj().(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	v := resolveVar(info, sel.X)
+	if v == nil {
+		return nil
+	}
+	return &LockOp{Field: v, Method: sel.Sel.Name}
+}
+
+// resolveVar resolves the variable a receiver expression denotes: the
+// field for s.mu / a.classes[c].mu / cl.mu, or the variable for a
+// plain identifier.
+func resolveVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			v, _ := s.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.StarExpr:
+		return resolveVar(info, e.X)
+	}
+	return nil
+}
+
+// Held maps each held mutex to the strongest mode held.
+type Held map[*types.Var]Mode
+
+func (h Held) clone() Held {
+	c := make(Held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// join intersects two path states: a mutex is held after a merge only
+// if both paths hold it, at the weaker of the two modes.
+func joinHeld(a, b Held) Held {
+	out := make(Held)
+	for k, ma := range a {
+		if mb, ok := b[k]; ok {
+			m := ma
+			if mb < m {
+				m = mb
+			}
+			out[k] = m
+		}
+	}
+	return out
+}
+
+// Walker drives a conservative lock-state walk over a function body's
+// structured control flow. Visit is called for every expression node
+// in roughly evaluation order with the held set current at that point;
+// analyzers hang their checks off it. The held set passed to Visit
+// must not be retained or mutated.
+type Walker struct {
+	Info  *types.Info
+	Visit func(n ast.Node, held Held)
+
+	// SawGoto is set when the walk meets goto: the held sets after it
+	// are unreliable and callers may want to soften reports.
+	SawGoto bool
+}
+
+// terminated marks a path that returned (or branched out of the
+// walked region): it contributes nothing to joins.
+type pathState struct {
+	held Held
+	term bool
+}
+
+func (w *Walker) Walk(body *ast.BlockStmt, entry Held) {
+	if body == nil {
+		return
+	}
+	w.stmts(body.List, pathState{held: entry.clone()})
+}
+
+func (w *Walker) stmts(list []ast.Stmt, st pathState) pathState {
+	for _, s := range list {
+		st = w.stmt(s, st)
+		if st.term {
+			return st
+		}
+	}
+	return st
+}
+
+func joinPath(a, b pathState) pathState {
+	if a.term {
+		return b
+	}
+	if b.term {
+		return a
+	}
+	return pathState{held: joinHeld(a.held, b.held)}
+}
+
+func (w *Walker) stmt(s ast.Stmt, st pathState) pathState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scan(s.X, st.held)
+		if c, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			st.held = w.applyLockOp(c, st.held)
+		}
+		return st
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		w.scan(s, st.held)
+		return st
+	case *ast.ReturnStmt:
+		w.scan(s, st.held)
+		return pathState{term: true}
+	case *ast.BranchStmt:
+		if s.Tok.String() == "goto" {
+			w.SawGoto = true
+		}
+		// break/continue leave the enclosing loop walk; treating the
+		// path as terminated keeps the after-loop join conservative.
+		return pathState{term: true}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		w.scan(s.Cond, st.held)
+		// `if !mu.TryLock() { return }` — the fall-through holds mu.
+		// `if mu.TryLock() { ... }` — the then-branch holds mu.
+		thenEntry, elseEntry := st.held, st.held
+		if op, neg := tryLockCond(w.Info, s.Cond); op != nil {
+			got := st.held.clone()
+			if cur, ok := got[op.Field]; !ok || op.AcquireMode() > cur {
+				got[op.Field] = op.AcquireMode()
+			}
+			if neg {
+				elseEntry = got
+			} else {
+				thenEntry = got
+			}
+		}
+		then := w.stmts(s.Body.List, pathState{held: thenEntry.clone()})
+		els := pathState{held: elseEntry.clone()}
+		if s.Else != nil {
+			els = w.stmt(s.Else, els)
+		}
+		return joinPath(then, els)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, st.held)
+		}
+		after := w.stmts(s.Body.List, pathState{held: st.held.clone()})
+		if s.Post != nil && !after.term {
+			after = w.stmt(s.Post, after)
+		}
+		// A loop body may not run at all: after the loop, only locks
+		// held both at entry and at body exit are certainly held.
+		return joinPath(pathState{held: st.held}, after)
+	case *ast.RangeStmt:
+		w.scan(s.X, st.held)
+		after := w.stmts(s.Body.List, pathState{held: st.held.clone()})
+		return joinPath(pathState{held: st.held}, after)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		hasDefault := false
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				st = w.stmt(s.Init, st)
+			}
+			if s.Tag != nil {
+				w.scan(s.Tag, st.held)
+			}
+			body = s.Body
+		case *ast.TypeSwitchStmt:
+			body = s.Body
+		case *ast.SelectStmt:
+			body = s.Body
+		}
+		out := pathState{term: true}
+		for _, cc := range body.List {
+			var stmts []ast.Stmt
+			switch cc := cc.(type) {
+			case *ast.CaseClause:
+				stmts = cc.Body
+				if cc.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				stmts = cc.Body
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			out = joinPath(out, w.stmts(stmts, pathState{held: st.held.clone()}))
+		}
+		if !hasDefault {
+			out = joinPath(out, pathState{held: st.held})
+		}
+		return out
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps mu held to function end — no state
+		// change. Deferred closures run with an empty held set (scan's
+		// DeferStmt case handles the literal body).
+		w.scan(s, st.held)
+		return st
+	case *ast.GoStmt:
+		w.scan(s, st.held)
+		return st
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.EmptyStmt:
+		return st
+	default:
+		w.scan(s, st.held)
+		return st
+	}
+}
+
+// applyLockOp updates the held set for a top-level lock/unlock call
+// statement. TryLock as a bare statement (result ignored) grants the
+// lock unconditionally — matching how the code would behave if it
+// ignored the result, and how TryAdvance uses the if-form instead.
+func (w *Walker) applyLockOp(c *ast.CallExpr, held Held) Held {
+	op := AsLockOp(w.Info, c)
+	if op == nil {
+		return held
+	}
+	held = held.clone()
+	if op.Acquires() {
+		if cur, ok := held[op.Field]; !ok || op.AcquireMode() > cur {
+			held[op.Field] = op.AcquireMode()
+		}
+	} else {
+		delete(held, op.Field)
+	}
+	return held
+}
+
+// tryLockCond matches `mu.TryLock()` (neg=false) or `!mu.TryLock()`
+// (neg=true) as an if condition.
+func tryLockCond(info *types.Info, cond ast.Expr) (op *LockOp, neg bool) {
+	e := ast.Unparen(cond)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "!" {
+		neg = true
+		e = ast.Unparen(u.X)
+	}
+	c, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	op = AsLockOp(info, c)
+	if op == nil || op.Blocking() || !op.Acquires() {
+		return nil, false
+	}
+	return op, neg
+}
+
+// scan visits every expression node under n in source order with the
+// current held set. Function literals are walked with the full
+// statement walker (their own Lock/Unlock calls update their held
+// state): a literal launched by go or defer starts from an empty held
+// set, every other literal (immediately invoked, or passed to a
+// synchronous caller like sort.Search) inherits the current one.
+func (w *Walker) scan(n ast.Node, held Held) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			w.stmts(m.Body.List, pathState{held: held.clone()})
+			return false
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+				w.stmts(lit.Body.List, pathState{held: Held{}})
+				for _, a := range m.Call.Args {
+					w.scan(a, held)
+				}
+				return false
+			}
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+				w.stmts(lit.Body.List, pathState{held: Held{}})
+				for _, a := range m.Call.Args {
+					w.scan(a, held)
+				}
+				return false
+			}
+		default:
+			if w.Visit != nil && m != nil {
+				w.Visit(m, held)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,295 @@
+// Package publishorder enforces //oak:publish-before annotations: a
+// store to field X must precede the publishing operation on field Y
+// in every function that performs both (DESIGN.md §10).
+//
+// This is the bug class behind two real incidents in this codebase:
+// PR 8's BeginSnapshot raised retainFloor AFTER ratcheting the
+// version clock (a concurrent sweep could reclaim versions the new
+// snapshot was about to read), and PR 3's epoch advance published the
+// new epoch via CAS BEFORE draining the limbo bucket it unblocked
+// (a racing Retire could append to a bucket already considered
+// drained). Both compile, both pass unit tests, both lose data only
+// under a precise interleaving. The annotation turns the ordering
+// into a checked contract:
+//
+//	retainFloor atomic.Uint64 //oak:publish-before clock
+//
+// declares "any function that publishes clock and touches retainFloor
+// must write retainFloor first".
+//
+// Publish events on Y: mutating atomic calls (Store, Add, Swap,
+// CompareAndSwap, Or, And), close(Y) for channel-typed Y, or a plain
+// assignment otherwise. Write events on X: mutating atomic calls,
+// plain assignments, or a call to a same-package function whose
+// transitive summary writes X (the epoch drain helper). Events are
+// compared in source order within the function — equivalent to a
+// may-written path walk for the codebase's structured flow, and
+// deliberately lenient about conditional writes: the CAS-loop idiom
+// `if floor.Load() < c+1 { floor.Store(c+1) }` before the publish is
+// clean, because SOME program point before the publish writes X.
+// What cannot happen is a publish with no preceding X write at all —
+// exactly the two incident shapes.
+//
+// Functions that publish Y without touching X anywhere (PrepareBatch
+// ratchets the clock; the floor belongs to Begin/EndSnapshot) are
+// outside the contract and skipped. Writes inside go/defer function
+// literals don't count as "before" — they run at another time.
+package publishorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"oakmap/internal/analysis"
+	"oakmap/internal/analysis/lockset"
+)
+
+// Analyzer is the publishorder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "publishorder",
+	Doc:  "flag publishes of an //oak:publish-before target with no preceding write of the declared field",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ls := lockset.Extract(pass)
+	if len(ls.Publishes) == 0 {
+		return nil
+	}
+	parents := analysis.Parents(pass.Files)
+
+	// Transitive per-package write summaries: which declared X fields
+	// does each function (or anything it statically calls in-package)
+	// write?
+	writes, callees := summaries(pass, ls, parents)
+	closure := transitive(writes, callees)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, ls, parents, fd, closure)
+		}
+	}
+	return nil
+}
+
+// summaries records, per function object, the declared X fields it
+// directly writes and its same-package static callees.
+func summaries(pass *analysis.Pass, ls *lockset.Info, parents map[ast.Node]ast.Node) (map[types.Object]map[*types.Var]bool, map[types.Object][]types.Object) {
+	writes := make(map[types.Object]map[*types.Var]bool)
+	callees := make(map[types.Object][]types.Object)
+	xFields := make(map[*types.Var]bool)
+	for _, p := range ls.Publishes {
+		xFields[p.Field] = true
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pass.TypesInfo.Defs[fd.Name]
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if v := fieldOf(pass.TypesInfo, n); v != nil && xFields[v] && isWriteEvent(pass.TypesInfo, parents, n) {
+						if writes[fn] == nil {
+							writes[fn] = make(map[*types.Var]bool)
+						}
+						writes[fn][v] = true
+					}
+				case *ast.CallExpr:
+					if c := analysis.Callee(pass.TypesInfo, n); c != nil && c.Pkg() == pass.Pkg {
+						callees[fn] = append(callees[fn], c)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return writes, callees
+}
+
+func transitive(writes map[types.Object]map[*types.Var]bool, callees map[types.Object][]types.Object) map[types.Object]map[*types.Var]bool {
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			for _, c := range cs {
+				for v := range writes[c] {
+					if writes[fn] == nil {
+						writes[fn] = make(map[*types.Var]bool)
+					}
+					if !writes[fn][v] {
+						writes[fn][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return writes
+}
+
+// event is one X-write or Y-publish inside a function. An async write
+// (inside go, or a deferred literal) proves the function touches X —
+// binding it to the contract — but runs at another time, so it never
+// satisfies "written before the publish".
+type event struct {
+	pos     token.Pos
+	publish bool
+	async   bool
+	decl    *lockset.PublishDecl
+}
+
+func checkFunc(pass *analysis.Pass, ls *lockset.Info, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, closure map[types.Object]map[*types.Var]bool) {
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			v := fieldOf(pass.TypesInfo, n)
+			if v == nil {
+				return true
+			}
+			for _, d := range ls.Publishes {
+				if v == d.Field && isWriteEvent(pass.TypesInfo, parents, n) {
+					events = append(events, event{pos: n.Pos(), decl: d, async: deferredOrAsync(parents, n)})
+				}
+				if v == d.Before && isPublishEvent(pass.TypesInfo, parents, n) && !deferredOrAsync(parents, n) {
+					events = append(events, event{pos: n.Pos(), publish: true, decl: d})
+				}
+			}
+		case *ast.CallExpr:
+			// A call to a same-package function that (transitively)
+			// writes X counts as an X write at the call site.
+			c := analysis.Callee(pass.TypesInfo, n)
+			if c == nil || deferredOrAsync(parents, n) {
+				return true
+			}
+			for _, d := range ls.Publishes {
+				if closure[c][d.Field] {
+					events = append(events, event{pos: n.Pos(), decl: d})
+				}
+			}
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	written := make(map[*lockset.PublishDecl]bool)
+	for _, e := range events {
+		if !e.publish {
+			written[e.decl] = true
+		}
+	}
+	seenWrite := make(map[*lockset.PublishDecl]bool)
+	for _, e := range events {
+		if !e.publish {
+			if !e.async {
+				seenWrite[e.decl] = true
+			}
+			continue
+		}
+		if !written[e.decl] {
+			continue // publish-only function: X is another function's job
+		}
+		if !seenWrite[e.decl] {
+			pass.Report(e.pos, "%s published before %s is written: //oak:publish-before requires the %s write to precede every publish of %s in this function",
+				e.decl.BClass, e.decl.Class, e.decl.Class, e.decl.BClass)
+		}
+	}
+}
+
+// fieldOf resolves sel to a struct-field variable, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isWriteEvent reports whether sel is written: a mutating atomic call,
+// a plain assignment target, or the operand of close/delete.
+func isWriteEvent(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	if atomicMutator(parents, sel) != "" {
+		return true
+	}
+	switch p := parents[sel].(type) {
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == sel {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return false
+	}
+	return false
+}
+
+// isPublishEvent reports whether sel is published: a mutating atomic
+// call, close() on a channel field, or a plain assignment.
+func isPublishEvent(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	if atomicMutator(parents, sel) != "" {
+		return true
+	}
+	if c, ok := parents[sel].(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "close" && len(c.Args) == 1 && c.Args[0] == sel {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	if p, ok := parents[sel].(*ast.AssignStmt); ok {
+		for _, l := range p.Lhs {
+			if l == sel {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// atomicMutator returns the mutating atomic method name invoked on
+// sel, or "".
+func atomicMutator(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) string {
+	m, ok := parents[sel].(*ast.SelectorExpr)
+	if !ok || m.X != sel {
+		return ""
+	}
+	c, ok := parents[m].(*ast.CallExpr)
+	if !ok || c.Fun != m {
+		return ""
+	}
+	switch m.Sel.Name {
+	case "Store", "Add", "Swap", "CompareAndSwap", "Or", "And":
+		return m.Sel.Name
+	}
+	return ""
+}
+
+// deferredOrAsync reports whether n sits inside a go statement or a
+// deferred function literal: those bodies run at another time, so
+// their events don't participate in this function's source order.
+func deferredOrAsync(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package publishorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oakmap/internal/analysis/analysistest"
+	"oakmap/internal/analysis/publishorder"
+)
+
+func TestPublishorder(t *testing.T) {
+	analysistest.Run(t, publishorder.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -110,8 +110,8 @@ type Allocator struct {
 
 	// Bump state: the current block and its bump offset.
 	bumpMu sync.Mutex
-	cur    int // index of the block being bump-allocated
-	top    int // bump offset in the current block
+	cur    int //oak:guarded-by bumpMu — index of the block being bump-allocated
+	top    int //oak:guarded-by bumpMu — bump offset in the current block
 
 	// Size-class free lists (ModeSizeClass). classBits is the occupancy
 	// bitmap: bit c set iff classes[c] is non-empty.
@@ -120,12 +120,12 @@ type Allocator struct {
 
 	// Large-span list (ModeSizeClass): sorted by address, coalescing.
 	largeMu    sync.Mutex
-	large      []span
-	largeBytes int64
+	large      []span //oak:guarded-by largeMu
+	largeBytes int64  //oak:guarded-by largeMu
 
 	// Flat first-fit list (ModeFirstFit), unordered.
 	flatMu sync.Mutex
-	flat   []span
+	flat   []span //oak:guarded-by flatMu
 
 	// migrateMu serializes whole-structure reshuffles (SetMode, Compact,
 	// Close) against each other; Alloc/Free never take it.

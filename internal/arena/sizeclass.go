@@ -54,8 +54,8 @@ func ceilClass(n int) int {
 // cache lines.
 type classList struct {
 	mu    sync.Mutex
-	spans []span
-	bytes int64
+	spans []span //oak:guarded-by mu
+	bytes int64  //oak:guarded-by mu
 	_     [24]byte
 }
 

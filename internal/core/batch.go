@@ -46,7 +46,11 @@ const (
 // descriptor spans every shard's install record, so all shards flip
 // together.
 type BatchDesc struct {
-	state atomic.Uint32
+	// The decision must be readable the instant a waiter wakes:
+	// Commit/Abort store state before closing done, and publishorder
+	// holds them to it — a close-first order would wake DecideWait
+	// callers to a still-pending state word.
+	state atomic.Uint32 //oak:publish-before done
 	done  chan struct{} // closed when state leaves pending
 }
 
@@ -90,8 +94,8 @@ type BatchInstall struct {
 	base uint64
 
 	mu   sync.RWMutex
-	recs []batchRec
-	byH  map[ValueHandle]int
+	recs []batchRec          //oak:guarded-by mu
+	byH  map[ValueHandle]int //oak:guarded-by mu
 }
 
 // lookup returns the install record for handle h, nil if the batch did
@@ -101,7 +105,10 @@ func (bi *BatchInstall) lookup(h ValueHandle) *batchRec {
 	bi.mu.RLock()
 	defer bi.mu.RUnlock()
 	if i, ok := bi.byH[h]; ok {
-		return &bi.recs[i]
+		// Taking the address is not a mutation: records are immutable
+		// once added, and append never moves a record out from under an
+		// extant pointer (the old backing array stays put).
+		return &bi.recs[i] //oak:allow lockguard address-of under RLock, record immutable after add
 	}
 	return nil
 }
@@ -342,7 +349,9 @@ func (m *Map) InstallBatchDelete(bi *BatchInstall, key []byte) error {
 // spans are retired or retained for open snapshots. Must be called
 // exactly once after desc.Commit, by the installing goroutine.
 func (m *Map) FinalizeBatch(bi *BatchInstall) {
-	for i := range bi.recs {
+	// Install is over: the single installing goroutine owns recs, and
+	// bi.mu only guards reader lookups against appends (none remain).
+	for i := range bi.recs { //oak:allow lockguard installer-private after install phase
 		rec := &bi.recs[i]
 		if rec.del {
 			m.finalizeBatchTomb(bi, rec)
@@ -394,7 +403,8 @@ func (m *Map) finalizeBatchTomb(bi *BatchInstall, rec *batchRec) {
 // restored, fresh inserts are removed, and new spans freed. Must be
 // called exactly once after desc.Abort, by the installing goroutine.
 func (m *Map) AbortBatch(bi *BatchInstall) {
-	for i := range bi.recs {
+	// Same single-installer ownership argument as FinalizeBatch.
+	for i := range bi.recs { //oak:allow lockguard installer-private after install phase
 		rec := &bi.recs[i]
 		switch {
 		case rec.del:

@@ -82,27 +82,31 @@ type retChain struct {
 // two atomics (clock on every write, retainFloor as the retention gate);
 // everything else is cold-path state behind mu.
 type mvccState struct {
-	clock       atomic.Uint64 // next write stamps this value; starts at 1
-	retainFloor atomic.Uint64 // max open snapshot + 1; 0 = no open snapshots
+	// clock may only ratchet under mu (BeginSnapshot's CAS) or pendMu
+	// (PrepareBatch's Add) — the PR-8 race was an unlocked ratchet.
+	clock atomic.Uint64 //oak:guarded-by mu,pendMu // next write stamps this value; starts at 1
+	// retainFloor must be raised before the clock ratchet publishes
+	// (see BeginSnapshot), and only Begin/EndSnapshot write it.
+	retainFloor atomic.Uint64 //oak:guarded-by mu //oak:publish-before clock // max open snapshot + 1; 0 = none
 	openCount   atomic.Int64
 	retBytes    atomic.Int64 // bytes held by the retained store
 	retSpans    atomic.Int64 // spans held by the retained store
 
 	mu   sync.Mutex
-	open []uint64 // open snapshot versions, ascending (duplicates allowed)
+	open []uint64 //oak:guarded-by mu // open snapshot versions, ascending (duplicates allowed)
 
 	// Retained store: chains keyed by an owned copy of the serialized
 	// key. Chains are keyed by key bytes (not value handles) because a
 	// remove + re-insert swaps the entry's handle while the key's
 	// version history must stay one chain. keys mirrors byKey in sorted
 	// order for the snapshot scans' ceiling/floor queries.
-	byKey map[string]*retChain
-	keys  [][]byte
+	byKey map[string]*retChain //oak:guarded-by mu
+	keys  [][]byte             //oak:guarded-by mu
 
 	// Pending-batch registry: base version → install record. Readers
 	// that hit a flagged version word resolve it here (cold path).
 	pendMu  sync.RWMutex
-	pending map[uint64]*BatchInstall
+	pending map[uint64]*BatchInstall //oak:guarded-by pendMu
 }
 
 func (st *mvccState) init() {

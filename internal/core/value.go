@@ -217,7 +217,10 @@ func (m *Map) valueRemove(key []byte, h ValueHandle) bool {
 	// recycled slot's data word and free another value's space.)
 	ref := arena.Ref(m.headers.LoadData(uint64(h)))
 	m.headers.StoreData(uint64(h), 0)
-	m.headers.DeleteLocked(uint64(h))
+	// The protecting lock is the header's word-level write lock taken by
+	// lockStable above — a vheader spinlock, not a sync.Mutex, so the
+	// lockguard walker cannot see it.
+	m.headers.DeleteLocked(uint64(h)) //oak:allow lockguard header write-lock held via lockStable
 	fpDeletedBit.Fire()
 	m.retireOrRetain(key, ref, oldVer, delVer)
 	return true

@@ -108,9 +108,14 @@ func (s *slot) tryPin(global *atomic.Uint64) bool {
 }
 
 type limbo struct {
-	mu    sync.Mutex
-	items []Retired
-	bytes int64
+	mu sync.Mutex
+	// items must be drained (privatized) before an advance publishes the
+	// new epoch — publish-first would let a Retire at the new epoch slip
+	// into the draining bucket and be freed with zero grace (the exact
+	// ordering bug publishorder's drain-after-publish rule re-proves; see
+	// advanceLocked).
+	items []Retired //oak:guarded-by mu //oak:publish-before Domain.global
+	bytes int64     //oak:guarded-by mu
 }
 
 // Domain is one reclamation scope (in Oak: one Map). The free callback

@@ -245,22 +245,40 @@ func (s *Server) execScanSnap(w *respWriter, id uint64, after []byte, hi *[]byte
 // even if no further SNAP command ever arrives), and unconditionally
 // at Shutdown — an abandoned client must not pin the map's reclaim
 // horizon forever.
+//
+// Lock-order contract, verified by oak-vet/lockorder: the registry lock
+// is outermost — create() calls Snapshot() (shard ratchet, MVCC locks)
+// while holding mu, so no map-internal path may ever call back into the
+// registry.
+//
+//oak:lock-order server.snapCursors.mu sharded.Map.verMu
+//oak:lock-order server.snapCursors.mu core.mvccState.mu
 type snapCursors struct {
 	mu   sync.Mutex
-	next uint64
-	open map[uint64]*snapCursor
-	stop chan struct{} // non-nil once the reaper ticker is running
+	next uint64                 //oak:guarded-by mu
+	open map[uint64]*snapCursor //oak:guarded-by mu
+	stop chan struct{}          //oak:guarded-by mu — non-nil once the reaper ticker is running
 }
 
+// snapCursor's mutable fields are guarded by the owning registry's
+// snapCursors.mu. sn itself is deliberately unguarded: it is written
+// once before the entry is published into open, read only under mu
+// while the entry is live, and Close()d only after the entry has been
+// removed from open — by the sole goroutine that removed it — so the
+// closer owns it exclusively and may call Close outside the lock
+// (Close walks the map's MVCC state and must not nest under mu from
+// the release path, where a handler is on the hot path).
 type snapCursor struct {
 	sn   *oakmap.Snapshot[[]byte, []byte]
-	used time.Time
-	busy int // batches currently reading; reaping skips busy entries
+	used time.Time //oak:guarded-by snapCursors.mu
+	busy int       //oak:guarded-by snapCursors.mu — batches currently reading; reaping skips busy entries
 	// dead marks an exhausted entry whose snapshot cannot be closed yet:
 	// another connection presenting the same cursor may still be
 	// mid-scan on it (busy > 0). The last releaser of a dead entry
-	// performs the Close; acquire refuses dead entries.
-	dead bool
+	// performs the Close; acquire refuses dead entries, so busy never
+	// rises again once dead is set and the drain-to-zero close fires
+	// exactly once.
+	dead bool //oak:guarded-by snapCursors.mu
 }
 
 var errTooManySnaps = errors.New("too many open snapshot cursors")

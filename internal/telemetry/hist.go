@@ -19,10 +19,10 @@ import (
 // bucket for bucket.
 type Histogram struct {
 	mu      sync.Mutex
-	buckets [histBuckets]uint64
-	count   uint64
-	min     time.Duration
-	max     time.Duration
+	buckets [histBuckets]uint64 //oak:guarded-by mu
+	count   uint64              //oak:guarded-by mu
+	min     time.Duration       //oak:guarded-by mu
+	max     time.Duration       //oak:guarded-by mu
 }
 
 const (
@@ -72,24 +72,30 @@ func (h *Histogram) Record(d time.Duration) {
 	h.mu.Unlock()
 }
 
-// Merge folds other into h.
+// Merge folds other into h. It snapshots other under its own lock and
+// only then locks h: holding both at once would deadlock against a
+// concurrent Merge in the opposite direction (lockorder flagged the
+// old nested form as unordered same-class nesting).
 func (h *Histogram) Merge(other *Histogram) {
 	other.mu.Lock()
-	defer other.mu.Unlock()
+	buckets := other.buckets
+	count, min, max := other.count, other.min, other.max
+	other.mu.Unlock()
+
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for i, c := range other.buckets {
+	for i, c := range buckets {
 		h.buckets[i] += c
 	}
-	if other.count > 0 {
-		if h.count == 0 || other.min < h.min {
-			h.min = other.min
+	if count > 0 {
+		if h.count == 0 || min < h.min {
+			h.min = min
 		}
-		if other.max > h.max {
-			h.max = other.max
+		if max > h.max {
+			h.max = max
 		}
 	}
-	h.count += other.count
+	h.count += count
 }
 
 // MergeSnapshot folds a recorder-side snapshot into h — the bridge that

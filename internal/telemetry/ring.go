@@ -46,11 +46,16 @@ type Event struct {
 // writer owns the cell, and ticket<<1 once published; every field is
 // atomic so the concurrent Dump required by the flight-recorder tests
 // is race-clean without any lock on the write path.
+// The payload words must be in place before the even (published) marker
+// value becomes visible, or Dump could return a torn event that passes
+// its marker re-check. The odd claim store in Append precedes the
+// payload by design (it is what invalidates concurrent readers) and is
+// suppressed at the site.
 type cell struct {
 	marker  atomic.Uint64
-	timeNs  atomic.Int64
-	kind    atomic.Uint32
-	a, b, c atomic.Uint64
+	timeNs  atomic.Int64  //oak:publish-before marker
+	kind    atomic.Uint32 //oak:publish-before marker
+	a, b, c atomic.Uint64 //oak:publish-before marker
 }
 
 // Ring is a bounded lock-free flight recorder. Writers claim a ticket
@@ -80,7 +85,10 @@ func NewRing(size int) *Ring {
 func (r *Ring) Append(kind EventKind, a, b, c uint64) {
 	t := r.next.Add(1)
 	cl := &r.cells[(t-1)&r.mask]
-	cl.marker.Store(t<<1 | 1)
+	// Seqlock claim: the odd marker must go first — it is what tells a
+	// concurrent Dump the payload is mid-write. Only the closing even
+	// store is a publish in the //oak:publish-before sense.
+	cl.marker.Store(t<<1 | 1) //oak:allow publishorder seqlock claim store precedes payload by design
 	cl.timeNs.Store(time.Now().UnixNano())
 	cl.kind.Store(uint32(kind))
 	cl.a.Store(a)

@@ -149,7 +149,7 @@ type Recorder struct {
 	ring       *Ring
 
 	mu     sync.Mutex
-	gauges map[string]Gauge
+	gauges map[string]Gauge //oak:guarded-by mu
 }
 
 // New creates a Recorder.

@@ -53,6 +53,13 @@ type Map struct {
 	// batch's writes on one shard but not another (a torn cross-shard
 	// batch). Only these short ratchet phases are serialized; installs,
 	// commits, and scans all run outside the lock.
+	//
+	// Lock-order contract, verified by oak-vet/lockorder: the ratchet
+	// lock is taken before any shard-local MVCC lock (BeginSnapshot's
+	// mvccState.mu, PrepareBatch's mvccState.pendMu), never inside one.
+	//
+	//oak:lock-order sharded.Map.verMu core.mvccState.mu
+	//oak:lock-order sharded.Map.verMu core.mvccState.pendMu
 	verMu sync.Mutex
 }
 
